@@ -1,0 +1,187 @@
+// Benchmarks: one per reproduced table/figure (DESIGN.md §4). Each runs
+// the corresponding experiment and reports the paper's quantities as
+// custom metrics (messages/op, factors, bytes), so `go test -bench=.`
+// regenerates every number EXPERIMENTS.md records. Wall-clock ns/op is
+// reported too but is not the quantity the paper claims — the claims are
+// about counted messages and I/Os, which are hardware-independent.
+package nonstopsql_test
+
+import (
+	"testing"
+
+	"nonstopsql/internal/experiments"
+)
+
+const (
+	benchRows = 4000
+	benchTxns = 500
+)
+
+func BenchmarkE1MessagesRSBB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, _, err := experiments.E1(benchRows)
+		if err != nil {
+			b.Fatal(err)
+		}
+		big := results[len(results)-1] // ~1.3 KB records
+		b.ReportMetric(float64(big.RecordMsgs), "record-msgs")
+		b.ReportMetric(float64(big.RSBBMsgs), "rsbb-msgs")
+		b.ReportMetric(big.Factor, "rsbb-factor")
+	}
+}
+
+func BenchmarkE2MessagesVSBB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, _, err := experiments.E2(benchRows)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var best float64
+		var sum float64
+		for _, r := range results {
+			if r.Factor > best {
+				best = r.Factor
+			}
+			sum += r.Factor
+		}
+		b.ReportMetric(best, "max-vsbb-factor")
+		b.ReportMetric(sum/float64(len(results)), "avg-vsbb-factor")
+	}
+}
+
+func BenchmarkE3UpdatePushdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, _, err := experiments.E3(benchRows / 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(results[0].PerRec, "read+rewrite-msgs/rec")
+		b.ReportMetric(results[1].PerRec, "pushdown-msgs/rec")
+		b.ReportMetric(results[2].PerRec, "subset-msgs/rec")
+	}
+}
+
+func BenchmarkE4AuditCompression(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, _, err := experiments.E4(benchRows / 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(results[0].BytesPerUpd, "full-audit-B/upd")
+		b.ReportMetric(results[1].BytesPerUpd, "field-audit-B/upd")
+		b.ReportMetric(float64(results[0].AuditBytes)/float64(results[1].AuditBytes), "compression")
+	}
+}
+
+func BenchmarkE5GroupCommit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, _, err := experiments.E5(100, []int{16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if r.GroupCommit {
+				b.ReportMetric(r.CommitsPerIO, "grouped-commits/flush")
+			} else {
+				b.ReportMetric(r.CommitsPerIO, "ungrouped-commits/flush")
+			}
+		}
+	}
+}
+
+func BenchmarkE6BulkIO(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, _, err := experiments.E6(benchRows)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(results[0].DiskReads), "demand-reads")
+		b.ReportMetric(float64(results[1].DiskReads), "bulk-reads")
+		b.ReportMetric(results[1].BlocksPerIO, "blocks/read")
+	}
+}
+
+func BenchmarkE7DebitCredit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, _, err := experiments.E7(benchTxns)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(results[0].MsgsPerTxn, "enscribe-msgs/txn")
+		b.ReportMetric(results[1].MsgsPerTxn, "sql-msgs/txn")
+		b.ReportMetric(results[0].AuditPerTxn, "enscribe-audit-B/txn")
+		b.ReportMetric(results[1].AuditPerTxn, "sql-audit-B/txn")
+	}
+}
+
+func BenchmarkE8BlockedInsert(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, _, err := experiments.E8(benchRows/2, []int{16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(results[0].PerRow, "per-record-msgs/row")
+		b.ReportMetric(results[1].PerRow, "blocked-msgs/row")
+	}
+}
+
+func BenchmarkE9WhereCurrent(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, _, err := experiments.E9(benchRows/2, []int{16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(results[0].PerRow, "per-record-msgs/row")
+		b.ReportMetric(results[1].PerRow, "buffered-msgs/row")
+	}
+}
+
+func BenchmarkE10Redrive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, _, err := experiments.E10(benchRows)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(results[0].Messages), "msgs@limit10")
+		b.ReportMetric(float64(results[2].Messages), "msgs@limit1000")
+		b.ReportMetric(float64(results[0].ReqBytesGF), "getfirst-bytes")
+		b.ReportMetric(float64(results[0].ReqBytesGN), "getnext-bytes")
+	}
+}
+
+func BenchmarkE11VSBBLocking(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.E11(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkF1RemoteAccess(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, _, err := experiments.F1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(results[0].LocalMsgs), "local-hops")
+		b.ReportMetric(float64(results[2].NetMsgs), "network-hops")
+	}
+}
+
+func BenchmarkF2IndexedUpdate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, _, err := experiments.F2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(results[0].Messages+results[1].Messages), "msgs/indexed-update")
+	}
+}
+
+func BenchmarkAblationPushdownSelectivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationPushdownSelectivity(benchRows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+// Command benchtab regenerates every reproduced table and figure of the
+// paper (DESIGN.md §4) and prints them as aligned text, suitable for
+// pasting into EXPERIMENTS.md.
+//
+// Usage:
+//
+//	benchtab [-quick] [-only E2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nonstopsql/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run with test-sized workloads")
+	only := flag.String("only", "", "run a single experiment by ID (e.g. E2, F1, ABL-PUSHDOWN)")
+	flag.Parse()
+
+	sizes := experiments.Full()
+	if *quick {
+		sizes = experiments.Quick()
+	}
+
+	tables, err := experiments.All(sizes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+		os.Exit(1)
+	}
+	for _, t := range tables {
+		if *only != "" && !strings.EqualFold(t.ID, *only) {
+			continue
+		}
+		fmt.Println(t.Render())
+	}
+}

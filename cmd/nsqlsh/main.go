@@ -1,0 +1,151 @@
+// Command nsqlsh is an interactive NonStop SQL shell over a freshly
+// booted simulated Tandem network. Statements end with ';'. Meta
+// commands:
+//
+//	\stats   print cumulative message/disk/audit counters
+//	\reset   zero the counters
+//	\tables  list catalog tables
+//	\crash $DATA1   crash a volume's Disk Process
+//	\restart $DATA1 recover and restart it
+//	\q       quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nonstopsql"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 1, "nodes in the network")
+	volumes := flag.Int("volumes", 4, "data volumes per node")
+	flag.Parse()
+
+	db, err := nonstopsql.Open(nonstopsql.Config{Nodes: *nodes, VolumesPerNode: *volumes})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nsqlsh: %v\n", err)
+		os.Exit(1)
+	}
+	defer db.Close()
+	sess := db.Session(0, 0)
+
+	fmt.Printf("NonStop SQL reproduction — %d node(s), volumes: %s\n",
+		*nodes, strings.Join(db.Volumes(), " "))
+	fmt.Println(`type SQL ending with ';', or \q to quit`)
+
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("nsql> ")
+		} else {
+			fmt.Print("  ..> ")
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, `\`) {
+			if !meta(db, trimmed) {
+				return
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.HasSuffix(trimmed, ";") {
+			stmt := buf.String()
+			buf.Reset()
+			if rest, ok := stripExplain(stmt); ok {
+				plan, err := sess.Explain(rest)
+				if err != nil {
+					fmt.Printf("error: %v\n", err)
+				} else {
+					fmt.Print(plan)
+				}
+				prompt()
+				continue
+			}
+			res, err := sess.Exec(stmt)
+			if err != nil {
+				fmt.Printf("error: %v\n", err)
+			} else if len(res.Columns) > 0 {
+				fmt.Print(nonstopsql.FormatResult(res))
+			} else {
+				fmt.Printf("-- ok (%d row(s) affected)\n", res.Affected)
+			}
+		}
+		prompt()
+	}
+}
+
+// stripExplain detects a leading EXPLAIN keyword and returns the rest.
+func stripExplain(stmt string) (string, bool) {
+	s := strings.TrimSpace(stmt)
+	if len(s) >= 8 && strings.EqualFold(s[:8], "EXPLAIN ") {
+		return s[8:], true
+	}
+	return "", false
+}
+
+func meta(db *nonstopsql.Database, cmd string) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case `\q`, `\quit`:
+		return false
+	case `\stats`:
+		s := db.Stats()
+		fmt.Printf("messages=%d (%d KB, %d remote)  disk reads=%d writes=%d blocks=%d  audit=%d KB in %d flushes  commits=%d\n",
+			s.Messages, s.MessageBytes/1024, s.RemoteMsgs,
+			s.DiskReads, s.DiskWrites, s.BlocksRead,
+			s.AuditBytes/1024, s.AuditFlushes, s.Commits)
+	case `\reset`:
+		db.ResetStats()
+		fmt.Println("-- counters zeroed")
+	case `\tables`:
+		for _, t := range db.Catalog().Tables() {
+			fmt.Println(t)
+		}
+	case `\d`, `\describe`:
+		if len(fields) < 2 {
+			fmt.Println("usage: \\d TABLE")
+			break
+		}
+		out, err := db.Catalog().Describe(fields[1])
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+		} else {
+			fmt.Print(out)
+		}
+	case `\crash`:
+		if len(fields) < 2 {
+			fmt.Println("usage: \\crash $VOLUME")
+			break
+		}
+		if err := db.CrashVolume(fields[1]); err != nil {
+			fmt.Printf("error: %v\n", err)
+		} else {
+			fmt.Printf("-- %s down\n", fields[1])
+		}
+	case `\restart`:
+		if len(fields) < 2 {
+			fmt.Println("usage: \\restart $VOLUME")
+			break
+		}
+		if err := db.RestartVolume(fields[1], -1); err != nil {
+			fmt.Printf("error: %v\n", err)
+		} else {
+			fmt.Printf("-- %s recovered and serving\n", fields[1])
+		}
+	default:
+		fmt.Println(`meta commands: \stats \reset \tables \d TABLE \crash \restart \q`)
+	}
+	return true
+}

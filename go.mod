@@ -1,0 +1,3 @@
+module nonstopsql
+
+go 1.22

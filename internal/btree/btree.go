@@ -1,0 +1,474 @@
+// Package btree implements the record management component's file
+// structures, shared by ENSCRIBE and NonStop SQL:
+//
+//   - key-sequenced files (B+-trees physically clustered by primary key),
+//   - relative files (direct access by record number),
+//   - entry-sequenced files (direct access for reads, insert at EOF).
+//
+// Trees live entirely on cache pages so every block touched flows
+// through the buffer pool's LRU, WAL gate, pre-fetch, and write-behind
+// machinery. The root page never moves (splits push the old root's
+// contents down), so a file is identified durably by its root block.
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"nonstopsql/internal/cache"
+	"nonstopsql/internal/disk"
+	"nonstopsql/internal/wal"
+)
+
+const (
+	pageLeaf     = 1
+	pageInterior = 2
+
+	headerSize = 16
+	usable     = disk.BlockSize - headerSize
+	// splitFill targets ~half-full pages after a split.
+	splitFill = usable / 2
+	// bulkFill leaves some slack during bulk load so early inserts do not
+	// split immediately.
+	bulkFill = (usable * 9) / 10
+)
+
+// ErrNotFound reports a missing key.
+var ErrNotFound = fmt.Errorf("btree: record not found")
+
+// ErrDuplicate reports an insert of an existing key.
+var ErrDuplicate = fmt.Errorf("btree: duplicate record key")
+
+type cell struct {
+	key []byte
+	val []byte // leaf: record bytes; interior: 4-byte child block
+}
+
+// A Tree is one key-sequenced file (or one partition, or one secondary
+// index — the Disk Process manages each as a single B-tree).
+type Tree struct {
+	mu   sync.Mutex
+	pool *cache.Pool
+	vol  *disk.Volume
+	name string
+	root disk.BlockNum
+}
+
+// New creates an empty key-sequenced file and returns it.
+func New(pool *cache.Pool, vol *disk.Volume, name string) (*Tree, error) {
+	root := vol.Allocate()
+	t := &Tree{pool: pool, vol: vol, name: name, root: root}
+	pg, err := pool.Get(root)
+	if err != nil {
+		return nil, err
+	}
+	defer pg.Release()
+	writePage(pg.Data(), pageLeaf, 0, nil)
+	pg.MarkDirty(0)
+	return t, nil
+}
+
+// Open attaches to an existing file by its root block.
+func Open(pool *cache.Pool, vol *disk.Volume, name string, root disk.BlockNum) *Tree {
+	return &Tree{pool: pool, vol: vol, name: name, root: root}
+}
+
+// Root returns the file's fixed root block.
+func (t *Tree) Root() disk.BlockNum { return t.root }
+
+// Name returns the file name.
+func (t *Tree) Name() string { return t.name }
+
+// page (de)serialization ----------------------------------------------
+
+// header: [0] type, [1:3] cell count, [3] level (leaf = 0), [4:15] spare.
+// The level lets an interior page at level 1 hand out its children's
+// block numbers as *leaf* numbers without reading them — the basis of
+// the Disk Process's pre-fetch planning.
+func writePage(buf []byte, typ byte, level byte, cells []cell) {
+	for i := range buf {
+		buf[i] = 0
+	}
+	buf[0] = typ
+	binary.LittleEndian.PutUint16(buf[1:3], uint16(len(cells)))
+	buf[3] = level
+	off := headerSize
+	for _, c := range cells {
+		off += binary.PutUvarint(buf[off:], uint64(len(c.key)))
+		off += copy(buf[off:], c.key)
+		off += binary.PutUvarint(buf[off:], uint64(len(c.val)))
+		off += copy(buf[off:], c.val)
+	}
+}
+
+func readPage(buf []byte) (typ byte, level byte, cells []cell) {
+	typ = buf[0]
+	n := int(binary.LittleEndian.Uint16(buf[1:3]))
+	level = buf[3]
+	off := headerSize
+	cells = make([]cell, n)
+	for i := 0; i < n; i++ {
+		kl, sz := binary.Uvarint(buf[off:])
+		off += sz
+		k := append([]byte(nil), buf[off:off+int(kl)]...)
+		off += int(kl)
+		vl, sz := binary.Uvarint(buf[off:])
+		off += sz
+		v := append([]byte(nil), buf[off:off+int(vl)]...)
+		off += int(vl)
+		cells[i] = cell{key: k, val: v}
+	}
+	return typ, level, cells
+}
+
+func cellsSize(cells []cell) int {
+	sz := 0
+	for _, c := range cells {
+		sz += uvarintLen(len(c.key)) + len(c.key) + uvarintLen(len(c.val)) + len(c.val)
+	}
+	return sz
+}
+
+func uvarintLen(v int) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+func childOf(c cell) disk.BlockNum {
+	return disk.BlockNum(binary.LittleEndian.Uint32(c.val))
+}
+
+func childCell(key []byte, bn disk.BlockNum) cell {
+	v := make([]byte, 4)
+	binary.LittleEndian.PutUint32(v, uint32(bn))
+	return cell{key: key, val: v}
+}
+
+// findCell returns the index of the first cell with key >= k, and
+// whether an exact match exists there.
+func findCell(cells []cell, k []byte) (int, bool) {
+	lo, hi := 0, len(cells)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(cells[mid].key, k) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(cells) && bytes.Equal(cells[lo].key, k)
+}
+
+// childIndex returns the interior cell whose subtree covers k: the last
+// cell with separator <= k.
+func childIndex(cells []cell, k []byte) int {
+	i, exact := findCell(cells, k)
+	if exact {
+		return i
+	}
+	if i == 0 {
+		return 0
+	}
+	return i - 1
+}
+
+// Get returns the record bytes stored under key.
+func (t *Tree) Get(key []byte) ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.getLocked(key)
+}
+
+func (t *Tree) getLocked(key []byte) ([]byte, error) {
+	bn := t.root
+	for {
+		pg, err := t.pool.Get(bn)
+		if err != nil {
+			return nil, err
+		}
+		typ, _, cells := readPage(pg.Data())
+		pg.Release()
+		if typ == pageInterior {
+			if len(cells) == 0 {
+				return nil, ErrNotFound
+			}
+			bn = childOf(cells[childIndex(cells, key)])
+			continue
+		}
+		i, exact := findCell(cells, key)
+		if !exact {
+			return nil, fmt.Errorf("%w (%s)", ErrNotFound, t.name)
+		}
+		return cells[i].val, nil
+	}
+}
+
+// Insert stores a new record; lsn is the audit record protecting the
+// modification (write-ahead-log page stamping).
+func (t *Tree) Insert(key, val []byte, lsn wal.LSN) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, err := t.modify(key, val, lsn, opInsert)
+	return err
+}
+
+// Update replaces an existing record's bytes.
+func (t *Tree) Update(key, val []byte, lsn wal.LSN) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, err := t.modify(key, val, lsn, opUpdate)
+	return err
+}
+
+// Upsert stores the record whether or not the key exists (recovery redo).
+func (t *Tree) Upsert(key, val []byte, lsn wal.LSN) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, err := t.modify(key, val, lsn, opUpsert)
+	return err
+}
+
+// Delete removes a record.
+func (t *Tree) Delete(key []byte, lsn wal.LSN) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.deleteLocked(key, lsn)
+}
+
+type opKind int
+
+const (
+	opInsert opKind = iota
+	opUpdate
+	opUpsert
+)
+
+// splitResult describes a page split to the parent: a new right sibling
+// starting at sepKey.
+type splitResult struct {
+	sepKey []byte
+	right  disk.BlockNum
+}
+
+// modify descends to the leaf and applies the operation, splitting on
+// the way back up as needed.
+func (t *Tree) modify(key, val []byte, lsn wal.LSN, op opKind) (*splitResult, error) {
+	split, err := t.modifyAt(t.root, key, val, lsn, op)
+	if err != nil {
+		return nil, err
+	}
+	if split == nil {
+		return nil, nil
+	}
+	// Root split: the root block must not move. Copy current root into a
+	// fresh left child, then rewrite the root as an interior page over
+	// {left, right}.
+	pg, err := t.pool.Get(t.root)
+	if err != nil {
+		return nil, err
+	}
+	defer pg.Release()
+	typ, level, cells := readPage(pg.Data())
+	leftBn := t.vol.Allocate()
+	left, err := t.pool.Get(leftBn)
+	if err != nil {
+		return nil, err
+	}
+	writePage(left.Data(), typ, level, cells)
+	left.MarkDirty(lsn)
+	left.Release()
+	rootCells := []cell{
+		childCell(nil, leftBn),
+		childCell(split.sepKey, split.right),
+	}
+	writePage(pg.Data(), pageInterior, level+1, rootCells)
+	pg.MarkDirty(lsn)
+	return nil, nil
+}
+
+func (t *Tree) modifyAt(bn disk.BlockNum, key, val []byte, lsn wal.LSN, op opKind) (*splitResult, error) {
+	pg, err := t.pool.Get(bn)
+	if err != nil {
+		return nil, err
+	}
+	typ, level, cells := readPage(pg.Data())
+
+	if typ == pageInterior {
+		idx := childIndex(cells, key)
+		child := childOf(cells[idx])
+		pg.Release()
+		split, err := t.modifyAt(child, key, val, lsn, op)
+		if err != nil || split == nil {
+			return nil, err
+		}
+		// Insert the new separator into this interior page.
+		pg, err = t.pool.Get(bn)
+		if err != nil {
+			return nil, err
+		}
+		defer pg.Release()
+		_, level, cells = readPage(pg.Data())
+		i, _ := findCell(cells, split.sepKey)
+		cells = append(cells, cell{})
+		copy(cells[i+1:], cells[i:])
+		cells[i] = childCell(split.sepKey, split.right)
+		return t.storeOrSplit(pg, pageInterior, level, cells, lsn)
+	}
+
+	defer pg.Release()
+	i, exact := findCell(cells, key)
+	switch op {
+	case opInsert:
+		if exact {
+			return nil, fmt.Errorf("%w (%s)", ErrDuplicate, t.name)
+		}
+	case opUpdate:
+		if !exact {
+			return nil, fmt.Errorf("%w (%s)", ErrNotFound, t.name)
+		}
+	}
+	if exact {
+		cells[i].val = append([]byte(nil), val...)
+	} else {
+		cells = append(cells, cell{})
+		copy(cells[i+1:], cells[i:])
+		cells[i] = cell{key: append([]byte(nil), key...), val: append([]byte(nil), val...)}
+	}
+	return t.storeOrSplit(pg, pageLeaf, level, cells, lsn)
+}
+
+// storeOrSplit writes cells back into pg, splitting into a new right
+// sibling when they no longer fit.
+func (t *Tree) storeOrSplit(pg *cache.Page, typ byte, level byte, cells []cell, lsn wal.LSN) (*splitResult, error) {
+	if cellsSize(cells) <= usable {
+		writePage(pg.Data(), typ, level, cells)
+		pg.MarkDirty(lsn)
+		return nil, nil
+	}
+	// Split at the byte midpoint.
+	splitAt, sz := 0, 0
+	for i, c := range cells {
+		sz += cellsSize([]cell{c})
+		if sz > splitFill {
+			splitAt = i
+			break
+		}
+	}
+	if splitAt == 0 {
+		splitAt = 1
+	}
+	if splitAt >= len(cells) {
+		splitAt = len(cells) - 1
+	}
+	leftCells, rightCells := cells[:splitAt], cells[splitAt:]
+	rightBn := t.vol.Allocate()
+	right, err := t.pool.Get(rightBn)
+	if err != nil {
+		return nil, err
+	}
+	defer right.Release()
+
+	var sepKey []byte
+	if typ == pageLeaf {
+		writePage(right.Data(), pageLeaf, 0, rightCells)
+		writePage(pg.Data(), pageLeaf, 0, leftCells)
+		sepKey = append([]byte(nil), rightCells[0].key...)
+	} else {
+		// Interior split: the first right cell's separator moves up.
+		sepKey = append([]byte(nil), rightCells[0].key...)
+		promoted := append([]cell{childCell(nil, childOf(rightCells[0]))}, rightCells[1:]...)
+		writePage(right.Data(), pageInterior, level, promoted)
+		writePage(pg.Data(), pageInterior, level, leftCells)
+	}
+	right.MarkDirty(lsn)
+	pg.MarkDirty(lsn)
+	return &splitResult{sepKey: sepKey, right: rightBn}, nil
+}
+
+// pathFrame records one interior page and the child index taken while
+// descending.
+type pathFrame struct {
+	bn  disk.BlockNum
+	idx int
+}
+
+// deleteLocked removes key, collapsing empty leaves out of their parent.
+func (t *Tree) deleteLocked(key []byte, lsn wal.LSN) error {
+	var path []pathFrame
+	bn := t.root
+	for {
+		pg, err := t.pool.Get(bn)
+		if err != nil {
+			return err
+		}
+		typ, _, cells := readPage(pg.Data())
+		if typ == pageInterior {
+			idx := childIndex(cells, key)
+			path = append(path, pathFrame{bn: bn, idx: idx})
+			child := childOf(cells[idx])
+			pg.Release()
+			bn = child
+			continue
+		}
+		i, exact := findCell(cells, key)
+		if !exact {
+			pg.Release()
+			return fmt.Errorf("%w (%s)", ErrNotFound, t.name)
+		}
+		cells = append(cells[:i], cells[i+1:]...)
+		writePage(pg.Data(), pageLeaf, 0, cells) // leaves are level 0
+		pg.MarkDirty(lsn)
+		empty := len(cells) == 0
+		pg.Release()
+		if !empty || len(path) == 0 {
+			return nil
+		}
+		return t.collapse(path, bn, lsn)
+	}
+}
+
+// collapse removes an empty page from its parent ("B-tree splits and
+// collapses"). Interior pages emptied of children collapse upward; the
+// root never collapses away — an empty tree is an empty leaf at root.
+func (t *Tree) collapse(path []pathFrame, emptyChild disk.BlockNum, lsn wal.LSN) error {
+	for pi := len(path) - 1; pi >= 0; pi-- {
+		f := path[pi]
+		pg, err := t.pool.Get(f.bn)
+		if err != nil {
+			return err
+		}
+		_, level, cells := readPage(pg.Data())
+		cells = append(cells[:f.idx], cells[f.idx+1:]...)
+		// The leftmost surviving separator becomes -inf.
+		if f.idx == 0 && len(cells) > 0 {
+			cells[0].key = nil
+		}
+		writePage(pg.Data(), pageInterior, level, cells)
+		pg.MarkDirty(lsn)
+		pg.Release()
+		t.pool.Discard(emptyChild)
+		t.vol.Free(emptyChild)
+		if len(cells) > 0 {
+			return nil
+		}
+		emptyChild = f.bn
+		if pi == 0 {
+			// Empty root: reset to an empty leaf (the root block stays).
+			rg, err := t.pool.Get(t.root)
+			if err != nil {
+				return err
+			}
+			writePage(rg.Data(), pageLeaf, 0, nil)
+			rg.MarkDirty(lsn)
+			rg.Release()
+			return nil
+		}
+	}
+	return nil
+}

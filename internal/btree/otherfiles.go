@@ -1,0 +1,316 @@
+package btree
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"nonstopsql/internal/cache"
+	"nonstopsql/internal/disk"
+	"nonstopsql/internal/wal"
+)
+
+// The relative and entry-sequenced access methods share a one-page block
+// directory: a fixed metadata block listing the file's data blocks in
+// order. One 4 KB directory addresses ~1000 data blocks (≈4 MB), which
+// is ample for the simulated volumes.
+
+const dirHeader = 8 // [0:4] entry count, [4:8] per-file metadata
+
+func dirCapacity() int { return (disk.BlockSize - dirHeader) / 4 }
+
+func readDir(buf []byte) (meta uint32, blocks []disk.BlockNum) {
+	n := binary.LittleEndian.Uint32(buf[0:4])
+	meta = binary.LittleEndian.Uint32(buf[4:8])
+	blocks = make([]disk.BlockNum, n)
+	for i := range blocks {
+		blocks[i] = disk.BlockNum(binary.LittleEndian.Uint32(buf[dirHeader+4*i:]))
+	}
+	return meta, blocks
+}
+
+func writeDir(buf []byte, meta uint32, blocks []disk.BlockNum) {
+	for i := range buf {
+		buf[i] = 0
+	}
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(blocks)))
+	binary.LittleEndian.PutUint32(buf[4:8], meta)
+	for i, bn := range blocks {
+		binary.LittleEndian.PutUint32(buf[dirHeader+4*i:], uint32(bn))
+	}
+}
+
+// A RelativeFile provides direct access by record number over fixed-
+// length records (ENSCRIBE "relative" structure). Each data block holds
+// a presence byte plus the record bytes per slot.
+type RelativeFile struct {
+	pool   *cache.Pool
+	vol    *disk.Volume
+	name   string
+	dir    disk.BlockNum
+	recLen int
+}
+
+// NewRelative creates a relative file with fixed record length recLen.
+func NewRelative(pool *cache.Pool, vol *disk.Volume, name string, recLen int) (*RelativeFile, error) {
+	if recLen <= 0 || recLen+1 > disk.BlockSize {
+		return nil, fmt.Errorf("btree: relative record length %d out of range", recLen)
+	}
+	dir := vol.Allocate()
+	f := &RelativeFile{pool: pool, vol: vol, name: name, dir: dir, recLen: recLen}
+	pg, err := pool.Get(dir)
+	if err != nil {
+		return nil, err
+	}
+	writeDir(pg.Data(), uint32(recLen), nil)
+	pg.MarkDirty(0)
+	pg.Release()
+	return f, nil
+}
+
+// OpenRelative attaches to an existing relative file.
+func OpenRelative(pool *cache.Pool, vol *disk.Volume, name string, dir disk.BlockNum) (*RelativeFile, error) {
+	f := &RelativeFile{pool: pool, vol: vol, name: name, dir: dir}
+	pg, err := pool.Get(dir)
+	if err != nil {
+		return nil, err
+	}
+	meta, _ := readDir(pg.Data())
+	pg.Release()
+	f.recLen = int(meta)
+	if f.recLen <= 0 {
+		return nil, fmt.Errorf("btree: %s is not a relative file", name)
+	}
+	return f, nil
+}
+
+func (f *RelativeFile) perBlock() int { return disk.BlockSize / (f.recLen + 1) }
+
+// slotAddr locates record recnum, extending the file if extend is true.
+func (f *RelativeFile) slotAddr(recnum uint32, extend bool, lsn wal.LSN) (disk.BlockNum, int, error) {
+	blockIdx := int(recnum) / f.perBlock()
+	slot := int(recnum) % f.perBlock()
+	pg, err := f.pool.Get(f.dir)
+	if err != nil {
+		return 0, 0, err
+	}
+	meta, blocks := readDir(pg.Data())
+	if blockIdx >= len(blocks) {
+		if !extend {
+			pg.Release()
+			return 0, 0, fmt.Errorf("%w (%s record %d)", ErrNotFound, f.name, recnum)
+		}
+		if blockIdx >= dirCapacity() {
+			pg.Release()
+			return 0, 0, fmt.Errorf("btree: %s exceeds maximum relative file size", f.name)
+		}
+		for len(blocks) <= blockIdx {
+			blocks = append(blocks, f.vol.Allocate())
+		}
+		writeDir(pg.Data(), meta, blocks)
+		pg.MarkDirty(lsn)
+	}
+	bn := blocks[blockIdx]
+	pg.Release()
+	return bn, slot, nil
+}
+
+// Write stores the record at recnum (creating or replacing it).
+func (f *RelativeFile) Write(recnum uint32, data []byte, lsn wal.LSN) error {
+	if len(data) != f.recLen {
+		return fmt.Errorf("btree: %s record is %d bytes, want %d", f.name, len(data), f.recLen)
+	}
+	bn, slot, err := f.slotAddr(recnum, true, lsn)
+	if err != nil {
+		return err
+	}
+	pg, err := f.pool.Get(bn)
+	if err != nil {
+		return err
+	}
+	off := slot * (f.recLen + 1)
+	pg.Data()[off] = 1
+	copy(pg.Data()[off+1:], data)
+	pg.MarkDirty(lsn)
+	pg.Release()
+	return nil
+}
+
+// Read returns the record at recnum.
+func (f *RelativeFile) Read(recnum uint32) ([]byte, error) {
+	bn, slot, err := f.slotAddr(recnum, false, 0)
+	if err != nil {
+		return nil, err
+	}
+	pg, err := f.pool.Get(bn)
+	if err != nil {
+		return nil, err
+	}
+	defer pg.Release()
+	off := slot * (f.recLen + 1)
+	if pg.Data()[off] == 0 {
+		return nil, fmt.Errorf("%w (%s record %d)", ErrNotFound, f.name, recnum)
+	}
+	return append([]byte(nil), pg.Data()[off+1:off+1+f.recLen]...), nil
+}
+
+// Delete clears the record slot at recnum.
+func (f *RelativeFile) Delete(recnum uint32, lsn wal.LSN) error {
+	bn, slot, err := f.slotAddr(recnum, false, 0)
+	if err != nil {
+		return err
+	}
+	pg, err := f.pool.Get(bn)
+	if err != nil {
+		return err
+	}
+	defer pg.Release()
+	off := slot * (f.recLen + 1)
+	if pg.Data()[off] == 0 {
+		return fmt.Errorf("%w (%s record %d)", ErrNotFound, f.name, recnum)
+	}
+	pg.Data()[off] = 0
+	pg.MarkDirty(lsn)
+	return nil
+}
+
+// An EntryFile is an entry-sequenced file: variable-length records,
+// insert at EOF only, direct access for reads via the record address
+// returned by Append.
+type EntryFile struct {
+	pool *cache.Pool
+	vol  *disk.Volume
+	name string
+	dir  disk.BlockNum
+}
+
+// entry block layout: records packed as [len uvarint][bytes]; a zero
+// length byte terminates the block's used region.
+
+// NewEntry creates an entry-sequenced file.
+func NewEntry(pool *cache.Pool, vol *disk.Volume, name string) (*EntryFile, error) {
+	dir := vol.Allocate()
+	f := &EntryFile{pool: pool, vol: vol, name: name, dir: dir}
+	pg, err := pool.Get(dir)
+	if err != nil {
+		return nil, err
+	}
+	writeDir(pg.Data(), 0, nil)
+	pg.MarkDirty(0)
+	pg.Release()
+	return f, nil
+}
+
+// OpenEntry attaches to an existing entry-sequenced file.
+func OpenEntry(pool *cache.Pool, vol *disk.Volume, name string, dir disk.BlockNum) *EntryFile {
+	return &EntryFile{pool: pool, vol: vol, name: name, dir: dir}
+}
+
+// Addr is a record's stable address: block index and byte offset.
+type Addr uint64
+
+func makeAddr(blockIdx, off int) Addr { return Addr(blockIdx)<<16 | Addr(off) }
+
+// Block returns the address's block index within the file.
+func (a Addr) Block() int { return int(a >> 16) }
+
+// Offset returns the address's byte offset within the block.
+func (a Addr) Offset() int { return int(a & 0xFFFF) }
+
+// Append adds a record at EOF and returns its address.
+func (f *EntryFile) Append(data []byte, lsn wal.LSN) (Addr, error) {
+	if len(data) == 0 {
+		return 0, fmt.Errorf("btree: %s: empty records are not supported", f.name)
+	}
+	need := uvarintLen(len(data)) + len(data)
+	if need > disk.BlockSize-1 {
+		return 0, fmt.Errorf("btree: %s record of %d bytes exceeds block size", f.name, len(data))
+	}
+	dirPg, err := f.pool.Get(f.dir)
+	if err != nil {
+		return 0, err
+	}
+	defer dirPg.Release()
+	tailOff, blocks := readDir(dirPg.Data())
+
+	if len(blocks) == 0 || int(tailOff)+need > disk.BlockSize-1 {
+		if len(blocks) >= dirCapacity() {
+			return 0, fmt.Errorf("btree: %s exceeds maximum entry file size", f.name)
+		}
+		blocks = append(blocks, f.vol.Allocate())
+		tailOff = 0
+	}
+	blockIdx := len(blocks) - 1
+	bn := blocks[blockIdx]
+	pg, err := f.pool.Get(bn)
+	if err != nil {
+		return 0, err
+	}
+	off := int(tailOff)
+	n := binary.PutUvarint(pg.Data()[off:], uint64(len(data)))
+	copy(pg.Data()[off+n:], data)
+	pg.MarkDirty(lsn)
+	pg.Release()
+
+	writeDir(dirPg.Data(), uint32(off+need), blocks)
+	dirPg.MarkDirty(lsn)
+	return makeAddr(blockIdx, off), nil
+}
+
+// Read returns the record at addr.
+func (f *EntryFile) Read(addr Addr) ([]byte, error) {
+	dirPg, err := f.pool.Get(f.dir)
+	if err != nil {
+		return nil, err
+	}
+	_, blocks := readDir(dirPg.Data())
+	dirPg.Release()
+	if addr.Block() >= len(blocks) {
+		return nil, fmt.Errorf("%w (%s addr %d)", ErrNotFound, f.name, addr)
+	}
+	pg, err := f.pool.Get(blocks[addr.Block()])
+	if err != nil {
+		return nil, err
+	}
+	defer pg.Release()
+	buf := pg.Data()[addr.Offset():]
+	l, n := binary.Uvarint(buf)
+	if n <= 0 || l == 0 || int(l)+n > len(buf) {
+		return nil, fmt.Errorf("%w (%s addr %d)", ErrNotFound, f.name, addr)
+	}
+	return append([]byte(nil), buf[n:n+int(l)]...), nil
+}
+
+// Scan visits every record in append order.
+func (f *EntryFile) Scan(fn func(addr Addr, data []byte) (bool, error)) error {
+	dirPg, err := f.pool.Get(f.dir)
+	if err != nil {
+		return err
+	}
+	tailOff, blocks := readDir(dirPg.Data())
+	dirPg.Release()
+	for bi, bn := range blocks {
+		pg, err := f.pool.Get(bn)
+		if err != nil {
+			return err
+		}
+		data := pg.Data()
+		off := 0
+		for {
+			if bi == len(blocks)-1 && off >= int(tailOff) {
+				break
+			}
+			l, n := binary.Uvarint(data[off:])
+			if n <= 0 || l == 0 {
+				break
+			}
+			cont, err := fn(makeAddr(bi, off), append([]byte(nil), data[off+n:off+n+int(l)]...))
+			if err != nil || !cont {
+				pg.Release()
+				return err
+			}
+			off += n + int(l)
+		}
+		pg.Release()
+	}
+	return nil
+}

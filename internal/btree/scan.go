@@ -1,0 +1,249 @@
+package btree
+
+import (
+	"fmt"
+
+	"nonstopsql/internal/disk"
+	"nonstopsql/internal/keys"
+	"nonstopsql/internal/wal"
+)
+
+// LeafRun returns, in key order, the block numbers of every leaf whose
+// key span may intersect r. It walks only interior pages — this is the
+// Disk Process's "advance knowledge of the required key span": the list
+// feeds bulk reads and asynchronous pre-fetch before any leaf is read.
+func (t *Tree) LeafRun(r keys.Range) ([]disk.BlockNum, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.leafRunLocked(t.root, r)
+}
+
+func (t *Tree) leafRunLocked(bn disk.BlockNum, r keys.Range) ([]disk.BlockNum, error) {
+	pg, err := t.pool.Get(bn)
+	if err != nil {
+		return nil, err
+	}
+	typ, level, cells := readPage(pg.Data())
+	pg.Release()
+	if typ == pageLeaf {
+		return []disk.BlockNum{bn}, nil
+	}
+	var out []disk.BlockNum
+	for i, c := range cells {
+		// Child i spans [sep_i, sep_{i+1}); sep_0 is -inf.
+		if r.Low != nil && i+1 < len(cells) && keys.Compare(cells[i+1].key, r.Low) <= 0 {
+			continue // entirely below the range
+		}
+		if c.key != nil && r.AfterHigh(c.key) {
+			break // this and all later children start beyond the range
+		}
+		if level == 1 {
+			// Children are leaves: emit block numbers without reading
+			// them — the span's leaves stay untouched until bulk I/O or
+			// pre-fetch brings them in.
+			out = append(out, childOf(c))
+			continue
+		}
+		sub, err := t.leafRunLocked(childOf(c), r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sub...)
+	}
+	return out, nil
+}
+
+// ScanFunc receives each record in key order. Returning false stops the
+// scan early (e.g. the re-drive limits of a set-oriented request).
+type ScanFunc func(key, val []byte) (bool, error)
+
+// Scan visits every record in r, in key order. When prefetch is true the
+// leaf blocks covering the span are loaded ahead asynchronously with
+// bulk I/O; otherwise leaves are demand-read one block at a time.
+func (t *Tree) Scan(r keys.Range, prefetch bool, fn ScanFunc) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	leaves, err := t.leafRunLocked(t.root, r)
+	if err != nil {
+		return err
+	}
+	if prefetch {
+		t.pool.Prefetch(leaves)
+	}
+	for _, bn := range leaves {
+		pg, err := t.pool.Get(bn)
+		if err != nil {
+			return err
+		}
+		_, _, cells := readPage(pg.Data())
+		pg.Release()
+		for _, c := range cells {
+			if r.BeforeLow(c.key) {
+				continue
+			}
+			if r.AfterHigh(c.key) {
+				return nil
+			}
+			cont, err := fn(c.key, c.val)
+			if err != nil {
+				return err
+			}
+			if !cont {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// Count returns the number of records in r.
+func (t *Tree) Count(r keys.Range) (int, error) {
+	n := 0
+	err := t.Scan(r, false, func(_, _ []byte) (bool, error) {
+		n++
+		return true, nil
+	})
+	return n, err
+}
+
+// BulkLoad fills an EMPTY tree from records already sorted by key. The
+// leaves are allocated as one physically contiguous run so later range
+// scans can use maximal bulk I/Os — this models a freshly loaded
+// key-sequenced file whose physical clustering has not yet been broken
+// by splits.
+func (t *Tree) BulkLoad(recs []KV, lsn wal.LSN) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	if n, _ := t.countLocked(); n != 0 {
+		return fmt.Errorf("btree: BulkLoad into non-empty file %s", t.name)
+	}
+	for i := 1; i < len(recs); i++ {
+		if keys.Compare(recs[i-1].Key, recs[i].Key) >= 0 {
+			return fmt.Errorf("btree: BulkLoad input not strictly sorted at %d", i)
+		}
+	}
+	if len(recs) == 0 {
+		return nil
+	}
+
+	// Pack leaves.
+	var leafCells [][]cell
+	var cur []cell
+	sz := 0
+	for _, r := range recs {
+		c := cell{key: r.Key, val: r.Val}
+		csz := cellsSize([]cell{c})
+		if csz > usable {
+			return fmt.Errorf("btree: record larger than a block (%d bytes)", csz)
+		}
+		if sz+csz > bulkFill && len(cur) > 0 {
+			leafCells = append(leafCells, cur)
+			cur, sz = nil, 0
+		}
+		cur = append(cur, c)
+		sz += csz
+	}
+	leafCells = append(leafCells, cur)
+
+	if len(leafCells) == 1 {
+		pg, err := t.pool.Get(t.root)
+		if err != nil {
+			return err
+		}
+		writePage(pg.Data(), pageLeaf, 0, leafCells[0])
+		pg.MarkDirty(lsn)
+		pg.Release()
+		return nil
+	}
+
+	// Contiguous leaf run.
+	start := t.vol.AllocateRun(len(leafCells))
+	entries := make([]cell, len(leafCells)) // separators for the level above
+	for i, cs := range leafCells {
+		bn := start + disk.BlockNum(i)
+		pg, err := t.pool.Get(bn)
+		if err != nil {
+			return err
+		}
+		writePage(pg.Data(), pageLeaf, 0, cs)
+		pg.MarkDirty(lsn)
+		pg.Release()
+		var sep []byte
+		if i > 0 {
+			sep = cs[0].key
+		}
+		entries[i] = childCell(sep, bn)
+	}
+
+	// Build interior levels until one page holds everything, then place
+	// that page's cells into the fixed root.
+	level := byte(1)
+	for cellsSize(entries) > usable {
+		var nextLevel []cell
+		var group []cell
+		gsz := 0
+		for _, e := range entries {
+			esz := cellsSize([]cell{e})
+			if gsz+esz > bulkFill && len(group) > 0 {
+				nextLevel = append(nextLevel, t.writeInterior(group, level, lsn))
+				group, gsz = nil, 0
+			}
+			group = append(group, e)
+			gsz += esz
+		}
+		nextLevel = append(nextLevel, t.writeInterior(group, level, lsn))
+		entries = nextLevel
+		level++
+	}
+	pg, err := t.pool.Get(t.root)
+	if err != nil {
+		return err
+	}
+	writePage(pg.Data(), pageInterior, level, entries)
+	pg.MarkDirty(lsn)
+	pg.Release()
+	return nil
+}
+
+// writeInterior materializes one interior page over group and returns
+// the parent cell referencing it. The page's own first separator becomes
+// -inf; the parent keeps the original first separator.
+func (t *Tree) writeInterior(group []cell, level byte, lsn wal.LSN) cell {
+	bn := t.vol.Allocate()
+	pg, err := t.pool.Get(bn)
+	if err != nil {
+		panic(fmt.Sprintf("btree: interior alloc: %v", err))
+	}
+	sep := group[0].key
+	local := append([]cell{childCell(nil, childOf(group[0]))}, group[1:]...)
+	writePage(pg.Data(), pageInterior, level, local)
+	pg.MarkDirty(lsn)
+	pg.Release()
+	return childCell(sep, bn)
+}
+
+// KV is one key/record pair for BulkLoad.
+type KV struct {
+	Key []byte
+	Val []byte
+}
+
+// countLocked counts all records (internal; used to guard BulkLoad).
+func (t *Tree) countLocked() (int, error) {
+	leaves, err := t.leafRunLocked(t.root, keys.All())
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, bn := range leaves {
+		pg, err := t.pool.Get(bn)
+		if err != nil {
+			return 0, err
+		}
+		_, _, cells := readPage(pg.Data())
+		pg.Release()
+		n += len(cells)
+	}
+	return n, nil
+}

@@ -1,0 +1,488 @@
+// Package cache implements the Disk Process's cache management
+// component: an LRU buffer pool over one volume that obeys write-ahead-
+// log protocol, plus the two SQL-specific optimizations the paper builds
+// on the set-oriented interface — asynchronous pre-fetch of the blocks
+// covering a known key span, and asynchronous write-behind of strings of
+// dirty sequential blocks whose audit has already reached disk.
+package cache
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"nonstopsql/internal/disk"
+	"nonstopsql/internal/wal"
+)
+
+// WALGate is the slice of the audit trail the cache needs to honor
+// write-ahead-log protocol: a dirty page may reach disk only after the
+// audit describing its updates is durable.
+type WALGate interface {
+	FlushedLSN() wal.LSN
+	FlushTo(wal.LSN)
+}
+
+// nopGate is used when a pool has no transactional data (e.g. tests).
+type nopGate struct{}
+
+func (nopGate) FlushedLSN() wal.LSN { return ^wal.LSN(0) }
+func (nopGate) FlushTo(wal.LSN)     {}
+
+// Stats counts buffer pool activity.
+type Stats struct {
+	Hits              uint64
+	Misses            uint64 // demand single-block reads
+	Evictions         uint64
+	DirtyEvictions    uint64
+	PrefetchOps       uint64 // bulk reads issued by pre-fetch
+	PrefetchedBlocks  uint64
+	WriteBehindOps    uint64 // bulk writes issued by write-behind
+	WriteBehindBlocks uint64
+	WALStalls         uint64 // flushes forced by the WAL gate
+}
+
+// A Page is a pinned cache buffer. Callers must Release it; Data stays
+// valid only while pinned.
+type Page struct {
+	pool  *Pool
+	bn    disk.BlockNum
+	data  []byte
+	dirty bool
+	lsn   wal.LSN // page LSN: highest audit LSN applied to this page
+	pins  int
+	// LRU bookkeeping
+	prev, next *Page
+}
+
+// Data returns the page's 4 KB buffer for read or in-place modification.
+func (p *Page) Data() []byte { return p.data }
+
+// BlockNum returns the block this page caches.
+func (p *Page) BlockNum() disk.BlockNum { return p.bn }
+
+// MarkDirty records a modification protected by the audit record at lsn.
+// The page cannot be written to disk until that audit is durable.
+func (p *Page) MarkDirty(lsn wal.LSN) {
+	p.pool.mu.Lock()
+	defer p.pool.mu.Unlock()
+	p.dirty = true
+	if lsn > p.lsn {
+		p.lsn = lsn
+	}
+}
+
+// Release unpins the page.
+func (p *Page) Release() {
+	p.pool.mu.Lock()
+	defer p.pool.mu.Unlock()
+	if p.pins <= 0 {
+		panic("cache: release of unpinned page")
+	}
+	p.pins--
+	p.pool.cond.Broadcast()
+}
+
+// A Pool is the buffer pool for one volume.
+type Pool struct {
+	vol      *disk.Volume
+	gate     WALGate
+	capacity int
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	pages    map[disk.BlockNum]*Page
+	inflight map[disk.BlockNum]chan struct{}
+	// LRU list: head = most recent, tail = least recent.
+	head, tail *Page
+	stats      Stats
+	prefetchWG sync.WaitGroup
+}
+
+// NewPool creates a buffer pool of the given page capacity over vol.
+// gate may be nil for non-transactional use.
+func NewPool(vol *disk.Volume, capacity int, gate WALGate) *Pool {
+	if capacity < 2 {
+		capacity = 2
+	}
+	if gate == nil {
+		gate = nopGate{}
+	}
+	p := &Pool{
+		vol: vol, gate: gate, capacity: capacity,
+		pages:    make(map[disk.BlockNum]*Page),
+		inflight: make(map[disk.BlockNum]chan struct{}),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// lru helpers (callers hold mu).
+
+func (p *Pool) lruRemove(pg *Page) {
+	if pg.prev != nil {
+		pg.prev.next = pg.next
+	} else if p.head == pg {
+		p.head = pg.next
+	}
+	if pg.next != nil {
+		pg.next.prev = pg.prev
+	} else if p.tail == pg {
+		p.tail = pg.prev
+	}
+	pg.prev, pg.next = nil, nil
+}
+
+func (p *Pool) lruPushFront(pg *Page) {
+	pg.prev, pg.next = nil, p.head
+	if p.head != nil {
+		p.head.prev = pg
+	}
+	p.head = pg
+	if p.tail == nil {
+		p.tail = pg
+	}
+}
+
+func (p *Pool) touch(pg *Page) {
+	p.lruRemove(pg)
+	p.lruPushFront(pg)
+}
+
+// Get pins the page for block bn, reading it from disk on a miss.
+func (p *Pool) Get(bn disk.BlockNum) (*Page, error) {
+	p.mu.Lock()
+	for {
+		if pg, ok := p.pages[bn]; ok {
+			pg.pins++
+			p.touch(pg)
+			p.stats.Hits++
+			p.mu.Unlock()
+			return pg, nil
+		}
+		ch, loading := p.inflight[bn]
+		if !loading {
+			break
+		}
+		p.mu.Unlock()
+		<-ch
+		p.mu.Lock()
+	}
+	// Demand read (miss).
+	ch := make(chan struct{})
+	p.inflight[bn] = ch
+	p.stats.Misses++
+	p.mu.Unlock()
+
+	buf := make([]byte, disk.BlockSize)
+	err := p.vol.Read(bn, buf)
+
+	p.mu.Lock()
+	delete(p.inflight, bn)
+	close(ch)
+	if err != nil {
+		p.mu.Unlock()
+		return nil, err
+	}
+	pg, err := p.installLocked(bn, buf, true)
+	p.mu.Unlock()
+	return pg, err
+}
+
+// installLocked inserts a freshly read block, evicting if needed. When
+// pin is true the returned page is pinned.
+func (p *Pool) installLocked(bn disk.BlockNum, data []byte, pin bool) (*Page, error) {
+	if pg, ok := p.pages[bn]; ok {
+		// Raced with another loader; keep the existing page.
+		if pin {
+			pg.pins++
+			p.touch(pg)
+		}
+		return pg, nil
+	}
+	if err := p.makeRoomLocked(1); err != nil {
+		return nil, err
+	}
+	pg := &Page{pool: p, bn: bn, data: data}
+	if pin {
+		pg.pins = 1
+	}
+	p.pages[bn] = pg
+	p.lruPushFront(pg)
+	return pg, nil
+}
+
+// makeRoomLocked evicts LRU unpinned pages until n slots are free,
+// waiting if everything is pinned. Clean pages are stolen first; dirty
+// victims are cleaned under the WAL gate, as the processor-global memory
+// manager does via handshakes with the Disk Process.
+func (p *Pool) makeRoomLocked(n int) error {
+	for len(p.pages)+n > p.capacity {
+		victim := p.tail
+		// Prefer the least-recent CLEAN unpinned page.
+		for v := p.tail; v != nil; v = v.prev {
+			if v.pins == 0 && !v.dirty {
+				victim = v
+				break
+			}
+		}
+		for victim != nil && victim.pins > 0 {
+			victim = victim.prev
+		}
+		if victim == nil {
+			// All pages pinned: wait for a release.
+			p.cond.Wait()
+			continue
+		}
+		if victim.dirty {
+			if err := p.cleanLocked(victim); err != nil {
+				return err
+			}
+			p.stats.DirtyEvictions++
+		}
+		p.lruRemove(victim)
+		delete(p.pages, victim.bn)
+		p.stats.Evictions++
+	}
+	return nil
+}
+
+// cleanLocked writes one dirty page to disk under the WAL gate.
+func (p *Pool) cleanLocked(pg *Page) error {
+	if pg.lsn > p.gate.FlushedLSN() {
+		p.stats.WALStalls++
+		p.gate.FlushTo(pg.lsn)
+	}
+	if err := p.vol.Write(pg.bn, pg.data); err != nil {
+		return err
+	}
+	pg.dirty = false
+	return nil
+}
+
+// Prefetch asynchronously loads the given blocks, grouping physically
+// contiguous ascending runs into bulk reads of up to disk.MaxBulkBlocks.
+// This is the paper's asynchronous pre-fetch: the caller continues
+// CPU-bound processing while the reads proceed.
+func (p *Pool) Prefetch(bns []disk.BlockNum) {
+	runs := p.planRuns(bns)
+	for _, r := range runs {
+		r := r
+		p.prefetchWG.Add(1)
+		go func() {
+			defer p.prefetchWG.Done()
+			p.loadRun(r)
+		}()
+	}
+}
+
+// LoadRun synchronously loads the given blocks with bulk reads. Used
+// when pre-fetch is disabled, and by Prefetch's goroutines.
+func (p *Pool) LoadRun(bns []disk.BlockNum) {
+	for _, r := range p.planRuns(bns) {
+		p.loadRun(r)
+	}
+}
+
+type run struct {
+	start disk.BlockNum
+	n     int
+}
+
+// planRuns filters out already-cached / in-flight blocks and groups the
+// remainder into contiguous runs capped at the bulk I/O limit. It also
+// registers the chosen blocks as in-flight so demand Gets wait rather
+// than double-read.
+func (p *Pool) planRuns(bns []disk.BlockNum) []run {
+	sorted := append([]disk.BlockNum(nil), bns...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var need []disk.BlockNum
+	for _, bn := range sorted {
+		if _, ok := p.pages[bn]; ok {
+			continue
+		}
+		if _, ok := p.inflight[bn]; ok {
+			continue
+		}
+		p.inflight[bn] = make(chan struct{})
+		need = append(need, bn)
+	}
+	var runs []run
+	for i := 0; i < len(need); {
+		j := i + 1
+		for j < len(need) && need[j] == need[j-1]+1 && j-i < disk.MaxBulkBlocks {
+			j++
+		}
+		runs = append(runs, run{start: need[i], n: j - i})
+		i = j
+	}
+	return runs
+}
+
+// loadRun performs the bulk read for one planned run and installs pages.
+func (p *Pool) loadRun(r run) {
+	blocks, err := p.vol.ReadBulk(r.start, r.n)
+
+	p.mu.Lock()
+	for i := 0; i < r.n; i++ {
+		bn := r.start + disk.BlockNum(i)
+		if ch, ok := p.inflight[bn]; ok {
+			delete(p.inflight, bn)
+			close(ch)
+		}
+		if err != nil {
+			continue
+		}
+		p.stats.PrefetchedBlocks++
+		if _, ierr := p.installLocked(bn, blocks[i], false); ierr != nil {
+			// Pool saturated with pinned pages: drop the rest.
+			err = ierr
+		}
+	}
+	if err == nil {
+		p.stats.PrefetchOps++
+	}
+	p.mu.Unlock()
+}
+
+// WaitPrefetch blocks until outstanding pre-fetch I/O completes.
+func (p *Pool) WaitPrefetch() { p.prefetchWG.Wait() }
+
+// WriteBehind writes out strings of contiguous dirty blocks that have
+// "aged" — their audit is already durable — using the minimal number of
+// bulk I/Os, and marks them clean. It returns the number of blocks
+// written. The Disk Process calls this during idle time between
+// requests, guided by its Subset Control Block.
+func (p *Pool) WriteBehind() (int, error) {
+	p.mu.Lock()
+	durable := p.gate.FlushedLSN()
+	var aged []*Page
+	for _, pg := range p.pages {
+		if pg.dirty && pg.lsn <= durable && pg.pins == 0 {
+			aged = append(aged, pg)
+		}
+	}
+	sort.Slice(aged, func(i, j int) bool { return aged[i].bn < aged[j].bn })
+
+	written := 0
+	for i := 0; i < len(aged); {
+		j := i + 1
+		for j < len(aged) && aged[j].bn == aged[j-1].bn+1 && j-i < disk.MaxBulkBlocks {
+			j++
+		}
+		blocks := make([][]byte, 0, j-i)
+		for k := i; k < j; k++ {
+			blocks = append(blocks, aged[k].data)
+		}
+		if err := p.vol.WriteBulk(aged[i].bn, blocks); err != nil {
+			p.mu.Unlock()
+			return written, err
+		}
+		for k := i; k < j; k++ {
+			aged[k].dirty = false
+		}
+		p.stats.WriteBehindOps++
+		p.stats.WriteBehindBlocks += uint64(j - i)
+		written += j - i
+		i = j
+	}
+	p.mu.Unlock()
+	return written, nil
+}
+
+// FlushAll forces every dirty page to disk (WAL-gated). Used at clean
+// shutdown and by checkpoints.
+func (p *Pool) FlushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var dirty []*Page
+	for _, pg := range p.pages {
+		if pg.dirty {
+			dirty = append(dirty, pg)
+		}
+	}
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i].bn < dirty[j].bn })
+	for _, pg := range dirty {
+		if err := p.cleanLocked(pg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Crash drops the entire pool without writing anything: the processor
+// failed and its cache is gone. Dirty updates that never reached disk
+// must be reconstructed from the audit trail.
+func (p *Pool) Crash() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.pages = make(map[disk.BlockNum]*Page)
+	p.head, p.tail = nil, nil
+}
+
+// Discard drops the page for bn (dirty or not) without writing it. Used
+// when the block itself is being freed — e.g. a collapsed B-tree page —
+// so no stale buffer survives a later reallocation of the block.
+func (p *Pool) Discard(bn disk.BlockNum) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if pg, ok := p.pages[bn]; ok {
+		if pg.pins > 0 {
+			panic("cache: discard of pinned page")
+		}
+		p.lruRemove(pg)
+		delete(p.pages, bn)
+	}
+}
+
+// DirtyCount returns the number of dirty pages (diagnostics).
+func (p *Pool) DirtyCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, pg := range p.pages {
+		if pg.dirty {
+			n++
+		}
+	}
+	return n
+}
+
+// Len returns the number of cached pages.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.pages)
+}
+
+// Stats returns a snapshot of the counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// ResetStats zeroes the counters.
+func (p *Pool) ResetStats() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats = Stats{}
+}
+
+// Contains reports whether bn is cached (diagnostics and tests).
+func (p *Pool) Contains(bn disk.BlockNum) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.pages[bn]
+	return ok
+}
+
+// String describes the pool.
+func (p *Pool) String() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return fmt.Sprintf("cache(%s: %d/%d pages)", p.vol.Name(), len(p.pages), p.capacity)
+}

@@ -1,0 +1,259 @@
+// Package cluster assembles the simulated Tandem network of Figure 1:
+// one or more nodes, each with up to sixteen processors, disk volumes
+// managed by Disk Process groups, one audit trail volume per node, and
+// File System instances for requester processes on any processor.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"nonstopsql/internal/disk"
+	"nonstopsql/internal/dp"
+	"nonstopsql/internal/fs"
+	"nonstopsql/internal/msg"
+	"nonstopsql/internal/tmf"
+	"nonstopsql/internal/wal"
+)
+
+// Options tunes the cluster's subsystems; the zero value gives the
+// full paper configuration (group commit, pre-fetch, write-behind on).
+type Options struct {
+	Nodes         int  // default 1
+	CPUsPerNode   int  // default 4, max 16
+	GroupCommit   bool // default true unless DisableGroupCommit
+	Adaptive      bool // adaptive group-commit timers
+	Prefetch      bool
+	WriteBehind   bool
+	DPWorkers     int // process-group goroutines per DP (default 2)
+	CacheSlots    int // buffer pool pages per DP
+	MaxReplyBytes int
+	MaxRowsPerMsg int
+	LockTimeout   time.Duration
+	AuditBufBytes int // per-DP audit buffer (buffer-full send threshold)
+
+	DisableGroupCommit bool
+
+	// ProcessPairs runs every Disk Process as a primary/hot-standby
+	// pair: a backup process on another CPU receives a checkpoint
+	// message per state change (charged to the network), and Takeover
+	// promotes it instantly — no log recovery needed, the paper's
+	// availability mechanism [Bartlett].
+	ProcessPairs bool
+}
+
+func (o *Options) setDefaults() {
+	if o.Nodes == 0 {
+		o.Nodes = 1
+	}
+	if o.CPUsPerNode == 0 {
+		o.CPUsPerNode = 4
+	}
+	if o.CPUsPerNode > 16 {
+		o.CPUsPerNode = 16
+	}
+	if o.DPWorkers == 0 {
+		// The real Disk Process parks lock-waiting requests without
+		// consuming one of the group's processes; with goroutine
+		// handlers the analog is a pool deep enough that waiters do not
+		// starve the commit messages that would release them.
+		o.DPWorkers = 16
+	}
+	if !o.DisableGroupCommit {
+		o.GroupCommit = true
+	}
+}
+
+// A Node is one Tandem system: processors, volumes, an audit trail.
+type Node struct {
+	ID       int
+	Trail    *wal.Trail
+	AuditVol *disk.Volume
+	auditSrv string
+}
+
+// A Cluster is the whole simulated network.
+type Cluster struct {
+	Net   *msg.Network
+	Nodes []*Node
+	opts  Options
+
+	dps     map[string]*dpEntry
+	servers []string
+}
+
+type dpEntry struct {
+	dp        *dp.DP
+	node      int
+	cpu       int
+	vol       *disk.Volume
+	backupCPU int    // process pair: where the hot standby runs (-1 = none)
+	backupSrv string // the backup's checkpoint-sink process name
+}
+
+// New builds the cluster: per node, an audit volume, its trail, and the
+// audit trail Disk Process (a plain acknowledging server — the real
+// write optimization lives in wal.Trail).
+func New(opts Options) (*Cluster, error) {
+	opts.setDefaults()
+	c := &Cluster{Net: msg.NewNetwork(), opts: opts, dps: make(map[string]*dpEntry)}
+	for n := 0; n < opts.Nodes; n++ {
+		auditVol := disk.NewVolume(fmt.Sprintf("$AUDIT%d", n), true)
+		trail, err := wal.NewTrail(wal.Config{
+			Volume:      auditVol,
+			GroupCommit: opts.GroupCommit,
+			Adaptive:    opts.Adaptive,
+		})
+		if err != nil {
+			return nil, err
+		}
+		node := &Node{ID: n, Trail: trail, AuditVol: auditVol,
+			auditSrv: fmt.Sprintf("$AUDIT%d", n)}
+		// The audit trail volume's Disk Process: receives audit sends.
+		proc := msg.ProcessorID{Node: n, CPU: opts.CPUsPerNode - 1}
+		if _, err := c.Net.StartServer(node.auditSrv, proc, 1, func(req []byte) []byte { return nil }); err != nil {
+			return nil, err
+		}
+		c.servers = append(c.servers, node.auditSrv)
+		c.Nodes = append(c.Nodes, node)
+	}
+	return c, nil
+}
+
+// AddVolume creates a data volume named name managed by a new Disk
+// Process group on the given processor, and returns the DP.
+func (c *Cluster) AddVolume(node, cpu int, name string) (*dp.DP, error) {
+	if node < 0 || node >= len(c.Nodes) {
+		return nil, fmt.Errorf("cluster: no node %d", node)
+	}
+	vol := disk.NewVolume(name, true)
+	n := c.Nodes[node]
+	proc := msg.ProcessorID{Node: node, CPU: cpu}
+	port := tmf.NewAuditPort(n.Trail, c.Net.NewClient(proc), n.auditSrv, c.opts.AuditBufBytes)
+	cfg := dp.Config{
+		Name:          name,
+		Volume:        vol,
+		CacheSlots:    c.opts.CacheSlots,
+		Audit:         port,
+		LockTimeout:   c.opts.LockTimeout,
+		MaxReplyBytes: c.opts.MaxReplyBytes,
+		MaxRowsPerMsg: c.opts.MaxRowsPerMsg,
+		Prefetch:      c.opts.Prefetch,
+		WriteBehind:   c.opts.WriteBehind,
+	}
+	entry := &dpEntry{node: node, cpu: cpu, vol: vol, backupCPU: -1}
+	if c.opts.ProcessPairs {
+		entry.backupCPU = (cpu + 1) % c.opts.CPUsPerNode
+		entry.backupSrv = name + "#B"
+		backupProc := msg.ProcessorID{Node: node, CPU: entry.backupCPU}
+		if _, err := c.Net.StartServer(entry.backupSrv, backupProc, 1, func([]byte) []byte { return nil }); err != nil {
+			return nil, err
+		}
+		c.servers = append(c.servers, entry.backupSrv)
+		ckptClient := c.Net.NewClient(proc)
+		backupSrv := entry.backupSrv
+		cfg.Checkpoint = func(bytes int) {
+			// One checkpoint message per state change, sized like the
+			// audit record it mirrors.
+			_, _ = ckptClient.Send(backupSrv, make([]byte, bytes))
+		}
+	}
+	d, err := dp.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.Net.StartServer(name, proc, c.opts.DPWorkers, d.Handler); err != nil {
+		return nil, err
+	}
+	c.servers = append(c.servers, name)
+	entry.dp = d
+	c.dps[name] = entry
+	return d, nil
+}
+
+// Takeover performs a process-pair takeover: the primary's processor is
+// lost, and the hot-standby backup — current via checkpoints — assumes
+// service on its own CPU *without* log recovery. Returns an error when
+// the volume was not created with ProcessPairs.
+func (c *Cluster) Takeover(name string) error {
+	e, ok := c.dps[name]
+	if !ok {
+		return fmt.Errorf("cluster: no DP %q", name)
+	}
+	if e.backupCPU < 0 {
+		return fmt.Errorf("cluster: %q has no process pair configured", name)
+	}
+	c.Net.StopServer(name)
+	// The backup's state is the checkpointed state: the DP's in-memory
+	// structures survive (that is what the checkpoint stream bought).
+	_, err := c.Net.StartServer(name, msg.ProcessorID{Node: e.node, CPU: e.backupCPU}, c.opts.DPWorkers, e.dp.Handler)
+	if err != nil {
+		return err
+	}
+	e.cpu = e.backupCPU
+	e.backupCPU = (e.cpu + 1) % c.opts.CPUsPerNode
+	return nil
+}
+
+// DP returns a Disk Process by volume name.
+func (c *Cluster) DP(name string) *dp.DP {
+	if e, ok := c.dps[name]; ok {
+		return e.dp
+	}
+	return nil
+}
+
+// NewFS creates a File System instance for a requester process on the
+// given processor. Its commit coordinator uses that node's audit trail.
+func (c *Cluster) NewFS(node, cpu int) *fs.FS {
+	client := c.Net.NewClient(msg.ProcessorID{Node: node, CPU: cpu})
+	coord := &tmf.Coordinator{Trail: c.Nodes[node].Trail}
+	return fs.New(client, coord)
+}
+
+// CrashDP simulates the processor running the named DP failing: the
+// server stops answering and the DP loses its cache, locks, and
+// transaction state. The volume survives.
+func (c *Cluster) CrashDP(name string) error {
+	e, ok := c.dps[name]
+	if !ok {
+		return fmt.Errorf("cluster: no DP %q", name)
+	}
+	c.Net.StopServer(name)
+	e.dp.Crash()
+	return nil
+}
+
+// RestartDP performs takeover/restart: recovery from the audit trail,
+// then re-registration of the server (optionally on another processor —
+// the backup of the process pair).
+func (c *Cluster) RestartDP(name string, cpu int) error {
+	e, ok := c.dps[name]
+	if !ok {
+		return fmt.Errorf("cluster: no DP %q", name)
+	}
+	n := c.Nodes[e.node]
+	n.Trail.Flush() // make every assigned LSN visible to the scan
+	recs, err := wal.Scan(n.AuditVol, n.Trail.FirstBlock())
+	if err != nil {
+		return err
+	}
+	if err := e.dp.Recover(recs); err != nil {
+		return err
+	}
+	if cpu >= 0 {
+		e.cpu = cpu
+	}
+	_, err = c.Net.StartServer(name, msg.ProcessorID{Node: e.node, CPU: e.cpu}, c.opts.DPWorkers, e.dp.Handler)
+	return err
+}
+
+// Close flushes trails and stops all servers.
+func (c *Cluster) Close() {
+	for _, n := range c.Nodes {
+		n.Trail.Close()
+	}
+	for _, s := range c.servers {
+		c.Net.StopServer(s)
+	}
+}

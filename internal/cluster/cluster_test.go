@@ -1,0 +1,320 @@
+package cluster_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"nonstopsql/internal/cluster"
+	"nonstopsql/internal/fs"
+	"nonstopsql/internal/record"
+)
+
+func kvDef(vol string) *fs.FileDef {
+	return &fs.FileDef{
+		Name: "KV",
+		Schema: record.MustSchema("KV", []record.Field{
+			{Name: "K", Type: record.TypeInt, NotNull: true},
+			{Name: "V", Type: record.TypeString},
+		}, []int{0}),
+		Partitions: []fs.Partition{{Server: vol}},
+		FieldAudit: true,
+	}
+}
+
+func TestNewDefaults(t *testing.T) {
+	c, err := cluster.New(cluster.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if len(c.Nodes) != 1 {
+		t.Errorf("nodes %d", len(c.Nodes))
+	}
+	if c.Nodes[0].Trail == nil || c.Nodes[0].AuditVol == nil {
+		t.Error("audit trail missing")
+	}
+}
+
+func TestAddVolumeAndDP(t *testing.T) {
+	c, err := cluster.New(cluster.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	d, err := c.AddVolume(0, 1, "$V1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == nil || c.DP("$V1") != d {
+		t.Error("DP lookup broken")
+	}
+	if c.DP("$NOPE") != nil {
+		t.Error("phantom DP")
+	}
+	if _, err := c.AddVolume(9, 0, "$V2"); err == nil {
+		t.Error("bad node accepted")
+	}
+	if _, err := c.AddVolume(0, 0, "$V1"); err == nil {
+		t.Error("duplicate volume accepted")
+	}
+}
+
+func TestProcessPairTakeover(t *testing.T) {
+	// Crash on CPU 0, takeover on CPU 1 — the backup of the process
+	// pair resumes service after recovery from the shared audit trail.
+	c, err := cluster.New(cluster.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.AddVolume(0, 0, "$V1"); err != nil {
+		t.Fatal(err)
+	}
+	f := c.NewFS(0, 2)
+	def := kvDef("$V1")
+	if err := f.Create(def); err != nil {
+		t.Fatal(err)
+	}
+	tx := f.Begin()
+	for i := 0; i < 20; i++ {
+		if err := f.Insert(tx, def, record.Row{record.Int(int64(i)), record.String(fmt.Sprintf("v%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := c.CrashDP("$V1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CrashDP("$NOPE"); err == nil {
+		t.Error("crash of unknown DP accepted")
+	}
+	if err := c.RestartDP("$V1", 1); err != nil {
+		t.Fatal(err)
+	}
+	// Server answers from its new processor; committed data intact.
+	proc, ok := c.Net.Lookup("$V1")
+	if !ok || proc.CPU != 1 {
+		t.Errorf("takeover processor %v %v", proc, ok)
+	}
+	row, err := f.Read(nil, def, record.Int(7).AppendKey(nil), false)
+	if err != nil || row[1].S != "v7" {
+		t.Fatalf("post-takeover read: %v %v", row, err)
+	}
+	if err := c.RestartDP("$NOPE", 0); err == nil {
+		t.Error("restart of unknown DP accepted")
+	}
+}
+
+func TestTwoNodesSeparateTrails(t *testing.T) {
+	c, err := cluster.New(cluster.Options{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if len(c.Nodes) != 2 || c.Nodes[0].Trail == c.Nodes[1].Trail {
+		t.Fatal("nodes must have their own audit trails")
+	}
+	if _, err := c.AddVolume(1, 0, "$R1"); err != nil {
+		t.Fatal(err)
+	}
+	f := c.NewFS(1, 1)
+	def := kvDef("$R1")
+	if err := f.Create(def); err != nil {
+		t.Fatal(err)
+	}
+	tx := f.Begin()
+	if err := f.Insert(tx, def, record.Row{record.Int(1), record.String("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	// The commit record landed on node 1's trail only.
+	if c.Nodes[1].Trail.Stats().CommitRecords != 1 {
+		t.Error("commit missing from node 1 trail")
+	}
+	if c.Nodes[0].Trail.Stats().CommitRecords != 0 {
+		t.Error("commit leaked to node 0 trail")
+	}
+}
+
+func TestAuditServerReceivesBufferFullSends(t *testing.T) {
+	c, err := cluster.New(cluster.Options{AuditBufBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.AddVolume(0, 0, "$V1"); err != nil {
+		t.Fatal(err)
+	}
+	f := c.NewFS(0, 1)
+	def := kvDef("$V1")
+	if err := f.Create(def); err != nil {
+		t.Fatal(err)
+	}
+	tx := f.Begin()
+	for i := 0; i < 100; i++ {
+		if err := f.Insert(tx, def, record.Row{record.Int(int64(i)), record.String("vvvvvvvvvvvvvvvvvvvv")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	// The audit DP received buffer-full sends over the message system.
+	if got := c.Net.Stats().Requests; got <= 101 {
+		t.Errorf("no audit sends visible: %d requests", got)
+	}
+}
+
+func TestProcessPairCheckpointAndTakeover(t *testing.T) {
+	c, err := cluster.New(cluster.Options{ProcessPairs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.AddVolume(0, 0, "$P1"); err != nil {
+		t.Fatal(err)
+	}
+	f := c.NewFS(0, 2)
+	def := kvDef("$P1")
+	if err := f.Create(def); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every state change ships a checkpoint message to the backup.
+	c.Net.ResetStats()
+	tx := f.Begin()
+	for i := 0; i < 10; i++ {
+		if err := f.Insert(tx, def, record.Row{record.Int(int64(i)), record.String("v")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	// 10 inserts + commit to primary, plus ≥10 checkpoint messages.
+	if got := c.Net.Stats().Requests; got < 21 {
+		t.Errorf("checkpoint traffic missing: %d requests", got)
+	}
+
+	// A live transaction across the takeover: the backup has the
+	// checkpointed state, so no recovery runs and the in-flight
+	// transaction continues.
+	tx2 := f.Begin()
+	if err := f.Insert(tx2, def, record.Row{record.Int(100), record.String("inflight")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Takeover("$P1"); err != nil {
+		t.Fatal(err)
+	}
+	proc, _ := c.Net.Lookup("$P1")
+	if proc.CPU != 1 {
+		t.Errorf("takeover CPU %d, want 1", proc.CPU)
+	}
+	// The in-flight transaction is still live post-takeover.
+	if err := f.Insert(tx2, def, record.Row{record.Int(101), record.String("post-takeover")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Commit(tx2); err != nil {
+		t.Fatal(err)
+	}
+	row, err := f.Read(nil, def, record.Int(100).AppendKey(nil), false)
+	if err != nil || row[1].S != "inflight" {
+		t.Fatalf("in-flight data lost across takeover: %v %v", row, err)
+	}
+}
+
+func TestTakeoverWithoutPairRejected(t *testing.T) {
+	c, err := cluster.New(cluster.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.AddVolume(0, 0, "$NP")
+	if err := c.Takeover("$NP"); err == nil {
+		t.Error("takeover without a pair accepted")
+	}
+	if err := c.Takeover("$NOPE"); err == nil {
+		t.Error("takeover of unknown DP accepted")
+	}
+}
+
+func TestCrashUnderConcurrentLoadLosesNoCommittedData(t *testing.T) {
+	// Writers hammer one volume; mid-load the Disk Process's CPU dies.
+	// After recovery, every transaction that COMMITTED successfully must
+	// be visible, and none that failed may have left partial effects.
+	c, err := cluster.New(cluster.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.AddVolume(0, 0, "$CR"); err != nil {
+		t.Fatal(err)
+	}
+	f0 := c.NewFS(0, 1)
+	def := kvDef("$CR")
+	if err := f0.Create(def); err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	committed := map[int64]bool{}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			f := c.NewFS(0, (id+1)%4)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := int64(id*100000 + i)
+				tx := f.Begin()
+				if err := f.Insert(tx, def, record.Row{record.Int(k), record.String("v")}); err != nil {
+					_ = f.Abort(tx) // server down or conflict: give up on this key
+					continue
+				}
+				if err := f.Commit(tx); err != nil {
+					continue
+				}
+				mu.Lock()
+				committed[k] = true
+				mu.Unlock()
+			}
+		}(g)
+	}
+
+	time.Sleep(50 * time.Millisecond)
+	if err := c.CrashDP("$CR"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond) // writers keep failing against the dead DP
+	if err := c.RestartDP("$CR", 2); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // writers resume against the recovered DP
+	close(stop)
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(committed) < 10 {
+		t.Fatalf("too few committed txns to be meaningful: %d", len(committed))
+	}
+	for k := range committed {
+		row, err := f0.Read(nil, def, record.Int(k).AppendKey(nil), false)
+		if err != nil || row[0].I != k {
+			t.Fatalf("committed key %d lost after crash+recovery: %v %v", k, row, err)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package disk
+
+import "time"
+
+// A CostModel converts I/O counters into estimated elapsed device time
+// on period hardware: each operation pays a seek+rotation, each block a
+// transfer.
+type CostModel struct {
+	PerIO    time.Duration // seek + rotational latency per operation
+	PerBlock time.Duration // transfer time per 4 KB block
+}
+
+// DefaultCostModel approximates a late-1980s 100 MB drive: ~28 ms
+// average access, ~1.6 ms to transfer 4 KB.
+func DefaultCostModel() CostModel {
+	return CostModel{PerIO: 28 * time.Millisecond, PerBlock: 1600 * time.Microsecond}
+}
+
+// Estimate returns the modeled device time for the counted I/O.
+func (m CostModel) Estimate(s Stats) time.Duration {
+	ios := time.Duration(s.IOs()+s.MirrorWrites) * m.PerIO
+	blocks := time.Duration(s.BlocksRead+s.BlocksWritten) * m.PerBlock
+	return ios + blocks
+}

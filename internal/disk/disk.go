@@ -1,0 +1,245 @@
+// Package disk simulates the physical disk volumes managed by Disk
+// Processes. A volume is an array of fixed-size blocks supporting
+// single-block and bulk sequential I/O with the same limits the paper
+// states (4 KB blocks, 28 KB maximum bulk transfer), optional mirroring,
+// a block allocator, and full I/O accounting.
+//
+// The accounting is the point: the paper's cache-management claims are
+// claims about the *number* of physical transfers (bulk reads vs.
+// single-block reads, write-behind coalescing), and the Stats counters
+// reproduce those quantities deterministically on any host.
+package disk
+
+import (
+	"fmt"
+	"sync"
+)
+
+const (
+	// BlockSize is the physical block size ("presently limited to 4K
+	// bytes maximum each").
+	BlockSize = 4096
+	// MaxBulkBytes is the bulk I/O transfer limit ("presently limited to
+	// 28K bytes maximum").
+	MaxBulkBytes = 28 * 1024
+	// MaxBulkBlocks is the number of blocks one bulk I/O can move.
+	MaxBulkBlocks = MaxBulkBytes / BlockSize
+)
+
+// BlockNum addresses a block within a volume.
+type BlockNum uint32
+
+// Stats counts physical I/O activity on a volume. Mirrored volumes count
+// logical operations once and record the extra physical writes in
+// MirrorWrites.
+type Stats struct {
+	Reads         uint64 // read operations issued (each costs one seek)
+	Writes        uint64 // write operations issued
+	BulkReads     uint64 // reads that moved more than one block
+	BulkWrites    uint64 // writes that moved more than one block
+	BlocksRead    uint64
+	BlocksWritten uint64
+	MirrorWrites  uint64 // extra physical writes to the mirror drive
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.Reads += o.Reads
+	s.Writes += o.Writes
+	s.BulkReads += o.BulkReads
+	s.BulkWrites += o.BulkWrites
+	s.BlocksRead += o.BlocksRead
+	s.BlocksWritten += o.BlocksWritten
+	s.MirrorWrites += o.MirrorWrites
+}
+
+// IOs returns the total number of physical I/O operations (seeks).
+func (s Stats) IOs() uint64 { return s.Reads + s.Writes }
+
+// A Volume is one simulated disk volume (optionally mirrored). The zero
+// value is not usable; call NewVolume.
+type Volume struct {
+	name     string
+	mirrored bool
+
+	mu     sync.Mutex
+	blocks map[BlockNum][]byte
+	next   BlockNum
+	free   []BlockNum
+	stats  Stats
+}
+
+// NewVolume creates an empty volume. Mirrored volumes charge an extra
+// physical write per logical write, as the hardware would.
+func NewVolume(name string, mirrored bool) *Volume {
+	return &Volume{name: name, mirrored: mirrored, blocks: make(map[BlockNum][]byte), next: 1}
+}
+
+// Name returns the volume name (e.g. "$DATA1").
+func (v *Volume) Name() string { return v.name }
+
+// Allocate reserves a fresh block and returns its number. Freed blocks
+// are reused first, preserving physical clustering where possible.
+func (v *Volume) Allocate() BlockNum {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if n := len(v.free); n > 0 {
+		bn := v.free[n-1]
+		v.free = v.free[:n-1]
+		v.blocks[bn] = nil
+		return bn
+	}
+	bn := v.next
+	v.next++
+	v.blocks[bn] = nil
+	return bn
+}
+
+// AllocateRun reserves n physically contiguous blocks and returns the
+// first. Contiguity matters for the bulk-I/O and write-behind paths.
+func (v *Volume) AllocateRun(n int) BlockNum {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	start := v.next
+	for i := 0; i < n; i++ {
+		v.blocks[v.next] = nil
+		v.next++
+	}
+	return start
+}
+
+// Free releases a block for reuse.
+func (v *Volume) Free(bn BlockNum) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	delete(v.blocks, bn)
+	v.free = append(v.free, bn)
+}
+
+// Read performs one single-block read I/O into buf (len BlockSize).
+// Reading a never-written block yields zeros, like a formatted drive.
+func (v *Volume) Read(bn BlockNum, buf []byte) error {
+	if len(buf) != BlockSize {
+		return fmt.Errorf("disk %s: read buffer is %d bytes, want %d", v.name, len(buf), BlockSize)
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if _, ok := v.blocks[bn]; !ok {
+		return fmt.Errorf("disk %s: read of unallocated block %d", v.name, bn)
+	}
+	v.stats.Reads++
+	v.stats.BlocksRead++
+	v.copyOut(bn, buf)
+	return nil
+}
+
+func (v *Volume) copyOut(bn BlockNum, buf []byte) {
+	if data := v.blocks[bn]; data != nil {
+		copy(buf, data)
+	} else {
+		for i := range buf {
+			buf[i] = 0
+		}
+	}
+}
+
+// ReadBulk performs ONE bulk read I/O of n consecutive blocks starting at
+// start, n ≤ MaxBulkBlocks. Returns freshly allocated block images.
+func (v *Volume) ReadBulk(start BlockNum, n int) ([][]byte, error) {
+	if n < 1 || n > MaxBulkBlocks {
+		return nil, fmt.Errorf("disk %s: bulk read of %d blocks (max %d)", v.name, n, MaxBulkBlocks)
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for i := 0; i < n; i++ {
+		if _, ok := v.blocks[start+BlockNum(i)]; !ok {
+			return nil, fmt.Errorf("disk %s: bulk read spans unallocated block %d", v.name, start+BlockNum(i))
+		}
+	}
+	v.stats.Reads++
+	if n > 1 {
+		v.stats.BulkReads++
+	}
+	v.stats.BlocksRead += uint64(n)
+	out := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		buf := make([]byte, BlockSize)
+		v.copyOut(start+BlockNum(i), buf)
+		out[i] = buf
+	}
+	return out, nil
+}
+
+// Write performs one single-block write I/O.
+func (v *Volume) Write(bn BlockNum, data []byte) error {
+	if len(data) != BlockSize {
+		return fmt.Errorf("disk %s: write of %d bytes, want %d", v.name, len(data), BlockSize)
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if _, ok := v.blocks[bn]; !ok {
+		return fmt.Errorf("disk %s: write to unallocated block %d", v.name, bn)
+	}
+	v.stats.Writes++
+	v.stats.BlocksWritten++
+	if v.mirrored {
+		v.stats.MirrorWrites++
+	}
+	v.blocks[bn] = append([]byte(nil), data...)
+	return nil
+}
+
+// WriteBulk performs ONE bulk write I/O of consecutive blocks starting at
+// start. len(blocks) ≤ MaxBulkBlocks. This is the write-behind and audit
+// trail "long, or bulk sequential I/O" path.
+func (v *Volume) WriteBulk(start BlockNum, blocks [][]byte) error {
+	n := len(blocks)
+	if n < 1 || n > MaxBulkBlocks {
+		return fmt.Errorf("disk %s: bulk write of %d blocks (max %d)", v.name, n, MaxBulkBlocks)
+	}
+	for i, b := range blocks {
+		if len(b) != BlockSize {
+			return fmt.Errorf("disk %s: bulk write block %d is %d bytes", v.name, i, len(b))
+		}
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for i := range blocks {
+		if _, ok := v.blocks[start+BlockNum(i)]; !ok {
+			return fmt.Errorf("disk %s: bulk write spans unallocated block %d", v.name, start+BlockNum(i))
+		}
+	}
+	v.stats.Writes++
+	if n > 1 {
+		v.stats.BulkWrites++
+	}
+	v.stats.BlocksWritten += uint64(n)
+	if v.mirrored {
+		v.stats.MirrorWrites += uint64(1)
+	}
+	for i, b := range blocks {
+		v.blocks[start+BlockNum(i)] = append([]byte(nil), b...)
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the I/O counters.
+func (v *Volume) Stats() Stats {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.stats
+}
+
+// ResetStats zeroes the I/O counters (between benchmark phases).
+func (v *Volume) ResetStats() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.stats = Stats{}
+}
+
+// Size returns the number of allocated blocks.
+func (v *Volume) Size() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.blocks)
+}

@@ -1,0 +1,250 @@
+package disk
+
+import (
+	"bytes"
+	"testing"
+)
+
+func filled(b byte) []byte {
+	buf := make([]byte, BlockSize)
+	for i := range buf {
+		buf[i] = b
+	}
+	return buf
+}
+
+func TestConstants(t *testing.T) {
+	if BlockSize != 4096 {
+		t.Error("paper specifies 4K blocks")
+	}
+	if MaxBulkBytes != 28*1024 || MaxBulkBlocks != 7 {
+		t.Error("paper specifies 28K bulk I/O limit")
+	}
+}
+
+func TestAllocateReadWrite(t *testing.T) {
+	v := NewVolume("$DATA", false)
+	bn := v.Allocate()
+	buf := make([]byte, BlockSize)
+	if err := v.Read(bn, buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatal("fresh block not zeroed")
+		}
+	}
+	if err := v.Write(bn, filled(0xAB)); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Read(bn, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0xAB || buf[BlockSize-1] != 0xAB {
+		t.Error("write did not stick")
+	}
+}
+
+func TestUnallocatedAccess(t *testing.T) {
+	v := NewVolume("$DATA", false)
+	buf := make([]byte, BlockSize)
+	if err := v.Read(99, buf); err == nil {
+		t.Error("read of unallocated block accepted")
+	}
+	if err := v.Write(99, filled(1)); err == nil {
+		t.Error("write to unallocated block accepted")
+	}
+}
+
+func TestBadSizes(t *testing.T) {
+	v := NewVolume("$DATA", false)
+	bn := v.Allocate()
+	if err := v.Read(bn, make([]byte, 100)); err == nil {
+		t.Error("short read buffer accepted")
+	}
+	if err := v.Write(bn, make([]byte, 100)); err == nil {
+		t.Error("short write accepted")
+	}
+	if _, err := v.ReadBulk(bn, 0); err == nil {
+		t.Error("zero-block bulk read accepted")
+	}
+	if _, err := v.ReadBulk(bn, MaxBulkBlocks+1); err == nil {
+		t.Error("oversized bulk read accepted")
+	}
+	if err := v.WriteBulk(bn, nil); err == nil {
+		t.Error("empty bulk write accepted")
+	}
+	if err := v.WriteBulk(bn, [][]byte{make([]byte, 5)}); err == nil {
+		t.Error("short block in bulk write accepted")
+	}
+}
+
+func TestBulkRoundTrip(t *testing.T) {
+	v := NewVolume("$DATA", false)
+	start := v.AllocateRun(MaxBulkBlocks)
+	blocks := make([][]byte, MaxBulkBlocks)
+	for i := range blocks {
+		blocks[i] = filled(byte(i + 1))
+	}
+	if err := v.WriteBulk(start, blocks); err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.ReadBulk(start, MaxBulkBlocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if !bytes.Equal(got[i], blocks[i]) {
+			t.Errorf("block %d mismatch", i)
+		}
+	}
+}
+
+func TestBulkCountsOneIO(t *testing.T) {
+	// The paper's point: a 7-block bulk transfer is ONE physical I/O.
+	v := NewVolume("$DATA", false)
+	start := v.AllocateRun(MaxBulkBlocks)
+	blocks := make([][]byte, MaxBulkBlocks)
+	for i := range blocks {
+		blocks[i] = filled(1)
+	}
+	v.ResetStats()
+	if err := v.WriteBulk(start, blocks); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.ReadBulk(start, MaxBulkBlocks); err != nil {
+		t.Fatal(err)
+	}
+	s := v.Stats()
+	if s.Reads != 1 || s.Writes != 1 {
+		t.Errorf("bulk ops should be 1 I/O each: %+v", s)
+	}
+	if s.BlocksRead != MaxBulkBlocks || s.BlocksWritten != MaxBulkBlocks {
+		t.Errorf("block counts wrong: %+v", s)
+	}
+	if s.BulkReads != 1 || s.BulkWrites != 1 {
+		t.Errorf("bulk counters wrong: %+v", s)
+	}
+}
+
+func TestSingleVsBulkIOCount(t *testing.T) {
+	// 7 single-block reads cost 7 I/Os; one bulk read costs 1.
+	v := NewVolume("$DATA", false)
+	start := v.AllocateRun(7)
+	buf := make([]byte, BlockSize)
+	v.ResetStats()
+	for i := 0; i < 7; i++ {
+		if err := v.Read(start+BlockNum(i), buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := v.Stats().Reads; got != 7 {
+		t.Errorf("single-block reads: %d I/Os, want 7", got)
+	}
+}
+
+func TestMirroredWrites(t *testing.T) {
+	v := NewVolume("$MIRROR", true)
+	bn := v.Allocate()
+	if err := v.Write(bn, filled(1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Stats().MirrorWrites; got != 1 {
+		t.Errorf("MirrorWrites = %d, want 1", got)
+	}
+	u := NewVolume("$PLAIN", false)
+	bn2 := u.Allocate()
+	if err := u.Write(bn2, filled(1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := u.Stats().MirrorWrites; got != 0 {
+		t.Errorf("unmirrored MirrorWrites = %d", got)
+	}
+}
+
+func TestAllocateRunContiguity(t *testing.T) {
+	v := NewVolume("$DATA", false)
+	a := v.AllocateRun(5)
+	b := v.AllocateRun(3)
+	if b != a+5 {
+		t.Errorf("runs not contiguous: %d then %d", a, b)
+	}
+}
+
+func TestFreeReuse(t *testing.T) {
+	v := NewVolume("$DATA", false)
+	bn := v.Allocate()
+	v.Free(bn)
+	buf := make([]byte, BlockSize)
+	if err := v.Read(bn, buf); err == nil {
+		t.Error("read of freed block accepted")
+	}
+	bn2 := v.Allocate()
+	if bn2 != bn {
+		t.Errorf("freed block not reused: got %d want %d", bn2, bn)
+	}
+	if v.Size() != 1 {
+		t.Errorf("Size = %d", v.Size())
+	}
+}
+
+func TestBulkSpanningUnallocated(t *testing.T) {
+	v := NewVolume("$DATA", false)
+	start := v.AllocateRun(2)
+	if _, err := v.ReadBulk(start, 3); err == nil {
+		t.Error("bulk read past allocation accepted")
+	}
+	if err := v.WriteBulk(start, [][]byte{filled(1), filled(2), filled(3)}); err == nil {
+		t.Error("bulk write past allocation accepted")
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Reads: 1, Writes: 2, BulkReads: 3, BulkWrites: 4, BlocksRead: 5, BlocksWritten: 6, MirrorWrites: 7}
+	b := a
+	a.Add(b)
+	if a.Reads != 2 || a.MirrorWrites != 14 || a.IOs() != 2+4 {
+		t.Errorf("Add/IOs wrong: %+v", a)
+	}
+}
+
+func TestWriteIsolation(t *testing.T) {
+	// The volume must copy data in and out; callers reusing buffers must
+	// not corrupt stored blocks.
+	v := NewVolume("$DATA", false)
+	bn := v.Allocate()
+	buf := filled(0x11)
+	if err := v.Write(bn, buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 0x99 // mutate caller's buffer after write
+	out := make([]byte, BlockSize)
+	if err := v.Read(bn, out); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 0x11 {
+		t.Error("volume aliased caller buffer")
+	}
+	out[1] = 0x77 // mutate read buffer
+	out2 := make([]byte, BlockSize)
+	if err := v.Read(bn, out2); err != nil {
+		t.Fatal(err)
+	}
+	if out2[1] != 0x11 {
+		t.Error("read buffer aliased stored block")
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	m := DefaultCostModel()
+	// A bulk transfer of 7 blocks must model cheaper than 7 singles.
+	bulk := m.Estimate(Stats{Reads: 1, BlocksRead: 7})
+	singles := m.Estimate(Stats{Reads: 7, BlocksRead: 7})
+	if bulk >= singles {
+		t.Errorf("bulk %v not cheaper than singles %v", bulk, singles)
+	}
+	// Mirrored writes pay their extra physical write.
+	if m.Estimate(Stats{Writes: 1, BlocksWritten: 1, MirrorWrites: 1}) <= m.Estimate(Stats{Writes: 1, BlocksWritten: 1}) {
+		t.Error("mirror write free")
+	}
+}

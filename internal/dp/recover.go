@@ -1,0 +1,140 @@
+package dp
+
+import (
+	"errors"
+	"fmt"
+
+	"nonstopsql/internal/btree"
+	"nonstopsql/internal/record"
+	"nonstopsql/internal/wal"
+)
+
+// Crash simulates losing this Disk Process's processor: the buffer pool
+// vanishes (dirty pages are lost), all transaction state, Subset Control
+// Blocks, and locks evaporate. The volume itself (and the audit trail)
+// survive. Call Recover afterwards — this is the job the backup process
+// of the process-pair performs at takeover, or restart performs after a
+// total outage.
+func (d *DP) Crash() {
+	d.pool.Crash()
+	d.mu.Lock()
+	oldTxs := d.txs
+	d.txs = make(map[uint64]*txState)
+	d.scbs = make(map[uint32]*scb)
+	d.mu.Unlock()
+	for tx := range oldTxs {
+		d.locks.ReleaseTx(tx)
+	}
+}
+
+// Recover rebuilds this volume's state from the durable audit trail:
+// redo repeats history for every logged operation on this volume in LSN
+// order, then in-flight ("loser") transactions — no commit and no abort
+// record — are undone from their before-images. Files must be attached
+// (AttachFile) before calling.
+func (d *DP) Recover(records []*wal.Record) error {
+	vol := d.cfg.Volume.Name()
+	committed := make(map[uint64]bool)
+	aborted := make(map[uint64]bool)
+	var mine []*wal.Record
+	for _, r := range records {
+		switch r.Type {
+		case wal.RecCommit:
+			committed[r.TxID] = true
+		case wal.RecAbort:
+			// The abort's compensation records are in the log ahead of
+			// this marker; replaying them plus skipping undo is correct.
+			aborted[r.TxID] = true
+		case wal.RecInsert, wal.RecUpdate, wal.RecDelete:
+			if r.Volume == vol {
+				mine = append(mine, r)
+			}
+		}
+	}
+
+	// Redo pass: repeat history.
+	for _, r := range mine {
+		if err := d.redoOne(r); err != nil {
+			return fmt.Errorf("dp %s: redo LSN %d: %w", d.cfg.Name, r.LSN, err)
+		}
+	}
+
+	// Undo pass: losers in reverse LSN order.
+	for i := len(mine) - 1; i >= 0; i-- {
+		r := mine[i]
+		if committed[r.TxID] || aborted[r.TxID] {
+			continue
+		}
+		if err := d.undoOne(r); err != nil {
+			return fmt.Errorf("dp %s: undo LSN %d: %w", d.cfg.Name, r.LSN, err)
+		}
+	}
+	return d.pool.FlushAll()
+}
+
+func (d *DP) redoOne(r *wal.Record) error {
+	f, err := d.getFile(r.File)
+	if err != nil {
+		// A file dropped after these records were written: skip.
+		return nil
+	}
+	switch r.Type {
+	case wal.RecInsert:
+		return f.tree.Upsert(r.Key, r.After, r.LSN)
+	case wal.RecUpdate:
+		if r.FieldCompressed {
+			return d.applyFieldImages(f, r.Key, r.After, r.LSN)
+		}
+		return f.tree.Upsert(r.Key, r.After, r.LSN)
+	case wal.RecDelete:
+		err := f.tree.Delete(r.Key, r.LSN)
+		if errors.Is(err, btree.ErrNotFound) {
+			return nil
+		}
+		return err
+	}
+	return nil
+}
+
+func (d *DP) undoOne(r *wal.Record) error {
+	f, err := d.getFile(r.File)
+	if err != nil {
+		return nil
+	}
+	switch r.Type {
+	case wal.RecInsert:
+		err := f.tree.Delete(r.Key, r.LSN)
+		if errors.Is(err, btree.ErrNotFound) {
+			return nil
+		}
+		return err
+	case wal.RecUpdate:
+		if r.FieldCompressed {
+			return d.applyFieldImages(f, r.Key, r.Before, r.LSN)
+		}
+		return f.tree.Upsert(r.Key, r.Before, r.LSN)
+	case wal.RecDelete:
+		return f.tree.Upsert(r.Key, r.Before, r.LSN)
+	}
+	return nil
+}
+
+// applyFieldImages merges a field-compressed image into the stored row.
+func (d *DP) applyFieldImages(f *fileState, key, image []byte, lsn wal.LSN) error {
+	cur, err := f.tree.Get(key)
+	if err != nil {
+		return err
+	}
+	row, err := record.Decode(cur)
+	if err != nil {
+		return err
+	}
+	imgs, err := record.DecodeFieldImages(image)
+	if err != nil {
+		return err
+	}
+	if err := record.ApplyFieldImages(row, imgs); err != nil {
+		return err
+	}
+	return f.tree.Update(key, record.Encode(row), lsn)
+}

@@ -1,0 +1,424 @@
+package dp
+
+import (
+	"fmt"
+	"time"
+
+	"nonstopsql/internal/expr"
+	"nonstopsql/internal/fsdp"
+	"nonstopsql/internal/keys"
+	"nonstopsql/internal/lock"
+	"nonstopsql/internal/record"
+)
+
+// newSCB registers a Subset Control Block and returns its id.
+func (d *DP) newSCB(s *scb) uint32 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.nextSCB++
+	id := d.nextSCB
+	d.scbs[id] = s
+	return id
+}
+
+func (d *DP) lookupSCB(id uint32) (*scb, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s, ok := d.scbs[id]
+	if !ok {
+		return nil, fmt.Errorf("dp %s: no subset control block %d", d.cfg.Name, id)
+	}
+	return s, nil
+}
+
+// closeSubset serves KCloseSubset: discard an SCB before exhaustion.
+func (d *DP) closeSubset(req *fsdp.Request) *fsdp.Reply {
+	d.mu.Lock()
+	delete(d.scbs, req.SCB)
+	d.mu.Unlock()
+	return &fsdp.Reply{}
+}
+
+// batchState tracks the per-message limits of the continuation re-drive
+// protocol: reply-buffer bytes, rows processed, and elapsed time.
+type batchState struct {
+	d         *DP
+	start     time.Time
+	bytes     int
+	processed int
+	maxRows   int
+}
+
+// newBatch starts limit tracking for one set-oriented request message.
+// A non-zero rowLimit override (tests, ablations) narrows the row
+// budget for just this message.
+func (d *DP) newBatch(rowLimit uint32) *batchState {
+	b := &batchState{d: d, start: time.Now(), maxRows: d.cfg.MaxRowsPerMsg}
+	if rowLimit > 0 && int(rowLimit) < b.maxRows {
+		b.maxRows = int(rowLimit)
+	}
+	return b
+}
+
+// full reports whether the current request message must end and a
+// re-drive be requested. Every message makes at least one row of
+// progress so the re-drive protocol always advances.
+func (b *batchState) full() bool {
+	if b.processed == 0 {
+		return false
+	}
+	if b.bytes >= b.d.cfg.MaxReplyBytes {
+		return true // full sequential block buffer condition
+	}
+	if b.processed >= b.maxRows {
+		return true // processor-time limit stand-in
+	}
+	if b.d.cfg.TimeLimit > 0 && time.Since(b.start) > b.d.cfg.TimeLimit {
+		return true // elapsed-time limit
+	}
+	return false
+}
+
+// getSubset serves GET^FIRST/NEXT^VSBB and GET^FIRST/NEXT^RSBB.
+//
+// VSBB: the reply's virtual block holds the *projected* fields of
+// key-range records that satisfied the predicate, evaluated here at the
+// data source. RSBB: the reply is a real block image — whole records,
+// no selection or projection.
+func (d *DP) getSubset(req *fsdp.Request) *fsdp.Reply {
+	f, err := d.getFile(req.File)
+	if err != nil {
+		return errReply(err)
+	}
+	d.mu.Lock()
+	d.stats.SetRequests++
+	d.mu.Unlock()
+
+	virtual := req.Kind == fsdp.KGetFirstVSBB || req.Kind == fsdp.KGetNextVSBB
+	isFirst := req.Kind == fsdp.KGetFirstVSBB || req.Kind == fsdp.KGetFirstRSBB
+
+	var s *scb
+	if isFirst {
+		pred, err := expr.Decode(req.Pred)
+		if err != nil {
+			return errReply(err)
+		}
+		s = &scb{tx: req.Tx, file: req.File, pred: pred, proj: req.Proj}
+		// The SCB is created at GET^FIRST time; re-drives do not re-send
+		// the predicate or projection.
+	} else {
+		if s, err = d.lookupSCB(req.SCB); err != nil {
+			return errReply(err)
+		}
+		if s.file != req.File {
+			return &fsdp.Reply{Code: fsdp.ErrBadRequest, Err: "dp: SCB/file mismatch"}
+		}
+	}
+
+	batch := d.newBatch(req.RowLimit)
+	reply := &fsdp.Reply{Done: true}
+	var firstKey []byte
+	scanErr := f.tree.Scan(req.Range, d.cfg.Prefetch, func(key, val []byte) (bool, error) {
+		if batch.full() {
+			// Budget exhausted and more records remain: request a
+			// continuation re-drive.
+			reply.Done = false
+			return false, nil
+		}
+		batch.processed++
+		d.mu.Lock()
+		d.stats.RowsScanned++
+		d.mu.Unlock()
+		reply.LastKey = append(reply.LastKey[:0], key...)
+
+		keep := true
+		var out []byte
+		if virtual {
+			row, err := record.Decode(val)
+			if err != nil {
+				return false, err
+			}
+			if s.pred != nil {
+				d.mu.Lock()
+				d.stats.PredicateEvals++
+				d.mu.Unlock()
+				ok, err := expr.Satisfied(s.pred, row)
+				if err != nil {
+					return false, err
+				}
+				keep = ok
+			}
+			if keep {
+				if len(s.proj) > 0 {
+					out = record.Encode(record.Project(row, s.proj))
+				} else {
+					out = val
+				}
+			}
+		} else {
+			out = val
+		}
+
+		if keep {
+			if firstKey == nil {
+				firstKey = append([]byte(nil), key...)
+			}
+			reply.Rows = append(reply.Rows, out)
+			reply.RowKeys = append(reply.RowKeys, append([]byte(nil), key...))
+			batch.bytes += len(out)
+			d.mu.Lock()
+			d.stats.RowsReturned++
+			d.mu.Unlock()
+		} else {
+			d.mu.Lock()
+			d.stats.RowsFiltered++
+			d.mu.Unlock()
+		}
+		return true, nil
+	})
+	if scanErr != nil {
+		return errReply(scanErr)
+	}
+
+	// Virtual block locking: the records of the virtual block are locked
+	// as a group — one range lock instead of ENSCRIBE SBB's file lock.
+	if req.Tx != 0 && len(reply.Rows) > 0 {
+		mode := lock.Shared
+		if req.Mode == 2 {
+			mode = lock.Exclusive
+		}
+		blockRange := keys.Range{Low: firstKey, High: reply.LastKey, HighIncl: true}
+		if err := d.locks.Acquire(req.Tx, req.File, blockRange, mode); err != nil {
+			return errReply(err)
+		}
+		d.joinTx(req.Tx)
+	}
+
+	if !reply.Done {
+		d.mu.Lock()
+		d.stats.Redrives++
+		d.mu.Unlock()
+		if isFirst {
+			reply.SCB = d.newSCB(s)
+		} else {
+			reply.SCB = req.SCB
+		}
+	} else if !isFirst {
+		// Exhausted: retire the SCB.
+		d.mu.Lock()
+		delete(d.scbs, req.SCB)
+		d.mu.Unlock()
+	}
+	return reply
+}
+
+// updateSubset serves UPDATE^SUBSET^FIRST/NEXT: selection predicate and
+// update expression both evaluated at the Disk Process. The record never
+// crosses the FS-DP interface in either direction.
+func (d *DP) updateSubset(req *fsdp.Request) *fsdp.Reply {
+	return d.mutateSubset(req, req.Kind == fsdp.KUpdateSubsetFirst, true)
+}
+
+// deleteSubset serves DELETE^SUBSET^FIRST/NEXT.
+func (d *DP) deleteSubset(req *fsdp.Request) *fsdp.Reply {
+	return d.mutateSubset(req, req.Kind == fsdp.KDeleteSubsetFirst, false)
+}
+
+func (d *DP) mutateSubset(req *fsdp.Request, isFirst, isUpdate bool) *fsdp.Reply {
+	f, err := d.getFile(req.File)
+	if err != nil {
+		return errReply(err)
+	}
+	if req.Tx == 0 {
+		return &fsdp.Reply{Code: fsdp.ErrBadRequest, Err: "dp: subset mutation requires a transaction"}
+	}
+	d.mu.Lock()
+	d.stats.SetRequests++
+	d.mu.Unlock()
+
+	var s *scb
+	if isFirst {
+		pred, err := expr.Decode(req.Pred)
+		if err != nil {
+			return errReply(err)
+		}
+		assigns, err := expr.DecodeAssignments(req.Assign)
+		if err != nil {
+			return errReply(err)
+		}
+		s = &scb{tx: req.Tx, file: req.File, pred: pred, assigns: assigns}
+	} else {
+		if s, err = d.lookupSCB(req.SCB); err != nil {
+			return errReply(err)
+		}
+	}
+
+	batch := d.newBatch(req.RowLimit)
+
+	// Phase 1 (under the tree's scan): collect matching keys within this
+	// message's budget. Phase 2: apply mutations (which re-descend the
+	// tree; the scan must not hold it).
+	type hit struct{ key []byte }
+	var hits []hit
+	reply := &fsdp.Reply{Done: true}
+	scanErr := f.tree.Scan(req.Range, d.cfg.Prefetch, func(key, val []byte) (bool, error) {
+		if batch.full() {
+			reply.Done = false
+			return false, nil
+		}
+		batch.processed++
+		d.mu.Lock()
+		d.stats.RowsScanned++
+		d.mu.Unlock()
+		reply.LastKey = append(reply.LastKey[:0], key...)
+		keep := true
+		if s.pred != nil {
+			row, err := record.Decode(val)
+			if err != nil {
+				return false, err
+			}
+			d.mu.Lock()
+			d.stats.PredicateEvals++
+			d.mu.Unlock()
+			if keep, err = expr.Satisfied(s.pred, row); err != nil {
+				return false, err
+			}
+		}
+		if keep {
+			hits = append(hits, hit{key: append([]byte(nil), key...)})
+		} else {
+			d.mu.Lock()
+			d.stats.RowsFiltered++
+			d.mu.Unlock()
+		}
+		return true, nil
+	})
+	if scanErr != nil {
+		return errReply(scanErr)
+	}
+
+	for _, h := range hits {
+		if isUpdate {
+			err = d.updateOne(req.Tx, req.File, f, h.key, func(old record.Row) (record.Row, error) {
+				newRow, err := expr.ApplyAssignments(old, s.assigns)
+				if err != nil {
+					return nil, err
+				}
+				f.schema.Coerce(newRow)
+				return newRow, nil
+			})
+		} else {
+			err = d.deleteOne(req.Tx, req.File, f, h.key)
+		}
+		if err != nil {
+			return errReply(err)
+		}
+		reply.Count++
+	}
+
+	if !reply.Done {
+		d.mu.Lock()
+		d.stats.Redrives++
+		d.mu.Unlock()
+		if isFirst {
+			reply.SCB = d.newSCB(s)
+		} else {
+			reply.SCB = req.SCB
+		}
+	} else {
+		if !isFirst {
+			d.mu.Lock()
+			delete(d.scbs, req.SCB)
+			d.mu.Unlock()
+		}
+		d.idleWork() // write-behind of the strings this subset dirtied
+	}
+	return reply
+}
+
+// insertBlock serves INSERT^BLOCK: the paper's proposed blocked
+// sequential insert interface. The File System must hold a lock on the
+// empty target key range (KLockRange) by prior agreement, so a
+// late-detected duplicate key cannot occur from a concurrent writer.
+func (d *DP) insertBlock(req *fsdp.Request) *fsdp.Reply {
+	f, err := d.getFile(req.File)
+	if err != nil {
+		return errReply(err)
+	}
+	if req.Tx == 0 {
+		return &fsdp.Reply{Code: fsdp.ErrBadRequest, Err: "dp: insert block requires a transaction"}
+	}
+	rows, err := decodeRowsStrict(req.Rows)
+	if err != nil {
+		return errReply(err)
+	}
+	reply := &fsdp.Reply{}
+	for _, row := range rows {
+		if err := d.insertOne(req.Tx, req.File, f, row); err != nil {
+			r := errReply(err)
+			r.Count = reply.Count
+			return r
+		}
+		reply.Count++
+	}
+	d.idleWork()
+	return reply
+}
+
+// updateBlock serves UPDATE^BLOCK: buffered update-where-current. The
+// File System accumulated cursor updates locally and ships them in one
+// message; Rows holds the new records, RowKeys the target keys.
+func (d *DP) updateBlock(req *fsdp.Request) *fsdp.Reply {
+	f, err := d.getFile(req.File)
+	if err != nil {
+		return errReply(err)
+	}
+	if req.Tx == 0 {
+		return &fsdp.Reply{Code: fsdp.ErrBadRequest, Err: "dp: update block requires a transaction"}
+	}
+	if len(req.Rows) != len(req.RowKeys) {
+		return &fsdp.Reply{Code: fsdp.ErrBadRequest, Err: "dp: update block rows/keys mismatch"}
+	}
+	rows, err := decodeRowsStrict(req.Rows)
+	if err != nil {
+		return errReply(err)
+	}
+	reply := &fsdp.Reply{}
+	for i, key := range req.RowKeys {
+		newRow := rows[i]
+		err := d.updateOne(req.Tx, req.File, f, key, func(record.Row) (record.Row, error) {
+			f.schema.Coerce(newRow)
+			return newRow, nil
+		})
+		if err != nil {
+			r := errReply(err)
+			r.Count = reply.Count
+			return r
+		}
+		reply.Count++
+	}
+	d.idleWork()
+	return reply
+}
+
+// deleteBlock serves DELETE^BLOCK: buffered delete-where-current.
+func (d *DP) deleteBlock(req *fsdp.Request) *fsdp.Reply {
+	f, err := d.getFile(req.File)
+	if err != nil {
+		return errReply(err)
+	}
+	if req.Tx == 0 {
+		return &fsdp.Reply{Code: fsdp.ErrBadRequest, Err: "dp: delete block requires a transaction"}
+	}
+	reply := &fsdp.Reply{}
+	for _, key := range req.RowKeys {
+		if err := d.deleteOne(req.Tx, req.File, f, key); err != nil {
+			r := errReply(err)
+			r.Count = reply.Count
+			return r
+		}
+		reply.Count++
+	}
+	d.idleWork()
+	return reply
+}

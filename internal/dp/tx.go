@@ -1,0 +1,199 @@
+package dp
+
+import (
+	"fmt"
+
+	"nonstopsql/internal/fsdp"
+	"nonstopsql/internal/record"
+	"nonstopsql/internal/wal"
+)
+
+// txState is this DP's participant state for one transaction.
+type txState struct {
+	undo     []undoRec // applied in reverse on abort
+	lastLSN  wal.LSN   // highest audit LSN written for this tx here
+	prepared bool
+}
+
+// undoRec is one in-memory undo entry. `before` is always a full record
+// image (independent of the on-trail audit compression), so abort is a
+// simple value restore.
+type undoRec struct {
+	file   string
+	kind   wal.RecType // the forward operation being undone
+	key    []byte
+	before []byte
+}
+
+func (d *DP) joinTx(tx uint64) *txState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	t, ok := d.txs[tx]
+	if !ok {
+		t = &txState{}
+		d.txs[tx] = t
+	}
+	return t
+}
+
+func (d *DP) addUndo(tx uint64, u undoRec) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	t, ok := d.txs[tx]
+	if !ok {
+		t = &txState{}
+		d.txs[tx] = t
+	}
+	t.undo = append(t.undo, u)
+}
+
+// appendAudit writes one audit record through the audit port, tracks
+// the tx's high-water LSN for prepare, and checkpoints the change to the
+// process pair's backup when one is configured.
+func (d *DP) appendAudit(rec *wal.Record) wal.LSN {
+	lsn := d.cfg.Audit.Append(rec)
+	if d.cfg.Checkpoint != nil {
+		d.cfg.Checkpoint(rec.Size())
+	}
+	d.mu.Lock()
+	if t, ok := d.txs[rec.TxID]; ok {
+		if lsn > t.lastLSN {
+			t.lastLSN = lsn
+		}
+	} else {
+		d.txs[rec.TxID] = &txState{lastLSN: lsn}
+	}
+	d.mu.Unlock()
+	return lsn
+}
+
+// prepare serves KPrepare (2PC phase 1): all of the transaction's audit
+// at this participant is shipped and forced durable, a prepare record is
+// written, and the participant promises to hold locks.
+func (d *DP) prepare(req *fsdp.Request) *fsdp.Reply {
+	d.mu.Lock()
+	t, ok := d.txs[req.Tx]
+	d.mu.Unlock()
+	if !ok {
+		// Never touched here: trivially prepared (read-only participant).
+		return &fsdp.Reply{}
+	}
+	lsn := d.appendAudit(&wal.Record{Type: wal.RecPrepare, TxID: req.Tx, Volume: d.cfg.Volume.Name()})
+	d.cfg.Audit.FlushSend()
+	d.cfg.Audit.Trail().FlushTo(lsn)
+	d.mu.Lock()
+	t.prepared = true
+	d.mu.Unlock()
+	return &fsdp.Reply{}
+}
+
+// commit serves KCommit. With CommitLSN == 0 this DP is the only
+// participant: it writes the commit record itself and waits for it to
+// become durable, riding group commit with every other transaction in
+// the node. With CommitLSN set, the coordinator already forced the
+// commit record; this is 2PC phase 2.
+func (d *DP) commit(req *fsdp.Request) *fsdp.Reply {
+	d.mu.Lock()
+	_, ok := d.txs[req.Tx]
+	d.mu.Unlock()
+	if ok && req.CommitLSN == 0 {
+		d.cfg.Audit.FlushSend()
+		trail := d.cfg.Audit.Trail()
+		lsn := trail.AppendCommit(req.Tx)
+		trail.WaitDurable(lsn)
+	}
+	d.finishTx(req.Tx)
+	d.idleWork()
+	return &fsdp.Reply{}
+}
+
+// abort serves KAbort: undo in reverse order, write the abort record,
+// release everything.
+func (d *DP) abort(req *fsdp.Request) *fsdp.Reply {
+	d.mu.Lock()
+	t, ok := d.txs[req.Tx]
+	d.mu.Unlock()
+	if ok {
+		if err := d.undoTx(req.Tx, t); err != nil {
+			// Undo failure is unrecoverable for this volume state.
+			return errReply(fmt.Errorf("dp %s: undo of tx %d failed: %w", d.cfg.Name, req.Tx, err))
+		}
+		d.appendAudit(&wal.Record{Type: wal.RecAbort, TxID: req.Tx, Volume: d.cfg.Volume.Name()})
+	}
+	d.finishTx(req.Tx)
+	return &fsdp.Reply{}
+}
+
+// undoTx applies the in-memory undo chain in reverse.
+func (d *DP) undoTx(tx uint64, t *txState) error {
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		u := t.undo[i]
+		f, err := d.getFile(u.file)
+		if err != nil {
+			return err
+		}
+		// Compensation actions are audited so redo-after-crash replays
+		// them too (repeating history).
+		switch u.kind {
+		case wal.RecInsert:
+			lsn := d.cfg.Audit.Append(&wal.Record{
+				Type: wal.RecDelete, TxID: tx, Volume: d.cfg.Volume.Name(), File: u.file,
+				Key: u.key,
+			})
+			if err := f.tree.Delete(u.key, lsn); err != nil {
+				return err
+			}
+		case wal.RecUpdate:
+			lsn := d.cfg.Audit.Append(&wal.Record{
+				Type: wal.RecUpdate, TxID: tx, Volume: d.cfg.Volume.Name(), File: u.file,
+				Key: u.key, After: u.before,
+			})
+			if err := f.tree.Update(u.key, u.before, lsn); err != nil {
+				return err
+			}
+		case wal.RecDelete:
+			lsn := d.cfg.Audit.Append(&wal.Record{
+				Type: wal.RecInsert, TxID: tx, Volume: d.cfg.Volume.Name(), File: u.file,
+				Key: u.key, After: u.before,
+			})
+			if err := f.tree.Insert(u.key, u.before, lsn); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// finishTx drops tx state, its Subset Control Blocks, and its locks.
+func (d *DP) finishTx(tx uint64) {
+	d.mu.Lock()
+	delete(d.txs, tx)
+	for id, s := range d.scbs {
+		if s.tx == tx {
+			delete(d.scbs, id)
+		}
+	}
+	d.mu.Unlock()
+	d.locks.ReleaseTx(tx)
+}
+
+// idleWork is the "idle time between Disk Process requests": write out
+// aged dirty block strings with bulk I/O.
+func (d *DP) idleWork() {
+	if d.cfg.WriteBehind {
+		_, _ = d.pool.WriteBehind()
+	}
+}
+
+// decodeRowsStrict decodes a wire row batch.
+func decodeRowsStrict(rows [][]byte) ([]record.Row, error) {
+	out := make([]record.Row, len(rows))
+	for i, r := range rows {
+		row, err := record.Decode(r)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = row
+	}
+	return out, nil
+}

@@ -1,0 +1,7 @@
+package experiments
+
+import "time"
+
+// nowNano isolates wall-clock reads (latency reporting only; every
+// reproduced claim is a counted quantity).
+func nowNano() int64 { return time.Now().UnixNano() }

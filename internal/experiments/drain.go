@@ -1,0 +1,26 @@
+package experiments
+
+import (
+	"nonstopsql/internal/expr"
+	"nonstopsql/internal/fs"
+	"nonstopsql/internal/keys"
+)
+
+func fsSpecRSBB() fs.SelectSpec {
+	return fs.SelectSpec{Mode: fs.ModeRSBB, Range: keys.All()}
+}
+
+func fsSpecVSBB(pred expr.Expr) fs.SelectSpec {
+	return fs.SelectSpec{Mode: fs.ModeVSBB, Range: keys.All(), Pred: pred, Proj: []int{0, 1}}
+}
+
+// drain runs a scan to completion, discarding rows.
+func drain(r *rig, def *fs.FileDef, spec fs.SelectSpec) error {
+	rows := r.fs.Select(nil, def, spec)
+	for {
+		if _, _, ok := rows.Next(); !ok {
+			break
+		}
+	}
+	return rows.Err()
+}

@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestE1ShapesHold(t *testing.T) {
+	results, table, err := E1(1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 || len(table.Rows) != 3 {
+		t.Fatalf("%d results", len(results))
+	}
+	for _, r := range results {
+		if r.Factor < 2 {
+			t.Errorf("record=%dB: RSBB factor %.1f < 2", r.RecordBytes, r.Factor)
+		}
+		// Factor ≈ blocking factor.
+		if r.Factor < r.BlockingFactor*0.8 || r.Factor > r.BlockingFactor*1.3 {
+			t.Errorf("record=%dB: factor %.1f vs blocking factor %.1f", r.RecordBytes, r.Factor, r.BlockingFactor)
+		}
+	}
+	// The paper's "factor of three" appears at ~1.3 KB records.
+	big := results[2]
+	if big.Factor < 2.5 || big.Factor > 4.5 {
+		t.Errorf("1.3KB records: factor %.1f, paper says ≈3", big.Factor)
+	}
+}
+
+func TestE2VSBBBeatsRSBBOnSelectiveQueries(t *testing.T) {
+	results, _, err := E2(1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	selective := 0
+	for _, r := range results {
+		if r.Selectivity <= 0.10 && r.Factor >= 3 {
+			selective++
+		}
+		if r.VSBBBytes > r.RSBBBytes {
+			t.Errorf("%s: VSBB moved more bytes (%d) than RSBB (%d)", r.Query, r.VSBBBytes, r.RSBBBytes)
+		}
+	}
+	if selective < 2 {
+		t.Errorf("only %d selective queries achieved the paper's ≥3x", selective)
+	}
+}
+
+func TestE3MessageReduction(t *testing.T) {
+	results, _, err := E3(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("%d results", len(results))
+	}
+	readRewrite, point, subset := results[0], results[1], results[2]
+	if readRewrite.PerRec < 1.9 {
+		t.Errorf("read+rewrite %.2f msgs/rec, want ≈2", readRewrite.PerRec)
+	}
+	if point.PerRec < 0.9 || point.PerRec > 1.2 {
+		t.Errorf("point pushdown %.2f msgs/rec, want ≈1", point.PerRec)
+	}
+	if subset.PerRec > 0.05 {
+		t.Errorf("subset pushdown %.3f msgs/rec, want ≈0", subset.PerRec)
+	}
+}
+
+func TestE4CompressionRatio(t *testing.T) {
+	results, _, err := E4(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, comp := results[0], results[1]
+	if comp.AuditBytes*5 > full.AuditBytes {
+		t.Errorf("field compression weak: %d vs %d bytes", comp.AuditBytes, full.AuditBytes)
+	}
+	if comp.AuditSends >= full.AuditSends {
+		t.Errorf("compressed audit should flush less: %d vs %d", comp.AuditSends, full.AuditSends)
+	}
+}
+
+func TestE5GroupCommitGroups(t *testing.T) {
+	results, _, err := E5(60, []int{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var off, on E5Result
+	for _, r := range results {
+		if r.GroupCommit {
+			on = r
+		} else {
+			off = r
+		}
+	}
+	if off.CommitsPerIO > 1.15 {
+		t.Errorf("without group commit: %.2f commits/flush", off.CommitsPerIO)
+	}
+	if on.CommitsPerIO <= off.CommitsPerIO {
+		t.Errorf("group commit did not group: on=%.2f off=%.2f", on.CommitsPerIO, off.CommitsPerIO)
+	}
+	if on.LogFlushes >= off.LogFlushes {
+		t.Errorf("group commit should reduce log I/O: %d vs %d", on.LogFlushes, off.LogFlushes)
+	}
+}
+
+func TestE6BulkIOAndWriteBehind(t *testing.T) {
+	results, _, err := E6(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demand, bulk := results[0], results[1]
+	if bulk.DiskReads*3 > demand.DiskReads {
+		t.Errorf("bulk I/O weak: %d vs %d reads", bulk.DiskReads, demand.DiskReads)
+	}
+	if bulk.BlocksPerIO < 4 {
+		t.Errorf("blocks/read %.1f, want approaching 7", bulk.BlocksPerIO)
+	}
+	wbOn, wbOff := results[2], results[3]
+	if wbOn.DiskWrites >= wbOff.DiskWrites {
+		t.Errorf("write-behind should coalesce: %d vs %d writes", wbOn.DiskWrites, wbOff.DiskWrites)
+	}
+}
+
+func TestE7SQLMatchesEnscribe(t *testing.T) {
+	results, _, err := E7(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enscribe, sqlr := results[0], results[1]
+	if sqlr.MsgsPerTxn > enscribe.MsgsPerTxn {
+		t.Errorf("SQL %.1f msgs/txn > ENSCRIBE %.1f", sqlr.MsgsPerTxn, enscribe.MsgsPerTxn)
+	}
+	if sqlr.AuditPerTxn > enscribe.AuditPerTxn {
+		t.Errorf("SQL %.0f audit B/txn > ENSCRIBE %.0f", sqlr.AuditPerTxn, enscribe.AuditPerTxn)
+	}
+}
+
+func TestE8E9BlockingFactor(t *testing.T) {
+	r8, _, err := E8(500, []int{16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r8[1].Messages*8 > r8[0].Messages {
+		t.Errorf("blocked insert weak: %d vs %d msgs", r8[1].Messages, r8[0].Messages)
+	}
+	r9, _, err := E9(500, []int{16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r9[1].Messages*4 > r9[0].Messages {
+		t.Errorf("buffered cursor weak: %d vs %d msgs", r9[1].Messages, r9[0].Messages)
+	}
+}
+
+func TestE10RedriveBounds(t *testing.T) {
+	results, _, err := E10(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.TotalRows != 1000 {
+			t.Errorf("limit %d: lost rows (%d)", r.RowLimit, r.TotalRows)
+		}
+	}
+	// Smaller limits → more messages; GET^NEXT smaller than GET^FIRST.
+	if results[0].Messages <= results[2].Messages {
+		t.Errorf("limit 10 used %d msgs vs limit 1000 %d", results[0].Messages, results[2].Messages)
+	}
+	if results[0].ReqBytesGN >= results[0].ReqBytesGF {
+		t.Errorf("GET^NEXT (%dB) not smaller than GET^FIRST (%dB)", results[0].ReqBytesGN, results[0].ReqBytesGF)
+	}
+}
+
+func TestE11LockingMatrix(t *testing.T) {
+	results, _, err := E11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("%d results", len(results))
+	}
+	if !results[0].WriterBlocked {
+		t.Error("ENSCRIBE SBB: writer should be blocked anywhere in the file")
+	}
+	if !results[1].WriterBlocked {
+		t.Error("VSBB: writer inside the virtual block should be blocked")
+	}
+	if results[2].WriterBlocked {
+		t.Error("VSBB: writer outside the virtual block should proceed")
+	}
+}
+
+func TestF1Classification(t *testing.T) {
+	results, _, err := F1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].LocalMsgs == 0 || results[0].NetMsgs != 0 {
+		t.Errorf("local placement: %+v", results[0])
+	}
+	if results[1].BusMsgs == 0 {
+		t.Errorf("bus placement: %+v", results[1])
+	}
+	if results[2].NetMsgs == 0 {
+		t.Errorf("remote placement: %+v", results[2])
+	}
+}
+
+func TestF2TwoMessageFlow(t *testing.T) {
+	results, _, err := F2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step 1 is index probe + base read (2 messages), step 2 is one
+	// pushdown update.
+	if results[0].Messages != 2 {
+		t.Errorf("index step used %d messages", results[0].Messages)
+	}
+	if results[1].Messages != 1 {
+		t.Errorf("update step used %d messages", results[1].Messages)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	_, table, err := E1(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := table.Render()
+	if !strings.Contains(out, "E1") || !strings.Contains(out, "blocking factor") {
+		t.Errorf("render:\n%s", out)
+	}
+}

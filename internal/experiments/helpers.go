@@ -1,0 +1,25 @@
+package experiments
+
+import (
+	"nonstopsql/internal/expr"
+	"nonstopsql/internal/fs"
+	"nonstopsql/internal/fsdp"
+	"nonstopsql/internal/keys"
+)
+
+// redriveRequestSizes returns the encoded sizes of a representative
+// GET^FIRST^VSBB (carrying the predicate + projection) and the matching
+// GET^NEXT^VSBB (carrying only the SCB id and new begin-key): the SCB's
+// message-byte saving per re-drive.
+func redriveRequestSizes(def *fs.FileDef, pred expr.Expr, limit int) (first, next int) {
+	gf := &fsdp.Request{
+		Kind: fsdp.KGetFirstVSBB, File: def.Name, Range: keys.All(),
+		Pred: expr.Encode(pred), Proj: []int{0}, RowLimit: uint32(limit),
+	}
+	lastKey := keys.AppendInt64(nil, 123456)
+	gn := &fsdp.Request{
+		Kind: fsdp.KGetNextVSBB, File: def.Name,
+		Range: keys.All().Continue(lastKey), SCB: 1, RowLimit: uint32(limit),
+	}
+	return len(fsdp.EncodeRequest(gf)), len(fsdp.EncodeRequest(gn))
+}

@@ -1,0 +1,261 @@
+package expr
+
+import (
+	"nonstopsql/internal/keys"
+	"nonstopsql/internal/record"
+)
+
+// bound is one comparison constraint on a single key column.
+type bound struct {
+	op Op
+	v  record.Value
+}
+
+// ExtractKeyRange analyzes a predicate against a schema's primary key and
+// returns (1) the narrowest encoded key range implied by the predicate's
+// top-level conjuncts and (2) the residual predicate that must still be
+// evaluated per record.
+//
+// This is the query-compiler step that lets the File System send a
+// bounded [begin-key, end-key] span in the set-oriented FS-DP request so
+// the Disk Process can use bulk I/O and pre-fetch over exactly the blocks
+// containing the span. Conjuncts of the form KEYCOL op CONSTANT on a
+// prefix of the key columns are absorbed: equality conjuncts extend the
+// prefix; the first non-equality bound closes the range. Everything else
+// (including absorbed conjuncts that were inequalities, which remain
+// necessary only when they were only partially absorbed — here they are
+// fully absorbed) stays in the residual.
+func ExtractKeyRange(pred Expr, schema *record.Schema) (keys.Range, Expr) {
+	conjuncts := Conjuncts(pred)
+	used := make([]bool, len(conjuncts))
+
+	// Collect per-key-column constant bounds.
+	colBounds := make(map[int][]bound) // key position -> bounds
+	for ci, c := range conjuncts {
+		col, b, ok := constantBound(c, schema)
+		if !ok {
+			continue
+		}
+		pos := keyPosition(schema, col)
+		if pos < 0 {
+			continue
+		}
+		colBounds[pos] = append(colBounds[pos], bound{op: b.op, v: b.v})
+		used[ci] = true
+	}
+
+	// Walk key columns in key order: extend the equality prefix, then take
+	// range bounds on the next column, then stop.
+	var prefix []byte
+	r := keys.All()
+	lastKeyPos := len(schema.KeyFields) - 1
+	for pos := 0; pos < len(schema.KeyFields); pos++ {
+		bs := colBounds[pos]
+		if len(bs) == 0 {
+			break
+		}
+		if eq, ok := equalityOf(bs); ok {
+			key := eq.AppendKey(append([]byte(nil), prefix...))
+			if pos == lastKeyPos {
+				r = keys.Point(key)
+			} else {
+				prefix = key
+				r = keys.Prefix(prefix)
+				continue
+			}
+			break
+		}
+		// Non-equality bounds close the range at this column.
+		r = rangeFromBounds(prefix, bs, pos == lastKeyPos)
+		break
+	}
+	if len(colBounds) == 0 {
+		// No key conjuncts at all: full range, whole predicate residual.
+		return keys.All(), pred
+	}
+
+	// Residual: every conjunct not absorbed into the range. Bounds on key
+	// columns beyond the closed range position were collected but not
+	// absorbed; conservatively keep any conjunct whose column's bounds were
+	// not folded in. We recompute which positions were folded.
+	folded := foldedPositions(colBounds, lastKeyPos)
+	var residual []Expr
+	for ci, c := range conjuncts {
+		if !used[ci] {
+			residual = append(residual, c)
+			continue
+		}
+		col, _, _ := constantBound(c, schema)
+		if !folded[keyPosition(schema, col)] {
+			residual = append(residual, c)
+		}
+	}
+	return r, Conjoin(residual)
+}
+
+// foldedPositions determines which key positions were absorbed into the
+// range by the same walk ExtractKeyRange performs.
+func foldedPositions(colBounds map[int][]bound, lastKeyPos int) map[int]bool {
+	out := make(map[int]bool)
+	for pos := 0; ; pos++ {
+		bs := colBounds[pos]
+		if len(bs) == 0 {
+			break
+		}
+		out[pos] = true
+		if _, ok := equalityOf(bs); ok {
+			if pos == lastKeyPos {
+				break
+			}
+			continue
+		}
+		break
+	}
+	return out
+}
+
+// constantBound matches FieldRef op Const (either orientation) over
+// comparison operators and returns the field ordinal and normalized
+// bound (field on the left).
+func constantBound(e Expr, schema *record.Schema) (int, bound, bool) {
+	b, ok := e.(Binary)
+	if !ok {
+		return 0, bound{}, false
+	}
+	switch b.Op {
+	case OpEQ, OpLT, OpLE, OpGT, OpGE:
+	default:
+		return 0, bound{}, false
+	}
+	if f, ok := b.L.(FieldRef); ok {
+		if c, ok := b.R.(Const); ok && !c.V.IsNull() {
+			return f.Index, bound{op: b.Op, v: coerceTo(schema, f.Index, c.V)}, true
+		}
+	}
+	if f, ok := b.R.(FieldRef); ok {
+		if c, ok := b.L.(Const); ok && !c.V.IsNull() {
+			return f.Index, bound{op: flip(b.Op), v: coerceTo(schema, f.Index, c.V)}, true
+		}
+	}
+	return 0, bound{}, false
+}
+
+// coerceTo converts an int literal to float when the column is FLOAT so
+// encoded key bounds compare correctly.
+func coerceTo(schema *record.Schema, field int, v record.Value) record.Value {
+	if field >= 0 && field < len(schema.Fields) &&
+		schema.Fields[field].Type == record.TypeFloat && v.Kind == record.TypeInt {
+		return record.Float(float64(v.I))
+	}
+	return v
+}
+
+func flip(op Op) Op {
+	switch op {
+	case OpLT:
+		return OpGT
+	case OpLE:
+		return OpGE
+	case OpGT:
+		return OpLT
+	case OpGE:
+		return OpLE
+	}
+	return op
+}
+
+// keyPosition returns the position of field ordinal col within the key
+// column list, or -1.
+func keyPosition(schema *record.Schema, col int) int {
+	for i, k := range schema.KeyFields {
+		if k == col {
+			return i
+		}
+	}
+	return -1
+}
+
+// equalityOf returns the single equality value when the bounds pin the
+// column to one value.
+func equalityOf(bs []bound) (record.Value, bool) {
+	for _, b := range bs {
+		if b.op == OpEQ {
+			return b.v, true
+		}
+	}
+	return record.Null, false
+}
+
+// rangeFromBounds builds the encoded range for inequality bounds on the
+// column following the equality prefix. isLast reports whether this
+// column is the final key column (affects inclusive-bound encoding,
+// because non-final columns have arbitrary suffixes after the bound
+// value).
+func rangeFromBounds(prefix []byte, bs []bound, isLast bool) keys.Range {
+	r := keys.Range{}
+	if prefix != nil {
+		r = keys.Prefix(prefix)
+	}
+	for _, b := range bs {
+		key := b.v.AppendKey(append([]byte(nil), prefix...))
+		var c keys.Range
+		switch b.op {
+		case OpGT:
+			if isLast {
+				c = keys.Range{Low: key, LowExcl: true}
+			} else {
+				c = keys.Range{Low: keys.PrefixSuccessor(key)}
+			}
+		case OpGE:
+			c = keys.Range{Low: key}
+		case OpLT:
+			c = keys.Range{High: key}
+		case OpLE:
+			if isLast {
+				c = keys.Range{High: key, HighIncl: true}
+			} else {
+				c = keys.Range{High: keys.PrefixSuccessor(key)}
+			}
+		default:
+			continue
+		}
+		r = r.Intersect(c)
+	}
+	return r
+}
+
+// SelectivityHint crudely estimates the fraction of rows surviving the
+// predicate; used only by the planner's pushdown-vs-RSBB choice and by
+// benchmark reporting. Equality on a column ≈ 1%, range ≈ 33%, AND
+// multiplies, OR adds.
+func SelectivityHint(e Expr) float64 {
+	switch n := e.(type) {
+	case nil:
+		return 1
+	case Binary:
+		switch n.Op {
+		case OpAnd:
+			return SelectivityHint(n.L) * SelectivityHint(n.R)
+		case OpOr:
+			s := SelectivityHint(n.L) + SelectivityHint(n.R)
+			if s > 1 {
+				return 1
+			}
+			return s
+		case OpEQ:
+			return 0.01
+		case OpNE:
+			return 0.99
+		case OpLT, OpLE, OpGT, OpGE:
+			return 0.33
+		case OpLike:
+			return 0.1
+		}
+	case Unary:
+		if n.Op == OpNot {
+			return 1 - SelectivityHint(n.E)
+		}
+		return 0.5
+	}
+	return 0.5
+}

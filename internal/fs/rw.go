@@ -1,0 +1,269 @@
+package fs
+
+import (
+	"fmt"
+
+	"nonstopsql/internal/expr"
+	"nonstopsql/internal/fsdp"
+	"nonstopsql/internal/keys"
+	"nonstopsql/internal/record"
+	"nonstopsql/internal/tmf"
+)
+
+// Insert stores one record, maintaining every secondary index. Message
+// cost: 1 + number of indexes.
+func (f *FS) Insert(tx *tmf.Tx, def *FileDef, row record.Row) error {
+	def.Schema.Coerce(row)
+	if err := def.Schema.Validate(row); err != nil {
+		return err
+	}
+	key := def.Schema.Key(row)
+	p := partitionFor(def.Partitions, key)
+	reply, err := f.sendTx(tx, p.Server, &fsdp.Request{
+		Kind: fsdp.KInsertRecord, Tx: tx.ID, File: def.Name, Row: record.Encode(row),
+	})
+	if err != nil {
+		return err
+	}
+	if err := replyErr(reply); err != nil {
+		return err
+	}
+	for _, idx := range def.Indexes {
+		if err := f.insertIndexEntry(tx, def, idx, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *FS) insertIndexEntry(tx *tmf.Tx, def *FileDef, idx *IndexDef, row record.Row) error {
+	irow := indexRow(def.Schema, idx, row)
+	ikey := idx.schema.Key(irow)
+	p := partitionFor(idx.Partitions, ikey)
+	reply, err := f.sendTx(tx, p.Server, &fsdp.Request{
+		Kind: fsdp.KInsertRecord, Tx: tx.ID, File: idx.Name, Row: record.Encode(irow),
+	})
+	if err != nil {
+		return err
+	}
+	return replyErr(reply)
+}
+
+func (f *FS) deleteIndexEntry(tx *tmf.Tx, def *FileDef, idx *IndexDef, row record.Row) error {
+	irow := indexRow(def.Schema, idx, row)
+	ikey := idx.schema.Key(irow)
+	p := partitionFor(idx.Partitions, ikey)
+	reply, err := f.sendTx(tx, p.Server, &fsdp.Request{
+		Kind: fsdp.KDeleteRecord, Tx: tx.ID, File: idx.Name, Key: ikey,
+	})
+	if err != nil {
+		return err
+	}
+	return replyErr(reply)
+}
+
+// sendTx sends and registers the server as a transaction participant.
+// The server joins even when the reply carries an application error
+// (duplicate key, constraint violation): the Disk Process may have
+// acquired locks or written audit before failing, and only a commit or
+// abort addressed to it releases them.
+func (f *FS) sendTx(tx *tmf.Tx, server string, req *fsdp.Request) (*fsdp.Reply, error) {
+	reply, err := f.send(server, req)
+	if err == nil && tx != nil && req.Tx != 0 {
+		tx.Join(server)
+	}
+	return reply, err
+}
+
+// Read fetches one record by primary key. tx may be nil for browse
+// (lock-free) access; forUpdate takes an exclusive record lock.
+func (f *FS) Read(tx *tmf.Tx, def *FileDef, key []byte, forUpdate bool) (record.Row, error) {
+	p := partitionFor(def.Partitions, key)
+	req := &fsdp.Request{Kind: fsdp.KReadRecord, File: def.Name, Key: key}
+	if tx != nil {
+		req.Tx = tx.ID
+		if forUpdate {
+			req.Mode = 2
+		}
+	}
+	reply, err := f.sendTx(tx, p.Server, req)
+	if err != nil {
+		return nil, err
+	}
+	if err := replyErr(reply); err != nil {
+		return nil, err
+	}
+	return record.Decode(reply.Rows[0])
+}
+
+// ReadByIndex implements Figure 2's first hop generalized to reads: one
+// message to the index's Disk Process for the index record(s), then one
+// message per base record to the base file's Disk Process.
+func (f *FS) ReadByIndex(tx *tmf.Tx, def *FileDef, idx *IndexDef, value record.Value) ([]record.Row, error) {
+	prefix := value.AppendKey(nil)
+	spans := partitionsFor(idx.Partitions, keys.Prefix(prefix))
+	var out []record.Row
+	for _, span := range spans {
+		req := &fsdp.Request{Kind: fsdp.KGetFirstVSBB, File: idx.Name, Range: span.r}
+		if tx != nil {
+			req.Tx = tx.ID
+		}
+		for {
+			reply, err := f.sendTx(tx, span.server, req)
+			if err != nil {
+				return nil, err
+			}
+			if err := replyErr(reply); err != nil {
+				return nil, err
+			}
+			for _, raw := range reply.Rows {
+				irow, err := record.Decode(raw)
+				if err != nil {
+					return nil, err
+				}
+				// Extract the base key from the index record and fetch
+				// the base record from its own Disk Process.
+				baseKey := baseKeyFromIndexRow(def.Schema, irow)
+				row, err := f.Read(tx, def, baseKey, false)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, row)
+			}
+			if reply.Done {
+				break
+			}
+			req = &fsdp.Request{Kind: fsdp.KGetNextVSBB, File: idx.Name,
+				Range: req.Range.Continue(reply.LastKey), SCB: reply.SCB}
+			if tx != nil {
+				req.Tx = tx.ID
+			}
+		}
+	}
+	return out, nil
+}
+
+// baseKeyFromIndexRow rebuilds the base primary key from an index row
+// (fields 1..n are the base key columns in key order).
+func baseKeyFromIndexRow(base *record.Schema, irow record.Row) []byte {
+	var key []byte
+	for i := range base.KeyFields {
+		key = irow[1+i].AppendKey(key)
+	}
+	return key
+}
+
+// Update rewrites one record by primary key with full index
+// maintenance: indexes whose column changed get a delete+insert.
+func (f *FS) Update(tx *tmf.Tx, def *FileDef, key []byte, newRow record.Row) error {
+	def.Schema.Coerce(newRow)
+	var oldRow record.Row
+	if len(def.Indexes) > 0 {
+		var err error
+		oldRow, err = f.Read(tx, def, key, true)
+		if err != nil {
+			return err
+		}
+	}
+	p := partitionFor(def.Partitions, key)
+	reply, err := f.sendTx(tx, p.Server, &fsdp.Request{
+		Kind: fsdp.KUpdateRecord, Tx: tx.ID, File: def.Name, Key: key, Row: record.Encode(newRow),
+	})
+	if err != nil {
+		return err
+	}
+	if err := replyErr(reply); err != nil {
+		return err
+	}
+	for _, idx := range def.Indexes {
+		if oldRow[idx.Column].Equal(newRow[idx.Column]) {
+			continue
+		}
+		if err := f.deleteIndexEntry(tx, def, idx, oldRow); err != nil {
+			return err
+		}
+		if err := f.insertIndexEntry(tx, def, idx, newRow); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// UpdateFields applies SET expressions to one record. When no indexed
+// column is assigned, the update expression is subcontracted to the Disk
+// Process — one message, no record returned (the paper's key point for
+// updates). Otherwise the File System must read-modify-write with index
+// maintenance.
+func (f *FS) UpdateFields(tx *tmf.Tx, def *FileDef, key []byte, assigns []expr.Assignment) error {
+	if def.AssignsTouchIndexes(assigns) {
+		oldRow, err := f.Read(tx, def, key, true)
+		if err != nil {
+			return err
+		}
+		newRow, err := expr.ApplyAssignments(oldRow, assigns)
+		if err != nil {
+			return err
+		}
+		return f.Update(tx, def, key, newRow)
+	}
+	p := partitionFor(def.Partitions, key)
+	reply, err := f.sendTx(tx, p.Server, &fsdp.Request{
+		Kind: fsdp.KUpdateSubsetFirst, Tx: tx.ID, File: def.Name,
+		Range:  keys.Point(key),
+		Assign: expr.EncodeAssignments(assigns),
+	})
+	if err != nil {
+		return err
+	}
+	if err := replyErr(reply); err != nil {
+		return err
+	}
+	if reply.Count == 0 {
+		return fmt.Errorf("%w: %s", ErrNotFound, def.Name)
+	}
+	return nil
+}
+
+// AssignsTouchIndexes reports whether any SET target is an indexed
+// column or a primary key column (both force the requester-side path).
+func (def *FileDef) AssignsTouchIndexes(assigns []expr.Assignment) bool {
+	for _, a := range assigns {
+		if def.Schema.IsKeyField(a.Field) {
+			return true
+		}
+		for _, idx := range def.Indexes {
+			if idx.Column == a.Field {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Delete removes one record, maintaining indexes.
+func (f *FS) Delete(tx *tmf.Tx, def *FileDef, key []byte) error {
+	var oldRow record.Row
+	if len(def.Indexes) > 0 {
+		var err error
+		oldRow, err = f.Read(tx, def, key, true)
+		if err != nil {
+			return err
+		}
+	}
+	p := partitionFor(def.Partitions, key)
+	reply, err := f.sendTx(tx, p.Server, &fsdp.Request{
+		Kind: fsdp.KDeleteRecord, Tx: tx.ID, File: def.Name, Key: key,
+	})
+	if err != nil {
+		return err
+	}
+	if err := replyErr(reply); err != nil {
+		return err
+	}
+	for _, idx := range def.Indexes {
+		if err := f.deleteIndexEntry(tx, def, idx, oldRow); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,223 @@
+package fs
+
+import (
+	"nonstopsql/internal/expr"
+	"nonstopsql/internal/fsdp"
+	"nonstopsql/internal/keys"
+	"nonstopsql/internal/record"
+	"nonstopsql/internal/tmf"
+)
+
+// ScanMode selects the FS-DP read interface.
+type ScanMode int
+
+const (
+	// ModeRecord is the old record-at-a-time interface: one record per
+	// message pair (the E1 baseline).
+	ModeRecord ScanMode = iota
+	// ModeRSBB returns real sequential block buffers: one physical
+	// block's worth of whole records per message; the File System
+	// de-blocks locally.
+	ModeRSBB
+	// ModeVSBB returns virtual sequential block buffers: the Disk
+	// Process applies the selection predicate and field projection and
+	// returns a block of qualifying, projected rows.
+	ModeVSBB
+)
+
+// SelectSpec describes one single-variable scan over a (possibly
+// partitioned) file.
+type SelectSpec struct {
+	Mode  ScanMode
+	Range keys.Range
+	Pred  expr.Expr // DP-side predicate (ModeVSBB only)
+	Proj  []int     // DP-side projection (ModeVSBB only)
+
+	// RowLimit optionally narrows the DP's per-message row budget
+	// (tests, ablations).
+	RowLimit uint32
+	// Exclusive requests X virtual-block locks (read for update).
+	Exclusive bool
+}
+
+// Rows iterates a Select result: batches are fetched lazily, one FS-DP
+// message (plus re-drives) at a time, across partitions in key order.
+type Rows struct {
+	fs   *FS
+	tx   *tmf.Tx
+	def  *FileDef
+	spec SelectSpec
+
+	spans   []partSpan
+	spanIdx int
+
+	req     *fsdp.Request
+	batch   [][]byte
+	keysOut [][]byte
+	pos     int
+	done    bool // current span exhausted
+	started bool
+
+	err error
+}
+
+// Select starts a scan and returns its row iterator.
+func (f *FS) Select(tx *tmf.Tx, def *FileDef, spec SelectSpec) *Rows {
+	return &Rows{
+		fs: f, tx: tx, def: def, spec: spec,
+		spans: partitionsFor(def.Partitions, spec.Range),
+	}
+}
+
+// Next returns the next row and its record key. ok=false ends iteration;
+// check Err afterwards.
+func (r *Rows) Next() (row record.Row, key []byte, ok bool) {
+	for {
+		if r.err != nil {
+			return nil, nil, false
+		}
+		if r.pos < len(r.batch) {
+			raw := r.batch[r.pos]
+			key = r.keysOut[r.pos]
+			r.pos++
+			decoded, err := record.Decode(raw)
+			if err != nil {
+				r.err = err
+				return nil, nil, false
+			}
+			return decoded, key, true
+		}
+		if !r.fetch() {
+			return nil, nil, false
+		}
+	}
+}
+
+// Err returns the error that terminated iteration, if any.
+func (r *Rows) Err() error { return r.err }
+
+// fetch pulls the next batch: a re-drive on the current partition, or
+// GET^FIRST on the next partition.
+func (r *Rows) fetch() bool {
+	for {
+		if r.spanIdx >= len(r.spans) {
+			return false
+		}
+		span := r.spans[r.spanIdx]
+		if !r.started {
+			r.started = true
+			r.req = r.firstRequest(span)
+		} else if r.done {
+			// Current partition exhausted: move on.
+			r.spanIdx++
+			r.started = false
+			continue
+		}
+		reply, err := r.sendScan(span.server, r.req)
+		if err != nil {
+			r.err = err
+			return false
+		}
+		r.batch, r.keysOut, r.pos = reply.Rows, reply.RowKeys, 0
+		r.done = reply.Done
+		if !reply.Done {
+			r.req = r.nextRequest(span, reply)
+		}
+		if len(r.batch) > 0 {
+			return true
+		}
+		if r.done {
+			r.spanIdx++
+			r.started = false
+		}
+	}
+}
+
+func (r *Rows) firstRequest(span partSpan) *fsdp.Request {
+	req := &fsdp.Request{File: r.def.Name, Range: span.r, RowLimit: r.spec.RowLimit}
+	if r.tx != nil {
+		req.Tx = r.tx.ID
+	}
+	if r.spec.Exclusive {
+		req.Mode = 2
+	}
+	switch r.spec.Mode {
+	case ModeVSBB:
+		req.Kind = fsdp.KGetFirstVSBB
+		req.Pred = expr.Encode(r.spec.Pred)
+		req.Proj = r.spec.Proj
+	case ModeRSBB:
+		req.Kind = fsdp.KGetFirstRSBB
+	default:
+		// Record-at-a-time: an RSBB conversation limited to one record
+		// per message — each READ costs a message pair, as under the old
+		// interface.
+		req.Kind = fsdp.KGetFirstRSBB
+		req.RowLimit = 1
+	}
+	return req
+}
+
+func (r *Rows) nextRequest(span partSpan, reply *fsdp.Reply) *fsdp.Request {
+	req := &fsdp.Request{
+		File:  r.def.Name,
+		Range: r.req.Range.Continue(reply.LastKey),
+		SCB:   reply.SCB, RowLimit: r.req.RowLimit,
+	}
+	if r.tx != nil {
+		req.Tx = r.tx.ID
+	}
+	if r.spec.Exclusive {
+		req.Mode = 2
+	}
+	switch r.spec.Mode {
+	case ModeVSBB:
+		req.Kind = fsdp.KGetNextVSBB
+	default:
+		req.Kind = fsdp.KGetNextRSBB
+	}
+	return req
+}
+
+func (r *Rows) sendScan(server string, req *fsdp.Request) (*fsdp.Reply, error) {
+	reply, err := r.fs.sendTx(r.tx, server, req)
+	if err != nil {
+		return nil, err
+	}
+	if err := replyErr(reply); err != nil {
+		return nil, err
+	}
+	return reply, nil
+}
+
+// SelectAll drains a scan into memory (convenience for callers with
+// small results).
+func (f *FS) SelectAll(tx *tmf.Tx, def *FileDef, spec SelectSpec) ([]record.Row, error) {
+	rows := f.Select(tx, def, spec)
+	var out []record.Row
+	for {
+		row, _, ok := rows.Next()
+		if !ok {
+			break
+		}
+		out = append(out, row)
+	}
+	return out, rows.Err()
+}
+
+// Count returns the number of records in the range satisfying pred,
+// counting at the Disk Process side via VSBB with a minimal projection.
+func (f *FS) Count(tx *tmf.Tx, def *FileDef, rng keys.Range, pred expr.Expr) (int, error) {
+	rows := f.Select(tx, def, SelectSpec{
+		Mode: ModeVSBB, Range: rng, Pred: pred, Proj: def.Schema.KeyFields[:1],
+	})
+	n := 0
+	for {
+		_, _, ok := rows.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	return n, rows.Err()
+}

@@ -1,0 +1,159 @@
+package fs
+
+import (
+	"bytes"
+
+	"nonstopsql/internal/expr"
+	"nonstopsql/internal/fsdp"
+	"nonstopsql/internal/keys"
+	"nonstopsql/internal/record"
+	"nonstopsql/internal/tmf"
+)
+
+// UpdateSubset applies SET expressions to every record in the range
+// satisfying pred.
+//
+// Fast path (the paper's contribution): when no assigned column is
+// indexed or part of the primary key, the whole operation is
+// subcontracted to each partition's Disk Process as
+// UPDATE^SUBSET^FIRST/NEXT — predicate, expressions, and CHECK all
+// evaluate at the data source and no record crosses the interface.
+//
+// Fallback: assignments touching indexed/key columns run requester-side
+// (scan + per-record update with index maintenance), since index
+// fragments live on other Disk Processes that this one cannot reach.
+func (f *FS) UpdateSubset(tx *tmf.Tx, def *FileDef, rng keys.Range, pred expr.Expr, assigns []expr.Assignment) (int, error) {
+	if def.AssignsTouchIndexes(assigns) {
+		return f.updateSubsetRequesterSide(tx, def, rng, pred, assigns)
+	}
+	total := 0
+	for _, span := range partitionsFor(def.Partitions, rng) {
+		req := &fsdp.Request{
+			Kind: fsdp.KUpdateSubsetFirst, Tx: tx.ID, File: def.Name,
+			Range:  span.r,
+			Pred:   expr.Encode(pred),
+			Assign: expr.EncodeAssignments(assigns),
+		}
+		for {
+			reply, err := f.sendTx(tx, span.server, req)
+			if err != nil {
+				return total, err
+			}
+			if err := replyErr(reply); err != nil {
+				return total, err
+			}
+			total += int(reply.Count)
+			if reply.Done {
+				break
+			}
+			req = &fsdp.Request{
+				Kind: fsdp.KUpdateSubsetNext, Tx: tx.ID, File: def.Name,
+				Range: req.Range.Continue(reply.LastKey), SCB: reply.SCB,
+			}
+		}
+	}
+	return total, nil
+}
+
+// updateSubsetRequesterSide scans qualifying rows (still filtered at the
+// DP via VSBB), then updates each with full index maintenance. The scan
+// completes before any update applies, avoiding the Halloween problem
+// when assignments move records within the scanned key order.
+func (f *FS) updateSubsetRequesterSide(tx *tmf.Tx, def *FileDef, rng keys.Range, pred expr.Expr, assigns []expr.Assignment) (int, error) {
+	rows := f.Select(tx, def, SelectSpec{Mode: ModeVSBB, Range: rng, Pred: pred, Exclusive: true})
+	type hit struct {
+		key []byte
+		row record.Row
+	}
+	var hits []hit
+	for {
+		row, key, ok := rows.Next()
+		if !ok {
+			break
+		}
+		hits = append(hits, hit{key: key, row: row})
+	}
+	if err := rows.Err(); err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, h := range hits {
+		newRow, err := expr.ApplyAssignments(h.row, assigns)
+		if err != nil {
+			return n, err
+		}
+		def.Schema.Coerce(newRow)
+		newKey := def.Schema.Key(newRow)
+		if bytes.Equal(newKey, h.key) {
+			err = f.Update(tx, def, h.key, newRow)
+		} else {
+			// Primary key changed: a delete+insert pair.
+			if err = f.Delete(tx, def, h.key); err == nil {
+				err = f.Insert(tx, def, newRow)
+			}
+		}
+		if err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// DeleteSubset deletes every record in the range satisfying pred, with
+// the same pushdown/fallback split as UpdateSubset: files without
+// secondary indexes delete entirely at the Disk Process.
+func (f *FS) DeleteSubset(tx *tmf.Tx, def *FileDef, rng keys.Range, pred expr.Expr) (int, error) {
+	if len(def.Indexes) > 0 {
+		return f.deleteSubsetRequesterSide(tx, def, rng, pred)
+	}
+	total := 0
+	for _, span := range partitionsFor(def.Partitions, rng) {
+		req := &fsdp.Request{
+			Kind: fsdp.KDeleteSubsetFirst, Tx: tx.ID, File: def.Name,
+			Range: span.r,
+			Pred:  expr.Encode(pred),
+		}
+		for {
+			reply, err := f.sendTx(tx, span.server, req)
+			if err != nil {
+				return total, err
+			}
+			if err := replyErr(reply); err != nil {
+				return total, err
+			}
+			total += int(reply.Count)
+			if reply.Done {
+				break
+			}
+			req = &fsdp.Request{
+				Kind: fsdp.KDeleteSubsetNext, Tx: tx.ID, File: def.Name,
+				Range: req.Range.Continue(reply.LastKey), SCB: reply.SCB,
+			}
+		}
+	}
+	return total, nil
+}
+
+func (f *FS) deleteSubsetRequesterSide(tx *tmf.Tx, def *FileDef, rng keys.Range, pred expr.Expr) (int, error) {
+	rows := f.Select(tx, def, SelectSpec{Mode: ModeVSBB, Range: rng, Pred: pred, Exclusive: true})
+	var keysToDelete [][]byte
+	for {
+		_, key, ok := rows.Next()
+		if !ok {
+			break
+		}
+		keysToDelete = append(keysToDelete, key)
+	}
+	if err := rows.Err(); err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, key := range keysToDelete {
+		if err := f.Delete(tx, def, key); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}

@@ -1,0 +1,232 @@
+// Package msg simulates the message-based Tandem operating system: a
+// network of loosely-coupled processors (grouped into nodes) whose
+// processes communicate only by messages. Servers — Disk Process groups
+// — share a message input queue drained by a pool of goroutines, the
+// "group of cooperating processes" of the paper.
+//
+// Every request and reply is a serialized byte string whose size is
+// charged to counters, classified by distance (same processor, same
+// node via the inter-processor bus, or remote node via the network).
+// The paper's central performance claims are message-traffic claims;
+// these counters are the measurement instrument that reproduces them.
+package msg
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// A ProcessorID locates a processor: node within the network, CPU
+// within the node (Figure 1 of the paper shows two 4-CPU nodes).
+type ProcessorID struct {
+	Node int
+	CPU  int
+}
+
+// String renders the processor like "\NODE1.CPU2".
+func (p ProcessorID) String() string { return fmt.Sprintf("\\N%d.C%d", p.Node, p.CPU) }
+
+// Stats counts message traffic.
+type Stats struct {
+	Requests     uint64
+	Replies      uint64
+	RequestBytes uint64
+	ReplyBytes   uint64
+	Local        uint64 // request landed on the sender's own processor
+	Bus          uint64 // crossed the inter-processor bus (same node)
+	Network      uint64 // crossed node boundaries
+}
+
+// Messages returns the total message count (requests + replies).
+func (s Stats) Messages() uint64 { return s.Requests + s.Replies }
+
+// Bytes returns the total bytes moved.
+func (s Stats) Bytes() uint64 { return s.RequestBytes + s.ReplyBytes }
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.Requests += o.Requests
+	s.Replies += o.Replies
+	s.RequestBytes += o.RequestBytes
+	s.ReplyBytes += o.ReplyBytes
+	s.Local += o.Local
+	s.Bus += o.Bus
+	s.Network += o.Network
+}
+
+// A Handler serves one request and returns the reply payload. Handlers
+// run on the server's goroutine pool; application-level errors travel
+// inside the reply encoding, not as Go errors.
+type Handler func(req []byte) []byte
+
+type request struct {
+	payload []byte
+	reply   chan []byte
+}
+
+// A Server is a named process group with a shared input queue.
+type Server struct {
+	name string
+	proc ProcessorID
+	net  *Network
+
+	mu     sync.RWMutex // guards closed vs. in-flight queue sends
+	queue  chan request
+	closed bool
+	wg     sync.WaitGroup
+
+	received atomic.Uint64
+}
+
+// Name returns the server's process name (e.g. "$DATA1").
+func (s *Server) Name() string { return s.name }
+
+// Processor returns where the server runs.
+func (s *Server) Processor() ProcessorID { return s.proc }
+
+// Received returns how many requests this server has handled.
+func (s *Server) Received() uint64 { return s.received.Load() }
+
+// Close stops the server's goroutine pool after draining the queue.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// A Network is the interconnect and process registry for one simulated
+// Tandem network (one or more nodes of up to 16 processors).
+type Network struct {
+	mu      sync.Mutex
+	servers map[string]*Server
+	stats   Stats
+}
+
+// NewNetwork creates an empty network.
+func NewNetwork() *Network {
+	return &Network{servers: make(map[string]*Server)}
+}
+
+// StartServer registers a process group named name on processor proc,
+// with `workers` goroutines sharing the input queue, each running
+// handler. It returns the server handle.
+func (n *Network) StartServer(name string, proc ProcessorID, workers int, handler Handler) (*Server, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.servers[name]; dup {
+		return nil, fmt.Errorf("msg: server %q already registered", name)
+	}
+	s := &Server{name: name, proc: proc, net: n, queue: make(chan request, 64)}
+	n.servers[name] = s
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for req := range s.queue {
+				req.reply <- handler(req.payload)
+			}
+		}()
+	}
+	return s, nil
+}
+
+// StopServer unregisters and stops the named server.
+func (n *Network) StopServer(name string) {
+	n.mu.Lock()
+	s := n.servers[name]
+	delete(n.servers, name)
+	n.mu.Unlock()
+	if s != nil {
+		s.Close()
+	}
+}
+
+// Lookup returns the processor a server runs on.
+func (n *Network) Lookup(name string) (ProcessorID, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s, ok := n.servers[name]
+	if !ok {
+		return ProcessorID{}, false
+	}
+	return s.proc, true
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// ResetStats zeroes the traffic counters.
+func (n *Network) ResetStats() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats = Stats{}
+}
+
+// A Client is a requester context: library code (the File System) that
+// runs in an application process on a particular processor.
+type Client struct {
+	net  *Network
+	proc ProcessorID
+}
+
+// NewClient creates a requester on the given processor.
+func (n *Network) NewClient(proc ProcessorID) *Client {
+	return &Client{net: n, proc: proc}
+}
+
+// Processor returns where the client runs.
+func (c *Client) Processor() ProcessorID { return c.proc }
+
+// Send delivers one request message to the named server and waits for
+// the reply, charging both directions to the traffic counters.
+func (c *Client) Send(server string, payload []byte) ([]byte, error) {
+	c.net.mu.Lock()
+	s, ok := c.net.servers[server]
+	if !ok {
+		c.net.mu.Unlock()
+		return nil, fmt.Errorf("msg: no server %q", server)
+	}
+	c.net.stats.Requests++
+	c.net.stats.RequestBytes += uint64(len(payload))
+	switch {
+	case s.proc == c.proc:
+		c.net.stats.Local++
+	case s.proc.Node == c.proc.Node:
+		c.net.stats.Bus++
+	default:
+		c.net.stats.Network++
+	}
+	c.net.mu.Unlock()
+
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return nil, fmt.Errorf("msg: server %q is down", server)
+	}
+	s.received.Add(1)
+	req := request{payload: payload, reply: make(chan []byte, 1)}
+	s.queue <- req
+	s.mu.RUnlock()
+
+	reply := <-req.reply
+
+	c.net.mu.Lock()
+	c.net.stats.Replies++
+	c.net.stats.ReplyBytes += uint64(len(reply))
+	c.net.mu.Unlock()
+	return reply, nil
+}

@@ -1,0 +1,203 @@
+package msg
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func echo(req []byte) []byte { return append([]byte("echo:"), req...) }
+
+func TestSendReceive(t *testing.T) {
+	n := NewNetwork()
+	if _, err := n.StartServer("$DATA1", ProcessorID{0, 1}, 2, echo); err != nil {
+		t.Fatal(err)
+	}
+	defer n.StopServer("$DATA1")
+	c := n.NewClient(ProcessorID{0, 0})
+	reply, err := c.Send("$DATA1", []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reply, []byte("echo:hello")) {
+		t.Errorf("got %q", reply)
+	}
+}
+
+func TestUnknownServer(t *testing.T) {
+	n := NewNetwork()
+	c := n.NewClient(ProcessorID{0, 0})
+	if _, err := c.Send("$NOPE", nil); err == nil {
+		t.Error("send to unknown server accepted")
+	}
+}
+
+func TestDuplicateServer(t *testing.T) {
+	n := NewNetwork()
+	n.StartServer("$D", ProcessorID{0, 0}, 1, echo)
+	defer n.StopServer("$D")
+	if _, err := n.StartServer("$D", ProcessorID{0, 1}, 1, echo); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	n := NewNetwork()
+	n.StartServer("$D", ProcessorID{0, 1}, 1, echo)
+	defer n.StopServer("$D")
+	c := n.NewClient(ProcessorID{0, 0})
+	payload := []byte("12345678")
+	c.Send("$D", payload)
+	s := n.Stats()
+	if s.Requests != 1 || s.Replies != 1 || s.Messages() != 2 {
+		t.Errorf("stats %+v", s)
+	}
+	if s.RequestBytes != 8 || s.ReplyBytes != uint64(len("echo:12345678")) {
+		t.Errorf("bytes %+v", s)
+	}
+	n.ResetStats()
+	if n.Stats().Messages() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestDistanceClassification(t *testing.T) {
+	n := NewNetwork()
+	n.StartServer("$LOCAL", ProcessorID{0, 0}, 1, echo)
+	n.StartServer("$BUS", ProcessorID{0, 3}, 1, echo)
+	n.StartServer("$REMOTE", ProcessorID{1, 0}, 1, echo)
+	defer n.StopServer("$LOCAL")
+	defer n.StopServer("$BUS")
+	defer n.StopServer("$REMOTE")
+	c := n.NewClient(ProcessorID{0, 0})
+	c.Send("$LOCAL", nil)
+	c.Send("$BUS", nil)
+	c.Send("$REMOTE", nil)
+	s := n.Stats()
+	if s.Local != 1 || s.Bus != 1 || s.Network != 1 {
+		t.Errorf("distance stats %+v", s)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	n := NewNetwork()
+	p := ProcessorID{2, 7}
+	n.StartServer("$X", p, 1, echo)
+	defer n.StopServer("$X")
+	got, ok := n.Lookup("$X")
+	if !ok || got != p {
+		t.Errorf("Lookup = %v %v", got, ok)
+	}
+	if _, ok := n.Lookup("$Y"); ok {
+		t.Error("phantom server")
+	}
+}
+
+func TestServerDown(t *testing.T) {
+	n := NewNetwork()
+	n.StartServer("$D", ProcessorID{0, 0}, 1, echo)
+	n.StopServer("$D")
+	c := n.NewClient(ProcessorID{0, 0})
+	if _, err := c.Send("$D", nil); err == nil {
+		t.Error("send to stopped server accepted")
+	}
+}
+
+func TestProcessGroupConcurrency(t *testing.T) {
+	// Multiple workers drain the shared queue concurrently.
+	n := NewNetwork()
+	var mu sync.Mutex
+	inflight, maxInflight := 0, 0
+	block := make(chan struct{})
+	n.StartServer("$D", ProcessorID{0, 0}, 4, func(req []byte) []byte {
+		mu.Lock()
+		inflight++
+		if inflight > maxInflight {
+			maxInflight = inflight
+		}
+		mu.Unlock()
+		<-block
+		mu.Lock()
+		inflight--
+		mu.Unlock()
+		return req
+	})
+	c := n.NewClient(ProcessorID{0, 0})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Send("$D", []byte("x"))
+		}()
+	}
+	// Let the handlers pile up, then release.
+	for {
+		mu.Lock()
+		if maxInflight == 4 {
+			mu.Unlock()
+			break
+		}
+		mu.Unlock()
+	}
+	close(block)
+	wg.Wait()
+	n.StopServer("$D")
+	if maxInflight != 4 {
+		t.Errorf("max inflight %d, want 4", maxInflight)
+	}
+}
+
+func TestManyClientsStress(t *testing.T) {
+	n := NewNetwork()
+	n.StartServer("$D", ProcessorID{0, 1}, 4, echo)
+	defer n.StopServer("$D")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c := n.NewClient(ProcessorID{0, id % 4})
+			for i := 0; i < 200; i++ {
+				msg := []byte(fmt.Sprintf("m-%d-%d", id, i))
+				reply, err := c.Send("$D", msg)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !bytes.Equal(reply, append([]byte("echo:"), msg...)) {
+					t.Error("reply mismatch")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := n.Stats().Requests; got != 1600 {
+		t.Errorf("requests %d", got)
+	}
+	srv, _ := n.servers["$D"], true
+	if srv.Received() != 1600 {
+		t.Errorf("received %d", srv.Received())
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	m := DefaultCostModel()
+	s := Stats{Local: 10, Bus: 5, Network: 2, RequestBytes: 2048, ReplyBytes: 2048}
+	est := m.Estimate(s)
+	if est <= 0 {
+		t.Fatal("zero estimate")
+	}
+	// Remote messages dominate local ones.
+	localOnly := m.Estimate(Stats{Local: 10})
+	remoteOnly := m.Estimate(Stats{Network: 10})
+	if remoteOnly <= localOnly {
+		t.Errorf("remote %v should cost more than local %v", remoteOnly, localOnly)
+	}
+	// Bytes matter.
+	if m.Estimate(Stats{Local: 1, RequestBytes: 1 << 20}) <= m.Estimate(Stats{Local: 1}) {
+		t.Error("byte cost ignored")
+	}
+}

@@ -1,0 +1,6 @@
+package record
+
+import "nonstopsql/internal/keys"
+
+// decodeNextKey re-exports keys.DecodeNext for tests in this package.
+func decodeNextKey(k []byte) (any, []byte, error) { return keys.DecodeNext(k) }

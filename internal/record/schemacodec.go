@@ -1,0 +1,81 @@
+package record
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EncodeSchema serializes a schema for the FS-DP wire (CREATE requests
+// carry the record descriptor to the Disk Process).
+func EncodeSchema(s *Schema) []byte {
+	b := binary.AppendUvarint(nil, uint64(len(s.Name)))
+	b = append(b, s.Name...)
+	b = binary.AppendUvarint(b, uint64(len(s.Fields)))
+	for _, f := range s.Fields {
+		b = binary.AppendUvarint(b, uint64(len(f.Name)))
+		b = append(b, f.Name...)
+		b = append(b, byte(f.Type))
+		if f.NotNull {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	b = binary.AppendUvarint(b, uint64(len(s.KeyFields)))
+	for _, k := range s.KeyFields {
+		b = binary.AppendUvarint(b, uint64(k))
+	}
+	return b
+}
+
+// DecodeSchema parses an encoded schema.
+func DecodeSchema(b []byte) (*Schema, error) {
+	name, b, err := takeString(b)
+	if err != nil {
+		return nil, err
+	}
+	nf, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, fmt.Errorf("record: bad schema field count")
+	}
+	b = b[n:]
+	fields := make([]Field, nf)
+	for i := range fields {
+		fn, rest, err := takeString(b)
+		if err != nil {
+			return nil, err
+		}
+		b = rest
+		if len(b) < 2 {
+			return nil, fmt.Errorf("record: truncated schema field")
+		}
+		fields[i] = Field{Name: fn, Type: Type(b[0]), NotNull: b[1] == 1}
+		b = b[2:]
+	}
+	nk, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, fmt.Errorf("record: bad schema key count")
+	}
+	b = b[n:]
+	keyFields := make([]int, nk)
+	for i := range keyFields {
+		k, n := binary.Uvarint(b)
+		if n <= 0 {
+			return nil, fmt.Errorf("record: bad schema key field")
+		}
+		keyFields[i] = int(k)
+		b = b[n:]
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("record: %d trailing schema bytes", len(b))
+	}
+	return NewSchema(name, fields, keyFields)
+}
+
+func takeString(b []byte) (string, []byte, error) {
+	l, n := binary.Uvarint(b)
+	if n <= 0 || uint64(len(b)-n) < l {
+		return "", nil, fmt.Errorf("record: truncated string")
+	}
+	return string(b[n : n+int(l)]), b[n+int(l):], nil
+}

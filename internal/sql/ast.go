@@ -1,0 +1,152 @@
+package sql
+
+import (
+	"nonstopsql/internal/expr"
+	"nonstopsql/internal/record"
+)
+
+// Statement is a parsed SQL statement.
+type Statement interface{ isStmt() }
+
+// ColDef is one column in CREATE TABLE.
+type ColDef struct {
+	Name    string
+	Type    record.Type
+	NotNull bool
+	PK      bool // inline PRIMARY KEY
+}
+
+// PartitionClause places a key range on a volume: PARTITION ON
+// ("$DATA1", "$DATA2" FROM 1000, ...).
+type PartitionClause struct {
+	Volume string
+	From   record.Value // zero Value (NULL) for the first partition
+}
+
+// CreateTable is CREATE TABLE.
+type CreateTable struct {
+	Name       string
+	Cols       []ColDef
+	PK         []string // table-level PRIMARY KEY(...)
+	Check      aExpr
+	Partitions []PartitionClause
+}
+
+// CreateIndex is CREATE INDEX name ON table (col) [ON "$VOL"].
+type CreateIndex struct {
+	Name   string
+	Table  string
+	Column string
+	Volume string
+}
+
+// DropTable is DROP TABLE.
+type DropTable struct{ Name string }
+
+// Insert is INSERT INTO t [(cols)] VALUES (...), (...).
+type Insert struct {
+	Table string
+	Cols  []string
+	Rows  [][]aExpr
+}
+
+// SelectItem is one projection in the select list.
+type SelectItem struct {
+	Star  bool
+	Expr  aExpr
+	Alias string
+}
+
+// TableRef is one FROM entry.
+type TableRef struct {
+	Table string
+	Alias string
+}
+
+// OrderItem is one ORDER BY entry.
+type OrderItem struct {
+	Expr aExpr
+	Desc bool
+}
+
+// Select is a SELECT statement (1 or 2 tables).
+type Select struct {
+	Items   []SelectItem
+	From    []TableRef
+	Where   aExpr
+	GroupBy []aExpr
+	Having  aExpr
+	OrderBy []OrderItem
+	Limit   int // -1 = none
+	Browse  bool
+}
+
+// SetClause is one SET assignment.
+type SetClause struct {
+	Col string
+	E   aExpr
+}
+
+// Update is UPDATE t SET ... [WHERE ...].
+type Update struct {
+	Table string
+	Sets  []SetClause
+	Where aExpr
+}
+
+// Delete is DELETE FROM t [WHERE ...].
+type Delete struct {
+	Table string
+	Where aExpr
+}
+
+// Begin / Commit / Rollback are transaction statements.
+type Begin struct{}
+type Commit struct{}
+type Rollback struct{}
+
+func (CreateTable) isStmt() {}
+func (CreateIndex) isStmt() {}
+func (DropTable) isStmt()   {}
+func (Insert) isStmt()      {}
+func (Select) isStmt()      {}
+func (Update) isStmt()      {}
+func (Delete) isStmt()      {}
+func (Begin) isStmt()       {}
+func (Commit) isStmt()      {}
+func (Rollback) isStmt()    {}
+
+// aExpr is an unresolved (pre-binding) expression tree.
+type aExpr interface{ isAExpr() }
+
+// aConst is a literal.
+type aConst struct{ V record.Value }
+
+// aCol is a possibly-qualified column reference.
+type aCol struct{ Table, Name string }
+
+// aBin is a binary operation, using expr's operator vocabulary.
+type aBin struct {
+	Op   expr.Op
+	L, R aExpr
+}
+
+// aUnary is NOT / unary minus / IS [NOT] NULL.
+type aUnary struct {
+	Op expr.Op
+	E  aExpr
+}
+
+// aCall is an aggregate invocation: COUNT(*), SUM(x), AVG, MIN, MAX.
+type aCall struct {
+	Fn       string
+	Star     bool
+	Distinct bool
+	Arg      aExpr
+}
+
+func (aConst) isAExpr() {}
+func (aCol) isAExpr()   {}
+func (aBin) isAExpr()   {}
+func (aUnary) isAExpr() {}
+func (aCall) isAExpr()  {}

@@ -1,0 +1,146 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"nonstopsql/internal/expr"
+	"nonstopsql/internal/record"
+)
+
+// A scope maps qualified column names to field ordinals in the
+// executor's (possibly concatenated) row. For a join, the inner table's
+// fields sit at an offset after the outer's.
+type scope struct {
+	entries []scopeEntry
+}
+
+type scopeEntry struct {
+	alias  string // upper-cased table name or alias
+	schema *record.Schema
+	offset int
+}
+
+func (s *scope) add(alias string, schema *record.Schema, offset int) {
+	s.entries = append(s.entries, scopeEntry{alias: strings.ToUpper(alias), schema: schema, offset: offset})
+}
+
+// resolve finds the row ordinal for a column reference.
+func (s *scope) resolve(c aCol) (int, error) {
+	found := -1
+	for _, e := range s.entries {
+		if c.Table != "" && c.Table != e.alias && c.Table != e.schema.Name {
+			continue
+		}
+		i := e.schema.FieldIndex(c.Name)
+		if i < 0 {
+			continue
+		}
+		if found >= 0 {
+			return 0, fmt.Errorf("sql: ambiguous column %q", c.Name)
+		}
+		found = e.offset + i
+	}
+	if found < 0 {
+		if c.Table != "" {
+			return 0, fmt.Errorf("sql: no column %s.%s", c.Table, c.Name)
+		}
+		return 0, fmt.Errorf("sql: no column %q", c.Name)
+	}
+	return found, nil
+}
+
+// bind resolves an unresolved AST expression into an executable
+// expr.Expr. Aggregate calls are rejected here — the planner strips them
+// first.
+func bind(e aExpr, s *scope) (expr.Expr, error) {
+	switch n := e.(type) {
+	case nil:
+		return nil, nil
+	case aConst:
+		return expr.C(n.V), nil
+	case aCol:
+		i, err := s.resolve(n)
+		if err != nil {
+			return nil, err
+		}
+		return expr.FieldRef{Index: i, Name: n.Name}, nil
+	case aBin:
+		l, err := bind(n.L, s)
+		if err != nil {
+			return nil, err
+		}
+		r, err := bind(n.R, s)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Binary{Op: n.Op, L: l, R: r}, nil
+	case aUnary:
+		sub, err := bind(n.E, s)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Unary{Op: n.Op, E: sub}, nil
+	case aCall:
+		return nil, fmt.Errorf("sql: aggregate %s not allowed here", n.Fn)
+	}
+	return nil, fmt.Errorf("sql: cannot bind %T", e)
+}
+
+// columnsOf lists the aCol references in an unresolved expression.
+func columnsOf(e aExpr) []aCol {
+	var out []aCol
+	var walk func(aExpr)
+	walk = func(e aExpr) {
+		switch n := e.(type) {
+		case aCol:
+			out = append(out, n)
+		case aBin:
+			walk(n.L)
+			walk(n.R)
+		case aUnary:
+			walk(n.E)
+		case aCall:
+			if n.Arg != nil {
+				walk(n.Arg)
+			}
+		}
+	}
+	if e != nil {
+		walk(e)
+	}
+	return out
+}
+
+// hasAggregate reports whether the expression contains an aggregate call.
+func hasAggregate(e aExpr) bool {
+	switch n := e.(type) {
+	case aCall:
+		return true
+	case aBin:
+		return hasAggregate(n.L) || hasAggregate(n.R)
+	case aUnary:
+		return hasAggregate(n.E)
+	}
+	return false
+}
+
+// displayName invents a result column label for an expression.
+func displayName(e aExpr) string {
+	switch n := e.(type) {
+	case aCol:
+		return n.Name
+	case aCall:
+		if n.Star {
+			return n.Fn + "(*)"
+		}
+		return n.Fn + "(" + displayName(n.Arg) + ")"
+	case aConst:
+		return n.V.Format()
+	case aBin:
+		return "(" + displayName(n.L) + " " + n.Op.String() + " " + displayName(n.R) + ")"
+	case aUnary:
+		return "(" + n.Op.String() + " " + displayName(n.E) + ")"
+	}
+	return "?"
+}

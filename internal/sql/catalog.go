@@ -1,0 +1,236 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"nonstopsql/internal/fs"
+	"nonstopsql/internal/keys"
+	"nonstopsql/internal/record"
+	"nonstopsql/internal/tmf"
+)
+
+// A Catalog maps table names to their file definitions and owns the
+// default placement policy (round-robin over the configured volumes).
+// It is shared by every session of a database.
+type Catalog struct {
+	mu      sync.RWMutex
+	tables  map[string]*fs.FileDef
+	volumes []string
+	rr      int
+}
+
+// NewCatalog creates a catalog over the given data volumes (Disk
+// Process names); the first is the default placement target.
+func NewCatalog(volumes []string) *Catalog {
+	return &Catalog{tables: make(map[string]*fs.FileDef), volumes: volumes}
+}
+
+// Table resolves a table name.
+func (c *Catalog) Table(name string) (*fs.FileDef, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	def, ok := c.tables[strings.ToUpper(name)]
+	if !ok {
+		return nil, fmt.Errorf("sql: no such table %q", name)
+	}
+	return def, nil
+}
+
+// Tables lists table names.
+func (c *Catalog) Tables() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	return out
+}
+
+// nextVolume picks a default placement volume.
+func (c *Catalog) nextVolume() string {
+	v := c.volumes[c.rr%len(c.volumes)]
+	c.rr++
+	return v
+}
+
+// createTable materializes a CREATE TABLE: builds the schema (inline or
+// table-level PRIMARY KEY), binds the CHECK constraint, lays out
+// partitions, and creates the file via the File System.
+func (c *Catalog) createTable(f *fs.FS, ct CreateTable) error {
+	name := strings.ToUpper(ct.Name)
+	fields := make([]record.Field, len(ct.Cols))
+	var pk []int
+	for i, col := range ct.Cols {
+		fields[i] = record.Field{Name: strings.ToUpper(col.Name), Type: col.Type, NotNull: col.NotNull}
+		if col.PK {
+			pk = append(pk, i)
+		}
+	}
+	if len(ct.PK) > 0 {
+		if len(pk) > 0 {
+			return fmt.Errorf("sql: table %s: both inline and table-level PRIMARY KEY", name)
+		}
+		for _, colName := range ct.PK {
+			found := -1
+			for i := range fields {
+				if fields[i].Name == strings.ToUpper(colName) {
+					found = i
+					break
+				}
+			}
+			if found < 0 {
+				return fmt.Errorf("sql: table %s: PRIMARY KEY column %q undefined", name, colName)
+			}
+			fields[found].NotNull = true
+			pk = append(pk, found)
+		}
+	}
+	if len(pk) == 0 {
+		return fmt.Errorf("sql: table %s: PRIMARY KEY required", name)
+	}
+	schema, err := record.NewSchema(name, fields, pk)
+	if err != nil {
+		return err
+	}
+
+	def := &fs.FileDef{Name: name, Schema: schema, FieldAudit: true}
+	if len(ct.Partitions) == 0 {
+		c.mu.Lock()
+		vol := c.nextVolume()
+		c.mu.Unlock()
+		def.Partitions = []fs.Partition{{Server: vol}}
+	} else {
+		for i, pc := range ct.Partitions {
+			p := fs.Partition{Server: pc.Volume}
+			if i > 0 {
+				if pc.From.IsNull() {
+					return fmt.Errorf("sql: table %s: partition %d needs FROM <key>", name, i+1)
+				}
+				p.LowKey = pc.From.AppendKey(nil)
+			}
+			def.Partitions = append(def.Partitions, p)
+		}
+	}
+
+	if ct.Check != nil {
+		sc := &scope{}
+		sc.add("", schema, 0)
+		check, err := bind(ct.Check, sc)
+		if err != nil {
+			return fmt.Errorf("sql: table %s: CHECK: %w", name, err)
+		}
+		def.Check = check
+	}
+
+	c.mu.Lock()
+	if _, dup := c.tables[name]; dup {
+		c.mu.Unlock()
+		return fmt.Errorf("sql: table %s already exists", name)
+	}
+	c.mu.Unlock()
+
+	if err := f.Create(def); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.tables[name] = def
+	c.mu.Unlock()
+	return nil
+}
+
+// createIndex materializes CREATE INDEX with backfill.
+func (c *Catalog) createIndex(f *fs.FS, tx *tmf.Tx, ci CreateIndex) error {
+	def, err := c.Table(ci.Table)
+	if err != nil {
+		return err
+	}
+	col := def.Schema.FieldIndex(ci.Column)
+	if col < 0 {
+		return fmt.Errorf("sql: index %s: no column %q in %s", ci.Name, ci.Column, def.Name)
+	}
+	vol := ci.Volume
+	if vol == "" {
+		c.mu.Lock()
+		vol = c.nextVolume()
+		c.mu.Unlock()
+	}
+	idx := &fs.IndexDef{
+		Name:       strings.ToUpper(ci.Name),
+		Column:     col,
+		Partitions: []fs.Partition{{Server: vol}},
+	}
+	return f.CreateIndex(tx, def, idx)
+}
+
+// Describe renders a table's schema, partitions, and indexes.
+func (c *Catalog) Describe(name string) (string, error) {
+	def, err := c.Table(name)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "TABLE %s\n", def.Name)
+	for i, f := range def.Schema.Fields {
+		attrs := ""
+		if f.NotNull {
+			attrs += " NOT NULL"
+		}
+		if def.Schema.IsKeyField(i) {
+			attrs += " (primary key)"
+		}
+		fmt.Fprintf(&sb, "  %-16s %s%s\n", f.Name, f.Type, attrs)
+	}
+	if def.Check != nil {
+		fmt.Fprintf(&sb, "  CHECK %s\n", def.Check)
+	}
+	for _, p := range def.Partitions {
+		lo := "LOW-VALUE"
+		if p.LowKey != nil {
+			if vals, err := decodeKeyVals(p.LowKey); err == nil {
+				lo = vals
+			}
+		}
+		fmt.Fprintf(&sb, "  PARTITION on %s from %s\n", p.Server, lo)
+	}
+	for _, idx := range def.Indexes {
+		fmt.Fprintf(&sb, "  INDEX %s on (%s), volume %s\n",
+			idx.Name, def.Schema.Fields[idx.Column].Name, idx.Partitions[0].Server)
+	}
+	if def.FieldAudit {
+		sb.WriteString("  audit: field-compressed (SQL)\n")
+	} else {
+		sb.WriteString("  audit: full record images (ENSCRIBE)\n")
+	}
+	return sb.String(), nil
+}
+
+func decodeKeyVals(k []byte) (string, error) {
+	vals, err := keys.Decode(k)
+	if err != nil {
+		return "", err
+	}
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = record.ValueFromKey(v).Format()
+	}
+	return strings.Join(parts, ","), nil
+}
+
+// dropTable removes the table from the catalog and its fragments from
+// their Disk Processes.
+func (c *Catalog) dropTable(f *fs.FS, name string) error {
+	def, err := c.Table(name)
+	if err != nil {
+		return err
+	}
+	if err := f.Drop(def); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	delete(c.tables, strings.ToUpper(name))
+	c.mu.Unlock()
+	return nil
+}

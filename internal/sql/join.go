@@ -1,0 +1,285 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"nonstopsql/internal/expr"
+	"nonstopsql/internal/record"
+	"nonstopsql/internal/tmf"
+)
+
+// joinSelect runs a two-table SELECT. A general SQL predicate is
+// multi-variable, but — exactly as the paper describes — the executor's
+// File System invocations stay single-table: the WHERE clause splits
+// into outer-only, inner-only, and join conjuncts; outer-only conjuncts
+// push to the outer table's Disk Processes; for each outer row the join
+// conjuncts are instantiated into constants, turning the inner access
+// into another single-variable query (often a primary-key range or an
+// index probe).
+func (s *Session) joinSelect(tx *tmf.Tx, sel Select) (*Result, error) {
+	outerRef, innerRef := sel.From[0], sel.From[1]
+	outerDef, err := s.cat.Table(outerRef.Table)
+	if err != nil {
+		return nil, err
+	}
+	innerDef, err := s.cat.Table(innerRef.Table)
+	if err != nil {
+		return nil, err
+	}
+	outerAlias := outerRef.Alias
+	if outerAlias == "" {
+		outerAlias = outerDef.Name
+	}
+	innerAlias := innerRef.Alias
+	if innerAlias == "" {
+		innerAlias = innerDef.Name
+	}
+
+	// Combined scope for the select list and post-filters.
+	combined := &scope{}
+	combined.add(outerAlias, outerDef.Schema, 0)
+	combined.add(innerAlias, innerDef.Schema, len(outerDef.Schema.Fields))
+
+	// Local scopes for pushdown binding.
+	outerScope := &scope{}
+	outerScope.add(outerAlias, outerDef.Schema, 0)
+	innerScope := &scope{}
+	innerScope.add(innerAlias, innerDef.Schema, 0)
+
+	// Classify WHERE conjuncts at the AST level.
+	var outerOnly, innerOnly, joinConjs []aExpr
+	for _, conj := range astConjuncts(sel.Where) {
+		usesOuter, usesInner, err := tablesUsed(conj, outerAlias, outerDef.Schema, innerAlias, innerDef.Schema)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case usesOuter && usesInner:
+			joinConjs = append(joinConjs, conj)
+		case usesInner:
+			innerOnly = append(innerOnly, conj)
+		default:
+			outerOnly = append(outerOnly, conj)
+		}
+	}
+
+	// Outer access: single-variable query.
+	outerPred, err := bindConjuncts(outerOnly, outerScope)
+	if err != nil {
+		return nil, err
+	}
+	outerRows, err := s.tableAccess(tx, outerDef, outerPred, nil, -1)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pre-bind inner-only conjuncts.
+	innerPredBase, err := bindConjuncts(innerOnly, innerScope)
+	if err != nil {
+		return nil, err
+	}
+
+	aggregate := len(sel.GroupBy) > 0 || sel.Having != nil
+	for _, item := range sel.Items {
+		if !item.Star && hasAggregate(item.Expr) {
+			aggregate = true
+		}
+	}
+
+	var combinedRows []record.Row
+	outerWidth := len(outerDef.Schema.Fields)
+	for _, orow := range outerRows {
+		// Instantiate join conjuncts against this outer row.
+		innerPred := innerPredBase
+		var post []expr.Expr
+		for _, jc := range joinConjs {
+			inst, ok, err := instantiateJoinConj(jc, orow, outerAlias, outerDef.Schema, innerScope)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				innerPred = expr.And(innerPred, inst)
+			} else {
+				// General shape: post-filter on the combined row.
+				bound, err := bind(jc, combined)
+				if err != nil {
+					return nil, err
+				}
+				post = append(post, bound)
+			}
+		}
+		innerRows, err := s.tableAccess(tx, innerDef, innerPred, nil, -1)
+		if err != nil {
+			return nil, err
+		}
+		for _, irow := range innerRows {
+			crow := make(record.Row, 0, outerWidth+len(irow))
+			crow = append(crow, orow...)
+			crow = append(crow, irow...)
+			keep := true
+			for _, p := range post {
+				ok, err := expr.Satisfied(p, crow)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					keep = false
+					break
+				}
+			}
+			if keep {
+				combinedRows = append(combinedRows, crow)
+			}
+		}
+	}
+
+	if aggregate {
+		return s.aggregateResult(sel, combined, combinedRows)
+	}
+	// SELECT * over a join expands both tables' columns.
+	return s.projectJoinResult(sel, combined, outerDef.Schema, innerDef.Schema, combinedRows)
+}
+
+// projectJoinResult is projectResult with * expansion over two schemas.
+func (s *Session) projectJoinResult(sel Select, sc *scope, outer, inner *record.Schema, rows []record.Row) (*Result, error) {
+	expanded := Select{
+		From: sel.From, Where: sel.Where,
+		OrderBy: sel.OrderBy, Limit: sel.Limit, Browse: sel.Browse,
+	}
+	for _, item := range sel.Items {
+		if !item.Star {
+			expanded.Items = append(expanded.Items, item)
+			continue
+		}
+		for _, f := range outer.Fields {
+			expanded.Items = append(expanded.Items, SelectItem{Expr: aCol{Table: outer.Name, Name: f.Name}, Alias: f.Name})
+		}
+		for _, f := range inner.Fields {
+			expanded.Items = append(expanded.Items, SelectItem{Expr: aCol{Table: inner.Name, Name: f.Name}, Alias: f.Name})
+		}
+	}
+	return s.projectResult(expanded, sc, nil, rows)
+}
+
+// astConjuncts splits an unresolved predicate into top-level AND factors.
+func astConjuncts(e aExpr) []aExpr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(aBin); ok && b.Op == expr.OpAnd {
+		return append(astConjuncts(b.L), astConjuncts(b.R)...)
+	}
+	return []aExpr{e}
+}
+
+// bindConjuncts binds and conjoins a conjunct list.
+func bindConjuncts(conjs []aExpr, sc *scope) (expr.Expr, error) {
+	var out expr.Expr
+	for _, c := range conjs {
+		bound, err := bind(c, sc)
+		if err != nil {
+			return nil, err
+		}
+		out = expr.And(out, bound)
+	}
+	return out, nil
+}
+
+// tablesUsed reports which of the two tables a conjunct references.
+func tablesUsed(e aExpr, outerAlias string, outer *record.Schema, innerAlias string, inner *record.Schema) (usesOuter, usesInner bool, err error) {
+	ou, iu := strings.ToUpper(outerAlias), strings.ToUpper(innerAlias)
+	for _, c := range columnsOf(e) {
+		inOuter := (c.Table == "" || c.Table == ou || c.Table == outer.Name) && outer.FieldIndex(c.Name) >= 0
+		inInner := (c.Table == "" || c.Table == iu || c.Table == inner.Name) && inner.FieldIndex(c.Name) >= 0
+		switch {
+		case inOuter && inInner:
+			return false, false, fmt.Errorf("sql: ambiguous column %q", c.Name)
+		case inOuter:
+			usesOuter = true
+		case inInner:
+			usesInner = true
+		default:
+			return false, false, fmt.Errorf("sql: no column %q", c.Name)
+		}
+	}
+	return usesOuter, usesInner, nil
+}
+
+// instantiateJoinConj converts a comparison between one outer-side and
+// one inner-side operand into an inner-local predicate by evaluating the
+// outer side against the current outer row. Returns ok=false for shapes
+// it cannot split (the caller post-filters those).
+func instantiateJoinConj(e aExpr, outerRow record.Row, outerAlias string, outer *record.Schema, innerScope *scope) (expr.Expr, bool, error) {
+	b, ok := e.(aBin)
+	if !ok {
+		return nil, false, nil
+	}
+	switch b.Op {
+	case expr.OpEQ, expr.OpNE, expr.OpLT, expr.OpLE, expr.OpGT, expr.OpGE:
+	default:
+		return nil, false, nil
+	}
+	sideOf := func(sub aExpr) (string, error) {
+		uo, ui := false, false
+		ou := strings.ToUpper(outerAlias)
+		for _, c := range columnsOf(sub) {
+			inO := (c.Table == "" || c.Table == ou || c.Table == outer.Name) && outer.FieldIndex(c.Name) >= 0
+			if inO {
+				uo = true
+			} else {
+				ui = true
+			}
+		}
+		switch {
+		case uo && ui:
+			return "both", nil
+		case uo:
+			return "outer", nil
+		case ui:
+			return "inner", nil
+		}
+		return "const", nil
+	}
+	ls, err := sideOf(b.L)
+	if err != nil {
+		return nil, false, err
+	}
+	rs, err := sideOf(b.R)
+	if err != nil {
+		return nil, false, err
+	}
+	outerScope := &scope{}
+	outerScope.add(outerAlias, outer, 0)
+
+	evalOuter := func(sub aExpr) (record.Value, error) {
+		bound, err := bind(sub, outerScope)
+		if err != nil {
+			return record.Null, err
+		}
+		return expr.Eval(bound, outerRow)
+	}
+	switch {
+	case (ls == "outer" || ls == "const") && rs == "inner":
+		v, err := evalOuter(b.L)
+		if err != nil {
+			return nil, false, err
+		}
+		inner, err := bind(b.R, innerScope)
+		if err != nil {
+			return nil, false, err
+		}
+		return expr.Binary{Op: b.Op, L: expr.C(v), R: inner}, true, nil
+	case ls == "inner" && (rs == "outer" || rs == "const"):
+		v, err := evalOuter(b.R)
+		if err != nil {
+			return nil, false, err
+		}
+		inner, err := bind(b.L, innerScope)
+		if err != nil {
+			return nil, false, err
+		}
+		return expr.Binary{Op: b.Op, L: inner, R: expr.C(v)}, true, nil
+	}
+	return nil, false, nil
+}

@@ -1,0 +1,724 @@
+package sql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"nonstopsql/internal/expr"
+	"nonstopsql/internal/fastsort"
+	"nonstopsql/internal/fs"
+	"nonstopsql/internal/record"
+	"nonstopsql/internal/tmf"
+)
+
+// execSelect plans and runs a SELECT. The plan produced here drives the
+// executor's File System invocations — always in terms of a single
+// table per request, with optional access via a secondary index; a join
+// decomposes into single-variable queries against each table.
+func (s *Session) execSelect(sel Select) (*Result, error) {
+	tx := s.tx
+	if sel.Browse {
+		tx = nil // browse access: no locks, read through
+	}
+	if len(sel.From) == 1 {
+		return s.singleTableSelect(tx, sel)
+	}
+	return s.joinSelect(tx, sel)
+}
+
+// neededColumns accumulates the field ordinals (within schema) that the
+// client side must see for the given unresolved expressions.
+func neededColumns(schema *record.Schema, alias string, exprs []aExpr) map[int]bool {
+	out := make(map[int]bool)
+	up := strings.ToUpper(alias)
+	for _, e := range exprs {
+		for _, c := range columnsOf(e) {
+			if c.Table != "" && c.Table != up && c.Table != schema.Name {
+				continue
+			}
+			if i := schema.FieldIndex(c.Name); i >= 0 {
+				out[i] = true
+			}
+		}
+	}
+	return out
+}
+
+// tableAccess returns full-width rows of def satisfying pred (already
+// bound against the table's local scope). It performs the planner's
+// access-path selection:
+//
+//  1. peel the primary-key range off the predicate (bounded subset),
+//  2. else probe a secondary index on an equality conjunct,
+//  3. scan — VSBB with DP-side selection/projection when there is a
+//     residual predicate or a narrowing projection, RSBB otherwise.
+//
+// needed lists the client-required columns (nil = all). stopAfter > 0
+// ends the scan early once that many rows are in hand (LIMIT without
+// ORDER BY).
+func (s *Session) tableAccess(tx *tmf.Tx, def *fs.FileDef, pred expr.Expr, needed map[int]bool, stopAfter int) ([]record.Row, error) {
+	schema := def.Schema
+	rng, residual := expr.ExtractKeyRange(pred, schema)
+
+	// Index probe: equality conjunct on an indexed column, when the key
+	// range does not already bound the scan.
+	if rng.Low == nil && rng.High == nil {
+		if idx, val, ok := indexProbe(def, residual); ok {
+			rows, err := s.fs.ReadByIndex(tx, def, idx, val)
+			if err != nil {
+				return nil, err
+			}
+			var out []record.Row
+			for _, row := range rows {
+				keep, err := expr.Satisfied(residual, row)
+				if err != nil {
+					return nil, err
+				}
+				if keep {
+					out = append(out, row)
+					if stopAfter > 0 && len(out) >= stopAfter {
+						break
+					}
+				}
+			}
+			return out, nil
+		}
+	}
+
+	// Scan path. Build the projection list for VSBB: the client-needed
+	// columns; the DP evaluates the residual on the full record.
+	var proj []int
+	if needed != nil && len(needed) < len(schema.Fields) {
+		for i := range schema.Fields {
+			if needed[i] {
+				proj = append(proj, i)
+			}
+		}
+	}
+	spec := fs.SelectSpec{Range: rng}
+	if residual != nil || proj != nil {
+		spec.Mode = fs.ModeVSBB
+		spec.Pred = residual
+		spec.Proj = proj
+	} else {
+		spec.Mode = fs.ModeRSBB
+	}
+	rows := s.fs.Select(tx, def, spec)
+	var out []record.Row
+	for {
+		row, _, ok := rows.Next()
+		if !ok {
+			break
+		}
+		if proj != nil {
+			// Re-inflate the projected row to full width so bound
+			// expressions keep their original ordinals.
+			full := make(record.Row, len(schema.Fields))
+			for i, f := range proj {
+				full[f] = row[i]
+			}
+			row = full
+		}
+		out = append(out, row)
+		if stopAfter > 0 && len(out) >= stopAfter {
+			break
+		}
+	}
+	return out, rows.Err()
+}
+
+// indexProbe finds an equality conjunct on an indexed column.
+func indexProbe(def *fs.FileDef, pred expr.Expr) (*fs.IndexDef, record.Value, bool) {
+	for _, conj := range expr.Conjuncts(pred) {
+		b, ok := conj.(expr.Binary)
+		if !ok || b.Op != expr.OpEQ {
+			continue
+		}
+		var fr expr.FieldRef
+		var cv expr.Const
+		if f, ok := b.L.(expr.FieldRef); ok {
+			if c, ok := b.R.(expr.Const); ok {
+				fr, cv = f, c
+			} else {
+				continue
+			}
+		} else if f, ok := b.R.(expr.FieldRef); ok {
+			if c, ok := b.L.(expr.Const); ok {
+				fr, cv = f, c
+			} else {
+				continue
+			}
+		} else {
+			continue
+		}
+		for _, idx := range def.Indexes {
+			if idx.Column == fr.Index && !cv.V.IsNull() {
+				return idx, cv.V, true
+			}
+		}
+	}
+	return nil, record.Null, false
+}
+
+// singleTableSelect runs a one-table SELECT including aggregates, GROUP
+// BY, ORDER BY, and LIMIT.
+func (s *Session) singleTableSelect(tx *tmf.Tx, sel Select) (*Result, error) {
+	ref := sel.From[0]
+	def, err := s.cat.Table(ref.Table)
+	if err != nil {
+		return nil, err
+	}
+	alias := ref.Alias
+	if alias == "" {
+		alias = def.Name
+	}
+	sc := &scope{}
+	sc.add(alias, def.Schema, 0)
+
+	pred, err := bind(sel.Where, sc)
+	if err != nil {
+		return nil, err
+	}
+
+	aggregate := len(sel.GroupBy) > 0 || sel.Having != nil
+	for _, item := range sel.Items {
+		if !item.Star && hasAggregate(item.Expr) {
+			aggregate = true
+		}
+	}
+
+	// Determine client-needed columns.
+	var exprs []aExpr
+	star := false
+	for _, item := range sel.Items {
+		if item.Star {
+			star = true
+		} else {
+			exprs = append(exprs, item.Expr)
+		}
+	}
+	for _, o := range sel.OrderBy {
+		exprs = append(exprs, o.Expr)
+	}
+	exprs = append(exprs, sel.GroupBy...)
+	if sel.Having != nil {
+		exprs = append(exprs, sel.Having)
+	}
+	var needed map[int]bool
+	if !star {
+		needed = neededColumns(def.Schema, alias, exprs)
+	}
+
+	stopAfter := -1
+	if sel.Limit >= 0 && len(sel.OrderBy) == 0 && !aggregate {
+		stopAfter = sel.Limit
+	}
+	rows, err := s.tableAccess(tx, def, pred, needed, stopAfter)
+	if err != nil {
+		return nil, err
+	}
+
+	if aggregate {
+		return s.aggregateResult(sel, sc, rows)
+	}
+	return s.projectResult(sel, sc, def.Schema, rows)
+}
+
+// projectResult applies ORDER BY / LIMIT / the select list to full-width
+// rows.
+func (s *Session) projectResult(sel Select, sc *scope, schema *record.Schema, rows []record.Row) (*Result, error) {
+	if len(sel.OrderBy) > 0 {
+		if err := s.orderRows(sel.OrderBy, sc, rows); err != nil {
+			return nil, err
+		}
+	}
+	if sel.Limit >= 0 && len(rows) > sel.Limit {
+		rows = rows[:sel.Limit]
+	}
+	res := &Result{}
+	type outCol struct {
+		e    expr.Expr
+		name string
+	}
+	var cols []outCol
+	for _, item := range sel.Items {
+		if item.Star {
+			if schema == nil {
+				return nil, fmt.Errorf("sql: SELECT * not supported here")
+			}
+			for i, f := range schema.Fields {
+				cols = append(cols, outCol{e: expr.FieldRef{Index: i, Name: f.Name}, name: f.Name})
+			}
+			continue
+		}
+		bound, err := bind(item.Expr, sc)
+		if err != nil {
+			return nil, err
+		}
+		name := item.Alias
+		if name == "" {
+			name = displayName(item.Expr)
+		}
+		cols = append(cols, outCol{e: bound, name: name})
+	}
+	for _, c := range cols {
+		res.Columns = append(res.Columns, c.name)
+	}
+	for _, row := range rows {
+		out := make(record.Row, len(cols))
+		for i, c := range cols {
+			v, err := expr.Eval(c.e, row)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	res.Affected = len(res.Rows)
+	return res, nil
+}
+
+// fastSortThreshold is the result size beyond which ORDER BY invokes
+// the parallel sorter, FastSort [Tsukerman] — the "user option which
+// directs the SQL compiler to cause the invocation at execution time of
+// the parallel sorter" made automatic.
+const fastSortThreshold = 4096
+
+// orderRows sorts full-width rows by the ORDER BY expressions. Small
+// results sort in place; large ones go through FastSort's parallel
+// run-sort/merge.
+func (s *Session) orderRows(items []OrderItem, sc *scope, rows []record.Row) error {
+	type keyed struct {
+		e    expr.Expr
+		desc bool
+	}
+	ks := make([]keyed, len(items))
+	for i, item := range items {
+		bound, err := bind(item.Expr, sc)
+		if err != nil {
+			return err
+		}
+		ks[i] = keyed{e: bound, desc: item.Desc}
+	}
+	// The comparator runs on FastSort's parallel sorter processes, so the
+	// error capture must be synchronized.
+	var errMu sync.Mutex
+	var sortErr error
+	setErr := func(err error) {
+		errMu.Lock()
+		if sortErr == nil {
+			sortErr = err
+		}
+		errMu.Unlock()
+	}
+	less := func(a, b record.Row) bool {
+		for _, k := range ks {
+			va, err := expr.Eval(k.e, a)
+			if err != nil {
+				setErr(err)
+				return false
+			}
+			vb, err := expr.Eval(k.e, b)
+			if err != nil {
+				setErr(err)
+				return false
+			}
+			c := va.Compare(vb)
+			if c == 0 {
+				continue
+			}
+			if k.desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	}
+	if len(rows) >= fastSortThreshold {
+		sorted, err := fastsort.Sort(rows, less, fastsort.Config{})
+		if err != nil {
+			return err
+		}
+		copy(rows, sorted)
+		return sortErr
+	}
+	sort.SliceStable(rows, func(a, b int) bool { return less(rows[a], rows[b]) })
+	return sortErr
+}
+
+// aggregateResult folds rows through the aggregate select list.
+func (s *Session) aggregateResult(sel Select, sc *scope, rows []record.Row) (*Result, error) {
+	// Bind group-by expressions.
+	var gbs []expr.Expr
+	for _, g := range sel.GroupBy {
+		bound, err := bind(g, sc)
+		if err != nil {
+			return nil, err
+		}
+		gbs = append(gbs, bound)
+	}
+	// Classify the select items: aggregate calls or group-by outputs.
+	var plans []itemPlan
+	for _, item := range sel.Items {
+		if item.Star {
+			return nil, fmt.Errorf("sql: SELECT * with aggregates is not supported")
+		}
+		name := item.Alias
+		if name == "" {
+			name = displayName(item.Expr)
+		}
+		if call, ok := item.Expr.(aCall); ok {
+			spec, err := newAggSpec(call, sc)
+			if err != nil {
+				return nil, err
+			}
+			plans = append(plans, itemPlan{name: name, agg: spec, groupBy: -1})
+			continue
+		}
+		// Must match a group-by expression.
+		matched := -1
+		for gi, g := range sel.GroupBy {
+			if displayName(g) == displayName(item.Expr) {
+				matched = gi
+				break
+			}
+		}
+		if matched < 0 {
+			return nil, fmt.Errorf("sql: %s must appear in GROUP BY or an aggregate", displayName(item.Expr))
+		}
+		plans = append(plans, itemPlan{name: name, groupBy: matched})
+	}
+	// HAVING rewrites into an expression over the (possibly extended)
+	// output row: aggregate calls and GROUP BY expressions it references
+	// become hidden output columns when not already selected.
+	var having expr.Expr
+	if sel.Having != nil {
+		var err error
+		having, err = rewriteHaving(sel.Having, sel, sc, &plans)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	type group struct {
+		keyVals record.Row
+		states  []*aggState
+		order   int
+	}
+	groups := make(map[string]*group)
+	for _, row := range rows {
+		keyVals := make(record.Row, len(gbs))
+		var kb []byte
+		for i, g := range gbs {
+			v, err := expr.Eval(g, row)
+			if err != nil {
+				return nil, err
+			}
+			keyVals[i] = v
+			kb = v.AppendKey(kb)
+		}
+		gr, ok := groups[string(kb)]
+		if !ok {
+			gr = &group{keyVals: keyVals, order: len(groups)}
+			for _, p := range plans {
+				if p.agg != nil {
+					gr.states = append(gr.states, p.agg.newState())
+				} else {
+					gr.states = append(gr.states, nil)
+				}
+			}
+			groups[string(kb)] = gr
+		}
+		si := 0
+		for _, p := range plans {
+			if p.agg != nil {
+				if err := gr.states[si].feed(row); err != nil {
+					return nil, err
+				}
+			}
+			si++
+		}
+	}
+	// No rows and no GROUP BY: aggregates over the empty set.
+	if len(groups) == 0 && len(gbs) == 0 {
+		gr := &group{}
+		for _, p := range plans {
+			if p.agg != nil {
+				gr.states = append(gr.states, p.agg.newState())
+			} else {
+				gr.states = append(gr.states, nil)
+			}
+		}
+		groups[""] = gr
+	}
+
+	ordered := make([]*group, 0, len(groups))
+	for _, g := range groups {
+		ordered = append(ordered, g)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].order < ordered[j].order })
+
+	res := &Result{}
+	for _, p := range plans {
+		if !p.hidden {
+			res.Columns = append(res.Columns, p.name)
+		}
+	}
+	for _, g := range ordered {
+		out := make(record.Row, len(plans))
+		for i, p := range plans {
+			if p.agg != nil {
+				out[i] = g.states[i].value()
+			} else {
+				out[i] = g.keyVals[p.groupBy]
+			}
+		}
+		if having != nil {
+			keep, err := expr.Satisfied(having, out)
+			if err != nil {
+				return nil, err
+			}
+			if !keep {
+				continue
+			}
+		}
+		// Project away the hidden HAVING-only columns.
+		visible := make(record.Row, 0, len(res.Columns))
+		for i, p := range plans {
+			if !p.hidden {
+				visible = append(visible, out[i])
+			}
+		}
+		res.Rows = append(res.Rows, visible)
+	}
+	// ORDER BY over the result columns (match by display name / alias).
+	if len(sel.OrderBy) > 0 {
+		if err := orderResult(res, sel.OrderBy); err != nil {
+			return nil, err
+		}
+	}
+	if sel.Limit >= 0 && len(res.Rows) > sel.Limit {
+		res.Rows = res.Rows[:sel.Limit]
+	}
+	res.Affected = len(res.Rows)
+	return res, nil
+}
+
+// orderResult sorts an aggregate result by output column references.
+func orderResult(res *Result, items []OrderItem) error {
+	type sk struct {
+		col  int
+		desc bool
+	}
+	var sks []sk
+	for _, item := range items {
+		name := displayName(item.Expr)
+		col := -1
+		for i, c := range res.Columns {
+			if strings.EqualFold(c, name) {
+				col = i
+				break
+			}
+		}
+		if col < 0 {
+			return fmt.Errorf("sql: ORDER BY %s must name an output column of the aggregate", name)
+		}
+		sks = append(sks, sk{col: col, desc: item.Desc})
+	}
+	sort.SliceStable(res.Rows, func(a, b int) bool {
+		for _, k := range sks {
+			c := res.Rows[a][k.col].Compare(res.Rows[b][k.col])
+			if c == 0 {
+				continue
+			}
+			if k.desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	return nil
+}
+
+// itemPlan is one output column of an aggregate query: an aggregate
+// call or a group-by value, possibly hidden (HAVING-only).
+type itemPlan struct {
+	name    string
+	agg     *aggSpec
+	groupBy int // index into the GROUP BY list, -1 if aggregate
+	hidden  bool
+}
+
+// rewriteHaving converts the HAVING clause into an expression over the
+// aggregate output row, appending hidden output columns for aggregate
+// calls and GROUP BY expressions the select list does not already carry.
+func rewriteHaving(e aExpr, sel Select, sc *scope, plans *[]itemPlan) (expr.Expr, error) {
+	name := displayName(e)
+	// A verbatim GROUP BY expression (of any node shape) reads from the
+	// group's key values.
+	if _, isCall := e.(aCall); !isCall {
+		for gi, g := range sel.GroupBy {
+			if displayName(g) != name {
+				continue
+			}
+			for i, p := range *plans {
+				if p.agg == nil && p.groupBy == gi {
+					return expr.FieldRef{Index: i, Name: name}, nil
+				}
+			}
+			*plans = append(*plans, itemPlan{name: name, groupBy: gi, hidden: true})
+			return expr.FieldRef{Index: len(*plans) - 1, Name: name}, nil
+		}
+	}
+	switch n := e.(type) {
+	case aConst:
+		return expr.C(n.V), nil
+	case aCall:
+		for i, p := range *plans {
+			if p.agg != nil && p.name == name {
+				return expr.FieldRef{Index: i, Name: name}, nil
+			}
+		}
+		spec, err := newAggSpec(n, sc)
+		if err != nil {
+			return nil, err
+		}
+		*plans = append(*plans, itemPlan{name: name, agg: spec, groupBy: -1, hidden: true})
+		return expr.FieldRef{Index: len(*plans) - 1, Name: name}, nil
+	case aBin:
+		l, err := rewriteHaving(n.L, sel, sc, plans)
+		if err != nil {
+			return nil, err
+		}
+		r, err := rewriteHaving(n.R, sel, sc, plans)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Binary{Op: n.Op, L: l, R: r}, nil
+	case aUnary:
+		sub, err := rewriteHaving(n.E, sel, sc, plans)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Unary{Op: n.Op, E: sub}, nil
+	}
+	return nil, fmt.Errorf("sql: HAVING %s must be an aggregate or a GROUP BY expression", name)
+}
+
+// aggSpec / aggState implement COUNT/SUM/AVG/MIN/MAX.
+type aggSpec struct {
+	fn       string
+	star     bool
+	distinct bool
+	arg      expr.Expr
+}
+
+func newAggSpec(call aCall, sc *scope) (*aggSpec, error) {
+	spec := &aggSpec{fn: call.Fn, star: call.Star, distinct: call.Distinct}
+	if !call.Star {
+		bound, err := bind(call.Arg, sc)
+		if err != nil {
+			return nil, err
+		}
+		spec.arg = bound
+	} else if call.Fn != "COUNT" {
+		return nil, fmt.Errorf("sql: %s(*) is not valid", call.Fn)
+	}
+	return spec, nil
+}
+
+type aggState struct {
+	spec  *aggSpec
+	count int64
+	sum   float64
+	sumI  int64
+	isInt bool
+	min   record.Value
+	max   record.Value
+	seen  map[string]bool
+	any   bool
+}
+
+func (s *aggSpec) newState() *aggState {
+	st := &aggState{spec: s, isInt: true}
+	if s.distinct {
+		st.seen = make(map[string]bool)
+	}
+	return st
+}
+
+func (s *aggState) feed(row record.Row) error {
+	if s.spec.star {
+		s.count++
+		return nil
+	}
+	v, err := expr.Eval(s.spec.arg, row)
+	if err != nil {
+		return err
+	}
+	if v.IsNull() {
+		return nil // SQL aggregates ignore NULLs
+	}
+	if s.seen != nil {
+		k := string(v.AppendKey(nil))
+		if s.seen[k] {
+			return nil
+		}
+		s.seen[k] = true
+	}
+	s.count++
+	switch s.spec.fn {
+	case "SUM", "AVG":
+		if v.Kind == record.TypeInt {
+			s.sumI += v.I
+		} else {
+			s.isInt = false
+		}
+		s.sum += v.AsFloat()
+	case "MIN":
+		if !s.any || v.Compare(s.min) < 0 {
+			s.min = v
+		}
+	case "MAX":
+		if !s.any || v.Compare(s.max) > 0 {
+			s.max = v
+		}
+	}
+	s.any = true
+	return nil
+}
+
+func (s *aggState) value() record.Value {
+	switch s.spec.fn {
+	case "COUNT":
+		return record.Int(s.count)
+	case "SUM":
+		if s.count == 0 {
+			return record.Null
+		}
+		if s.isInt {
+			return record.Int(s.sumI)
+		}
+		return record.Float(s.sum)
+	case "AVG":
+		if s.count == 0 {
+			return record.Null
+		}
+		return record.Float(s.sum / float64(s.count))
+	case "MIN":
+		if !s.any {
+			return record.Null
+		}
+		return s.min
+	case "MAX":
+		if !s.any {
+			return record.Null
+		}
+		return s.max
+	}
+	return record.Null
+}

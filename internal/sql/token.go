@@ -1,0 +1,161 @@
+// Package sql implements the NonStop SQL language layer: lexer, parser,
+// catalog, query compiler (planner), and executor. The executor's File
+// System invocations implement the execution plan of the compiled query:
+// multi-variable queries are decomposed into single-variable queries so
+// that selection, projection, update expressions, and CHECK constraints
+// can be subcontracted to the Disk Processes.
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokInt
+	tokFloat
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased; idents as written
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "INSERT": true, "INTO": true,
+	"VALUES": true, "UPDATE": true, "SET": true, "DELETE": true, "CREATE": true,
+	"TABLE": true, "INDEX": true, "DROP": true, "PRIMARY": true, "KEY": true,
+	"NOT": true, "NULL": true, "AND": true, "OR": true, "LIKE": true, "IS": true,
+	"CHECK": true, "ON": true, "PARTITION": true, "ORDER": true, "BY": true,
+	"GROUP": true, "HAVING": true, "LIMIT": true, "ASC": true, "DESC": true, "BEGIN": true,
+	"COMMIT": true, "ROLLBACK": true, "WORK": true, "AS": true, "TRUE": true,
+	"FALSE": true, "INTEGER": true, "INT": true, "FLOAT": true, "REAL": true,
+	"NUMERIC": true, "VARCHAR": true, "CHAR": true, "BOOLEAN": true, "BOOL": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"DISTINCT": true, "BROWSE": true, "ACCESS": true, "IN": true, "BETWEEN": true,
+	"UNIQUE": true, "FOR": true, "OF": true, "CURRENT": true, "CURSOR": true,
+}
+
+// lex splits the statement text into tokens.
+func lex(src string) ([]token, error) {
+	var out []token
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && src[i+1] == '-':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case isDigit(c) || (c == '.' && i+1 < n && isDigit(src[i+1])):
+			start := i
+			isFloat := false
+			for i < n && (isDigit(src[i]) || src[i] == '.') {
+				if src[i] == '.' {
+					if isFloat {
+						return nil, fmt.Errorf("sql: bad number at %d", start)
+					}
+					isFloat = true
+				}
+				i++
+			}
+			if i < n && (src[i] == 'e' || src[i] == 'E') {
+				isFloat = true
+				i++
+				if i < n && (src[i] == '+' || src[i] == '-') {
+					i++
+				}
+				for i < n && isDigit(src[i]) {
+					i++
+				}
+			}
+			kind := tokInt
+			if isFloat {
+				kind = tokFloat
+			}
+			out = append(out, token{kind: kind, text: src[start:i], pos: start})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			for {
+				if i >= n {
+					return nil, fmt.Errorf("sql: unterminated string at %d", start)
+				}
+				if src[i] == '\'' {
+					if i+1 < n && src[i+1] == '\'' {
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				sb.WriteByte(src[i])
+				i++
+			}
+			out = append(out, token{kind: tokString, text: sb.String(), pos: start})
+		case isIdentStart(c):
+			start := i
+			for i < n && isIdentChar(src[i]) {
+				i++
+			}
+			word := src[start:i]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				out = append(out, token{kind: tokKeyword, text: upper, pos: start})
+			} else {
+				out = append(out, token{kind: tokIdent, text: word, pos: start})
+			}
+		case c == '"': // quoted identifier (volume names like "$DATA1")
+			start := i
+			i++
+			for i < n && src[i] != '"' {
+				i++
+			}
+			if i >= n {
+				return nil, fmt.Errorf("sql: unterminated quoted identifier at %d", start)
+			}
+			out = append(out, token{kind: tokIdent, text: src[start+1 : i], pos: start})
+			i++
+		default:
+			start := i
+			// multi-char operators first
+			two := ""
+			if i+1 < n {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "<=", ">=", "<>", "!=":
+				out = append(out, token{kind: tokSymbol, text: two, pos: start})
+				i += 2
+				continue
+			}
+			switch c {
+			case '=', '<', '>', '+', '-', '*', '/', '%', '(', ')', ',', '.', ';':
+				out = append(out, token{kind: tokSymbol, text: string(c), pos: start})
+				i++
+			default:
+				return nil, fmt.Errorf("sql: unexpected character %q at %d", c, i)
+			}
+		}
+	}
+	out = append(out, token{kind: tokEOF, pos: n})
+	return out, nil
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || c == '$' || isAlpha(c) }
+func isIdentChar(c byte) bool  { return isIdentStart(c) || isDigit(c) }
+func isAlpha(c byte) bool      { return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }

@@ -1,0 +1,423 @@
+package wal
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"nonstopsql/internal/disk"
+)
+
+// Config tunes a Trail. Zero values take documented defaults.
+type Config struct {
+	// Volume is the audit trail volume, managed by a standard Disk
+	// Process in the paper. Required.
+	Volume *disk.Volume
+
+	// BufferFullBytes triggers a log flush when this much un-flushed
+	// audit accumulates. Default 16 KB. Field-compressed audit fills the
+	// buffer more slowly, producing "fewer sends of audit … due to audit
+	// buffer-full conditions".
+	BufferFullBytes int
+
+	// GroupCommit batches commit durability waits so one bulk log write
+	// commits many transactions. When false every commit record flushes
+	// immediately.
+	GroupCommit bool
+
+	// MaxGroupSize flushes as soon as this many commit records are
+	// pending. Default 32.
+	MaxGroupSize int
+
+	// TimerMin and TimerMax bound the group-commit timer that forces out
+	// pending commits from a partially full buffer. Defaults 200µs and
+	// 10ms.
+	TimerMin, TimerMax time.Duration
+
+	// Adaptive adjusts the timer from the observed transaction rate
+	// [Helland]: at high rates the timer stretches toward the time needed
+	// to fill a group; at low rates it shrinks to bound response time.
+	// When false the timer is fixed at TimerMax.
+	Adaptive bool
+}
+
+func (c *Config) setDefaults() {
+	if c.BufferFullBytes == 0 {
+		c.BufferFullBytes = 16 * 1024
+	}
+	if c.MaxGroupSize == 0 {
+		c.MaxGroupSize = 32
+	}
+	if c.TimerMin == 0 {
+		c.TimerMin = 200 * time.Microsecond
+	}
+	if c.TimerMax == 0 {
+		c.TimerMax = 10 * time.Millisecond
+	}
+}
+
+// Stats counts audit trail activity.
+type Stats struct {
+	Appends           uint64 // audit records appended
+	CommitRecords     uint64
+	BytesAppended     uint64 // encoded audit bytes (the compression metric)
+	Flushes           uint64 // bulk log writes ("sends" + physical I/Os)
+	BufferFullFlushes uint64
+	GroupFullFlushes  uint64
+	TimerFlushes      uint64
+	ExplicitFlushes   uint64 // FlushTo / Close / non-group commits
+	CommitsFlushed    uint64 // commit records made durable (for commits/flush)
+}
+
+// CommitsPerFlush returns the average group-commit batch size.
+func (s Stats) CommitsPerFlush() float64 {
+	if s.Flushes == 0 {
+		return 0
+	}
+	return float64(s.CommitsFlushed) / float64(s.Flushes)
+}
+
+type waiter struct {
+	lsn LSN
+	ch  chan struct{}
+}
+
+// A Trail is the audit trail writer: the highly optimized audit-writing
+// component of the audit trail volume's Disk Process.
+type Trail struct {
+	cfg        Config
+	firstBlock disk.BlockNum
+
+	mu             sync.Mutex
+	nextLSN        LSN
+	flushedLSN     LSN
+	pending        []byte // encoded, not yet durable
+	pendingLast    LSN    // LSN of last pending record
+	pendingCommits int
+	waiters        []waiter
+	timer          *time.Timer
+	timerSet       bool
+	closed         bool
+	stats          Stats
+
+	// disk packing state
+	tail      []byte        // partial content of the tail block
+	tailNum   disk.BlockNum // block the tail belongs to; 0 = none
+	firstUsed bool          // firstBlock has been consumed
+	diskLen   int           // durable log bytes
+	ewmaGap   time.Duration
+	lastTick  time.Time
+}
+
+// NewTrail creates an audit trail on cfg.Volume.
+func NewTrail(cfg Config) (*Trail, error) {
+	if cfg.Volume == nil {
+		return nil, fmt.Errorf("wal: Config.Volume is required")
+	}
+	cfg.setDefaults()
+	t := &Trail{cfg: cfg}
+	t.firstBlock = cfg.Volume.AllocateRun(1)
+	return t, nil
+}
+
+// FirstBlock returns the block where the trail begins, for recovery.
+func (t *Trail) FirstBlock() disk.BlockNum { return t.firstBlock }
+
+// Append adds a data audit record (insert/update/delete/prepare/abort),
+// assigns its LSN, and returns it. The record is buffered; it becomes
+// durable on the next flush. A buffer-full condition flushes immediately.
+func (t *Trail) Append(r *Record) LSN {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	lsn := t.appendLocked(r)
+	if len(t.pending) >= t.cfg.BufferFullBytes {
+		t.stats.BufferFullFlushes++
+		t.flushLocked()
+	}
+	return lsn
+}
+
+func (t *Trail) appendLocked(r *Record) LSN {
+	t.nextLSN++
+	r.LSN = t.nextLSN
+	enc := r.encode(nil)
+	t.pending = append(t.pending, enc...)
+	t.pendingLast = r.LSN
+	t.stats.Appends++
+	t.stats.BytesAppended += uint64(len(enc))
+	if r.Type == RecCommit {
+		t.stats.CommitRecords++
+		t.pendingCommits++
+	}
+	return r.LSN
+}
+
+// AppendCommit appends a commit record for tx and returns its LSN. Use
+// WaitDurable to block until the commit is on disk; under group commit
+// many transactions ride one bulk log write.
+func (t *Trail) AppendCommit(txID uint64) LSN {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	lsn := t.appendLocked(&Record{Type: RecCommit, TxID: txID})
+
+	if !t.cfg.GroupCommit {
+		t.stats.ExplicitFlushes++
+		t.flushLocked()
+		return lsn
+	}
+	if t.pendingCommits >= t.cfg.MaxGroupSize {
+		t.stats.GroupFullFlushes++
+		t.flushLocked()
+		return lsn
+	}
+	if len(t.pending) >= t.cfg.BufferFullBytes {
+		t.stats.BufferFullFlushes++
+		t.flushLocked()
+		return lsn
+	}
+	t.armTimerLocked()
+	return lsn
+}
+
+// armTimerLocked starts the group-commit timer if not already pending.
+func (t *Trail) armTimerLocked() {
+	now := time.Now()
+	if !t.lastTick.IsZero() {
+		gap := now.Sub(t.lastTick)
+		if t.ewmaGap == 0 {
+			t.ewmaGap = gap
+		} else {
+			t.ewmaGap = (t.ewmaGap*7 + gap) / 8
+		}
+	}
+	t.lastTick = now
+	if t.timerSet || t.closed {
+		return
+	}
+	delay := t.timerDelayLocked()
+	t.timerSet = true
+	t.timer = time.AfterFunc(delay, t.timerFire)
+}
+
+// timerDelayLocked computes the group-commit timer per [Helland]: wait
+// about as long as the observed arrival rate needs to fill a group —
+// but if that would exceed TimerMax, the rate is too low for grouping
+// to pay and the timer collapses to TimerMin so a lone transaction's
+// response time is not sacrificed waiting for company that will not
+// arrive.
+func (t *Trail) timerDelayLocked() time.Duration {
+	if !t.cfg.Adaptive {
+		return t.cfg.TimerMax
+	}
+	d := t.ewmaGap * time.Duration(t.cfg.MaxGroupSize-1)
+	if d > t.cfg.TimerMax {
+		return t.cfg.TimerMin
+	}
+	if d < t.cfg.TimerMin {
+		d = t.cfg.TimerMin
+	}
+	return d
+}
+
+func (t *Trail) timerFire() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.timerSet = false
+	if t.pendingCommits > 0 || len(t.pending) > 0 {
+		t.stats.TimerFlushes++
+		t.flushLocked()
+	}
+}
+
+// WaitDurable blocks until the record at lsn is durable on the audit
+// trail volume.
+func (t *Trail) WaitDurable(lsn LSN) {
+	t.mu.Lock()
+	if t.flushedLSN >= lsn {
+		t.mu.Unlock()
+		return
+	}
+	ch := make(chan struct{})
+	t.waiters = append(t.waiters, waiter{lsn: lsn, ch: ch})
+	t.mu.Unlock()
+	<-ch
+}
+
+// FlushTo forces the trail durable through at least lsn. This is the
+// write-ahead-log gate: the cache calls it before writing a dirty data
+// block whose page LSN exceeds the durable LSN.
+func (t *Trail) FlushTo(lsn LSN) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.flushedLSN >= lsn {
+		return
+	}
+	t.stats.ExplicitFlushes++
+	t.flushLocked()
+}
+
+// Flush forces all buffered audit durable.
+func (t *Trail) Flush() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.pending) == 0 {
+		return
+	}
+	t.stats.ExplicitFlushes++
+	t.flushLocked()
+}
+
+// flushLocked writes all pending bytes to the volume using bulk I/O and
+// wakes durable-waiters.
+func (t *Trail) flushLocked() {
+	if len(t.pending) == 0 {
+		return
+	}
+	t.stats.Flushes++
+	t.stats.CommitsFlushed += uint64(t.pendingCommits)
+
+	data := t.pending
+	t.pending = nil
+	t.pendingCommits = 0
+	t.diskLen += len(data)
+
+	// Pack into blocks: refill the partial tail block, then whole blocks.
+	var blocks [][]byte
+	var start disk.BlockNum
+	if t.tailNum != 0 && len(t.tail) > 0 && len(t.tail) < disk.BlockSize {
+		room := disk.BlockSize - len(t.tail)
+		n := room
+		if n > len(data) {
+			n = len(data)
+		}
+		t.tail = append(t.tail, data[:n]...)
+		data = data[n:]
+		start = t.tailNum
+		blk := make([]byte, disk.BlockSize)
+		copy(blk, t.tail)
+		blocks = append(blocks, blk)
+		if len(t.tail) == disk.BlockSize {
+			t.tail = nil
+			t.tailNum = 0
+		}
+	}
+	for len(data) > 0 {
+		n := disk.BlockSize
+		if n > len(data) {
+			n = len(data)
+		}
+		blk := make([]byte, disk.BlockSize)
+		copy(blk, data[:n])
+		bn := t.allocNextBlockLocked()
+		if start == 0 {
+			start = bn
+		}
+		blocks = append(blocks, blk)
+		if n < disk.BlockSize {
+			t.tail = append([]byte(nil), data[:n]...)
+			t.tailNum = bn
+		}
+		data = data[n:]
+	}
+	// Write in bulk runs of ≤ MaxBulkBlocks.
+	for i := 0; i < len(blocks); i += disk.MaxBulkBlocks {
+		end := i + disk.MaxBulkBlocks
+		if end > len(blocks) {
+			end = len(blocks)
+		}
+		if err := t.cfg.Volume.WriteBulk(start+disk.BlockNum(i), blocks[i:end]); err != nil {
+			panic(fmt.Sprintf("wal: audit volume write failed: %v", err))
+		}
+	}
+
+	t.flushedLSN = t.pendingLast
+	// Wake waiters at or below the durable LSN.
+	kept := t.waiters[:0]
+	for _, w := range t.waiters {
+		if w.lsn <= t.flushedLSN {
+			close(w.ch)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	t.waiters = kept
+}
+
+// allocNextBlockLocked returns the next sequential trail block. The
+// trail owns its (dedicated) volume, so fresh allocations stay
+// physically contiguous with the log tail.
+func (t *Trail) allocNextBlockLocked() disk.BlockNum {
+	if !t.firstUsed {
+		t.firstUsed = true
+		return t.firstBlock
+	}
+	return t.cfg.Volume.AllocateRun(1)
+}
+
+// FlushedLSN returns the highest durable LSN.
+func (t *Trail) FlushedLSN() LSN {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.flushedLSN
+}
+
+// NextLSN returns the next LSN that will be assigned.
+func (t *Trail) NextLSN() LSN {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.nextLSN + 1
+}
+
+// Stats returns a snapshot of the counters.
+func (t *Trail) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// ResetStats zeroes the counters.
+func (t *Trail) ResetStats() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stats = Stats{}
+}
+
+// Close flushes pending audit and stops the timer.
+func (t *Trail) Close() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.closed = true
+	if t.timer != nil {
+		t.timer.Stop()
+	}
+	if len(t.pending) > 0 {
+		t.stats.ExplicitFlushes++
+		t.flushLocked()
+	}
+}
+
+// Scan reads the durable audit trail back from the volume, in LSN order.
+// It is a standalone function taking only on-disk state, because after a
+// crash the Trail's memory is gone. The scan stops at the first byte
+// position that does not parse as a record frame (zero-filled tail).
+func Scan(v *disk.Volume, firstBlock disk.BlockNum) ([]*Record, error) {
+	var raw []byte
+	buf := make([]byte, disk.BlockSize)
+	for bn := firstBlock; ; bn++ {
+		if err := v.Read(bn, buf); err != nil {
+			break // end of trail region
+		}
+		raw = append(raw, buf...)
+	}
+	var out []*Record
+	for len(raw) > 0 && raw[0] != 0 {
+		r, rest, err := decodeRecord(raw)
+		if err != nil {
+			// A torn tail (crash mid-write) ends the usable log.
+			break
+		}
+		out = append(out, r)
+		raw = rest
+	}
+	return out, nil
+}

@@ -1,0 +1,173 @@
+// Package wisconsin generates the Wisconsin benchmark relation and the
+// query set the paper's VSBB claims reference ("VSBB gives NonStop SQL
+// an additional factor of three over RSBB on many of the Wisconsin
+// benchmark queries").
+//
+// The standard relation has the classic columns: unique1 (random unique
+// ints), unique2 (sequential unique ints, the clustering key), the small
+// cardinality selectors two/four/ten/twenty, the percentage selectors
+// onePercent..fiftyPercent, and three 52-byte string columns. String
+// columns give the rows realistic width so that projection matters.
+package wisconsin
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nonstopsql/internal/record"
+	"nonstopsql/internal/sql"
+)
+
+// CreateSQL returns the CREATE TABLE statement for a Wisconsin relation.
+// partitionClause may be empty or a full `PARTITION ON (...)` clause.
+func CreateSQL(name, partitionClause string) string {
+	return fmt.Sprintf(`CREATE TABLE %s (
+		unique2 INTEGER PRIMARY KEY,
+		unique1 INTEGER NOT NULL,
+		two INTEGER, four INTEGER, ten INTEGER, twenty INTEGER,
+		onePercent INTEGER, tenPercent INTEGER, twentyPercent INTEGER,
+		fiftyPercent INTEGER,
+		unique3 INTEGER, evenOnePercent INTEGER, oddOnePercent INTEGER,
+		stringu1 CHAR(52), stringu2 CHAR(52), string4 CHAR(52)
+	) %s`, name, partitionClause)
+}
+
+// stringFor builds the classic Wisconsin 52-byte string for a number:
+// cyclic letters padded with x.
+func stringFor(n int) string {
+	const letters = "ABCDEFGHIJKLMNOPQRSTUVWXY"
+	buf := make([]byte, 52)
+	for i := range buf {
+		buf[i] = 'x'
+	}
+	v := n
+	for i := 6; i >= 0; i-- {
+		buf[i] = letters[v%25]
+		v /= 25
+	}
+	return string(buf)
+}
+
+var string4Values = [4]string{"AAAA", "HHHH", "OOOO", "VVVV"}
+
+// Row builds tuple i of an n-row relation, with unique1 drawn from perm.
+func Row(i int, perm []int) record.Row {
+	u1 := perm[i]
+	return record.Row{
+		record.Int(int64(i)),  // unique2: sequential, clustering key
+		record.Int(int64(u1)), // unique1: random unique
+		record.Int(int64(u1 % 2)),
+		record.Int(int64(u1 % 4)),
+		record.Int(int64(u1 % 10)),
+		record.Int(int64(u1 % 20)),
+		record.Int(int64(u1 % 100)),
+		record.Int(int64(u1 % 10)),
+		record.Int(int64(u1 % 5)),
+		record.Int(int64(u1 % 2)),
+		record.Int(int64(u1)),
+		record.Int(int64((u1 % 100) * 2)),
+		record.Int(int64((u1%100)*2 + 1)),
+		record.String(stringFor(u1)),
+		record.String(stringFor(i)),
+		record.String(string4Values[i%4]),
+	}
+}
+
+// InsertSQL renders tuple i as an INSERT statement.
+func InsertSQL(name string, i int, perm []int) string {
+	row := Row(i, perm)
+	return fmt.Sprintf(
+		"INSERT INTO %s VALUES (%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,'%s','%s','%s')",
+		name,
+		row[0].I, row[1].I, row[2].I, row[3].I, row[4].I, row[5].I,
+		row[6].I, row[7].I, row[8].I, row[9].I, row[10].I, row[11].I, row[12].I,
+		row[13].S, row[14].S, row[15].S)
+}
+
+// Perm returns a deterministic permutation of [0,n).
+func Perm(n int, seed int64) []int {
+	return rand.New(rand.NewSource(seed)).Perm(n)
+}
+
+// Load creates and populates a Wisconsin relation of n rows through the
+// SQL layer, committing in batches.
+func Load(s *sql.Session, name string, n int, partitionClause string) error {
+	if _, err := s.Exec(CreateSQL(name, partitionClause)); err != nil {
+		return err
+	}
+	perm := Perm(n, 8191)
+	const batch = 1000
+	for start := 0; start < n; start += batch {
+		if _, err := s.Exec("BEGIN WORK"); err != nil {
+			return err
+		}
+		end := start + batch
+		if end > n {
+			end = n
+		}
+		for i := start; i < end; i++ {
+			if _, err := s.Exec(InsertSQL(name, i, perm)); err != nil {
+				return err
+			}
+		}
+		if _, err := s.Exec("COMMIT WORK"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// A Query is one benchmark query with its expected selectivity.
+type Query struct {
+	Name        string
+	SQL         string
+	Selectivity float64 // fraction of rows returned
+}
+
+// Queries returns the selection/projection queries used for the
+// sequential-access message-traffic comparisons, parameterized by
+// relation name and cardinality.
+func Queries(name string, n int) []Query {
+	return []Query{
+		{
+			Name:        "sel1pct-clustered",
+			SQL:         fmt.Sprintf("SELECT * FROM %s WHERE unique2 BETWEEN 0 AND %d", name, n/100-1),
+			Selectivity: 0.01,
+		},
+		{
+			Name:        "sel10pct-clustered",
+			SQL:         fmt.Sprintf("SELECT * FROM %s WHERE unique2 BETWEEN 0 AND %d", name, n/10-1),
+			Selectivity: 0.10,
+		},
+		{
+			Name:        "sel1pct-nonkey-proj2",
+			SQL:         fmt.Sprintf("SELECT unique2, unique1 FROM %s WHERE onePercent = 7", name),
+			Selectivity: 0.01,
+		},
+		{
+			Name:        "sel10pct-nonkey-proj2",
+			SQL:         fmt.Sprintf("SELECT unique2, unique1 FROM %s WHERE tenPercent = 3", name),
+			Selectivity: 0.10,
+		},
+		{
+			Name:        "sel50pct-nonkey-proj1",
+			SQL:         fmt.Sprintf("SELECT unique2 FROM %s WHERE fiftyPercent = 0", name),
+			Selectivity: 0.50,
+		},
+		{
+			Name:        "proj100pct-onecol",
+			SQL:         fmt.Sprintf("SELECT unique2 FROM %s", name),
+			Selectivity: 1.0,
+		},
+		{
+			Name:        "agg-min",
+			SQL:         fmt.Sprintf("SELECT MIN(unique2) FROM %s", name),
+			Selectivity: 1.0,
+		},
+		{
+			Name:        "agg-sum-group",
+			SQL:         fmt.Sprintf("SELECT tenPercent, SUM(unique1) FROM %s GROUP BY tenPercent", name),
+			Selectivity: 1.0,
+		},
+	}
+}

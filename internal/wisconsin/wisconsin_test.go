@@ -1,0 +1,95 @@
+package wisconsin_test
+
+import (
+	"strings"
+	"testing"
+
+	"nonstopsql/internal/cluster"
+	"nonstopsql/internal/sql"
+	"nonstopsql/internal/wisconsin"
+)
+
+func newSession(t testing.TB) (*sql.Session, *cluster.Cluster) {
+	t.Helper()
+	c, err := cluster.New(cluster.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	if _, err := c.AddVolume(0, 0, "$W1"); err != nil {
+		t.Fatal(err)
+	}
+	cat := sql.NewCatalog([]string{"$W1"})
+	return sql.NewSession(cat, c.NewFS(0, 1)), c
+}
+
+func TestLoadAndCardinalities(t *testing.T) {
+	s, _ := newSession(t)
+	const n = 1000
+	if err := wisconsin.Load(s, "WISC", n, ""); err != nil {
+		t.Fatal(err)
+	}
+	res := s.MustExec("SELECT COUNT(*) FROM WISC")
+	if res.Rows[0][0].I != n {
+		t.Fatalf("count %v", res.Rows[0][0])
+	}
+	// unique1 is a permutation: COUNT(DISTINCT unique1) = n.
+	res = s.MustExec("SELECT COUNT(DISTINCT unique1) FROM WISC")
+	if res.Rows[0][0].I != n {
+		t.Fatalf("unique1 not a permutation: %v", res.Rows[0][0])
+	}
+	// Selector cardinalities.
+	for col, want := range map[string]int64{"two": 2, "four": 4, "ten": 10, "twenty": 20, "onePercent": 100} {
+		res := s.MustExec("SELECT COUNT(DISTINCT " + col + ") FROM WISC")
+		if res.Rows[0][0].I != want {
+			t.Errorf("%s cardinality %v, want %d", col, res.Rows[0][0], want)
+		}
+	}
+}
+
+func TestSelectorsAreUniform(t *testing.T) {
+	s, _ := newSession(t)
+	const n = 1000
+	if err := wisconsin.Load(s, "WISC", n, ""); err != nil {
+		t.Fatal(err)
+	}
+	// tenPercent = 3 selects ~10%.
+	res := s.MustExec("SELECT COUNT(*) FROM WISC WHERE tenPercent = 3")
+	got := res.Rows[0][0].I
+	if got < n/10-30 || got > n/10+30 {
+		t.Errorf("tenPercent=3 selected %d of %d", got, n)
+	}
+}
+
+func TestQueriesRunAndMatchSelectivity(t *testing.T) {
+	s, _ := newSession(t)
+	const n = 1000
+	if err := wisconsin.Load(s, "WISC", n, ""); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range wisconsin.Queries("WISC", n) {
+		res, err := s.Exec(q.SQL)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		if strings.HasPrefix(q.Name, "sel") {
+			want := float64(n) * q.Selectivity
+			got := float64(len(res.Rows))
+			if got < want*0.6 || got > want*1.4 {
+				t.Errorf("%s: %d rows, expected ≈%.0f", q.Name, len(res.Rows), want)
+			}
+		}
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	s, _ := newSession(t)
+	if err := wisconsin.Load(s, "W2", 100, ""); err != nil {
+		t.Fatal(err)
+	}
+	res := s.MustExec("SELECT stringu1 FROM W2 WHERE unique2 = 0")
+	v := res.Rows[0][0].S
+	if len(v) != 52 || !strings.HasSuffix(v, "x") {
+		t.Errorf("stringu1 %q", v)
+	}
+}
