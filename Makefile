@@ -1,0 +1,28 @@
+# Developer entry points. `make check` is the gate a change must pass:
+# build, vet, and the full test suite under the race detector (the
+# parallel scan engine is exercised concurrently, so -race is load-
+# bearing, not decoration).
+
+GO ?= go
+
+.PHONY: check build vet test race bench experiments
+
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+experiments:
+	$(GO) run ./cmd/benchtab

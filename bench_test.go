@@ -157,6 +157,25 @@ func BenchmarkE11VSBBLocking(b *testing.B) {
 	}
 }
 
+func BenchmarkE12ParallelScan(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, _, err := experiments.E12(benchRows)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			switch r.DOP {
+			case 1:
+				b.ReportMetric(float64(r.Modeled.Milliseconds()), "modeled-ms@dop1")
+			case 4:
+				b.ReportMetric(float64(r.Modeled.Milliseconds()), "modeled-ms@dop4")
+				b.ReportMetric(r.Speedup, "speedup@dop4")
+			}
+		}
+		b.ReportMetric(float64(results[0].Msgs), "msgs")
+	}
+}
+
 func BenchmarkF1RemoteAccess(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		results, _, err := experiments.F1()

@@ -23,9 +23,10 @@ import (
 func main() {
 	nodes := flag.Int("nodes", 1, "nodes in the network")
 	volumes := flag.Int("volumes", 4, "data volumes per node")
+	parallel := flag.Int("parallel", 0, "default scan DOP across partitions (0 = sequential)")
 	flag.Parse()
 
-	db, err := nonstopsql.Open(nonstopsql.Config{Nodes: *nodes, VolumesPerNode: *volumes})
+	db, err := nonstopsql.Open(nonstopsql.Config{Nodes: *nodes, VolumesPerNode: *volumes, ScanParallel: *parallel})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "nsqlsh: %v\n", err)
 		os.Exit(1)

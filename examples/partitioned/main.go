@@ -14,7 +14,9 @@ import (
 )
 
 func main() {
-	db, err := nonstopsql.Open(nonstopsql.Config{Nodes: 2, VolumesPerNode: 2})
+	// ScanParallel: 2 — scans and counts over both partitions drive the
+	// two Disk Processes concurrently (results still merge in key order).
+	db, err := nonstopsql.Open(nonstopsql.Config{Nodes: 2, VolumesPerNode: 2, ScanParallel: 2})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,7 +53,10 @@ func main() {
 		len(res.Rows), st.Messages, st.RemoteMsgs, st.MessageBytes/1024)
 
 	// Key-range queries touch only the partition that holds the range:
-	// the File System routes by key, so the remote node stays idle.
+	// the File System routes by key, so the remote node stays idle. The
+	// COUNT(*) itself runs inside the Disk Process (COUNT^FIRST/NEXT) —
+	// each reply carries a count, not rows, so even the remote count
+	// moves only constant-size messages over the link.
 	db.ResetStats()
 	res = s.MustExec("SELECT COUNT(*) FROM orders WHERE orderno < 1000")
 	st = db.Stats()

@@ -32,6 +32,15 @@ type Options struct {
 	LockTimeout   time.Duration
 	AuditBufBytes int // per-DP audit buffer (buffer-full send threshold)
 
+	// ScanParallel is the default degree of parallelism FS instances
+	// apply to partitioned scans, counts, and subset fan-out (0 = the
+	// classic sequential one-partition-at-a-time conversations). Each
+	// scanner goroutine still drives a strictly sequential re-drive
+	// conversation against its partition's DP, so the useful ceiling is
+	// the partition count; DPWorkers bounds how many requests one DP
+	// group serves at once on the other side.
+	ScanParallel int
+
 	DisableGroupCommit bool
 
 	// ProcessPairs runs every Disk Process as a primary/hot-standby
@@ -208,7 +217,9 @@ func (c *Cluster) DP(name string) *dp.DP {
 func (c *Cluster) NewFS(node, cpu int) *fs.FS {
 	client := c.Net.NewClient(msg.ProcessorID{Node: node, CPU: cpu})
 	coord := &tmf.Coordinator{Trail: c.Nodes[node].Trail}
-	return fs.New(client, coord)
+	f := fs.New(client, coord)
+	f.SetScanParallel(c.opts.ScanParallel)
+	return f
 }
 
 // CrashDP simulates the processor running the named DP failing: the

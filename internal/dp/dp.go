@@ -214,6 +214,8 @@ func (d *DP) serve(req *fsdp.Request) *fsdp.Reply {
 		reply = d.lockOp(req)
 	case fsdp.KGetFirstRSBB, fsdp.KGetNextRSBB, fsdp.KGetFirstVSBB, fsdp.KGetNextVSBB:
 		reply = d.getSubset(req)
+	case fsdp.KCountFirst, fsdp.KCountNext:
+		reply = d.countSubset(req)
 	case fsdp.KUpdateSubsetFirst, fsdp.KUpdateSubsetNext:
 		reply = d.updateSubset(req)
 	case fsdp.KDeleteSubsetFirst, fsdp.KDeleteSubsetNext:

@@ -212,6 +212,110 @@ func (d *DP) getSubset(req *fsdp.Request) *fsdp.Reply {
 	return reply
 }
 
+// countSubset serves COUNT^FIRST/NEXT: like a VSBB scan with the
+// projection pushed all the way to nothing — the predicate evaluates
+// here and the reply carries only the qualifying-record count, so a
+// COUNT(*) moves a constant-size reply per re-drive no matter how many
+// records qualify.
+func (d *DP) countSubset(req *fsdp.Request) *fsdp.Reply {
+	f, err := d.getFile(req.File)
+	if err != nil {
+		return errReply(err)
+	}
+	d.mu.Lock()
+	d.stats.SetRequests++
+	d.mu.Unlock()
+
+	isFirst := req.Kind == fsdp.KCountFirst
+	var s *scb
+	if isFirst {
+		pred, err := expr.Decode(req.Pred)
+		if err != nil {
+			return errReply(err)
+		}
+		s = &scb{tx: req.Tx, file: req.File, pred: pred}
+	} else {
+		if s, err = d.lookupSCB(req.SCB); err != nil {
+			return errReply(err)
+		}
+		if s.file != req.File {
+			return &fsdp.Reply{Code: fsdp.ErrBadRequest, Err: "dp: SCB/file mismatch"}
+		}
+	}
+
+	batch := d.newBatch(req.RowLimit)
+	reply := &fsdp.Reply{Done: true}
+	var firstKey []byte
+	counted := uint32(0)
+	scanErr := f.tree.Scan(req.Range, d.cfg.Prefetch, func(key, val []byte) (bool, error) {
+		if batch.full() {
+			reply.Done = false
+			return false, nil
+		}
+		batch.processed++
+		d.mu.Lock()
+		d.stats.RowsScanned++
+		d.mu.Unlock()
+		reply.LastKey = append(reply.LastKey[:0], key...)
+
+		keep := true
+		if s.pred != nil {
+			row, err := record.Decode(val)
+			if err != nil {
+				return false, err
+			}
+			d.mu.Lock()
+			d.stats.PredicateEvals++
+			d.mu.Unlock()
+			if keep, err = expr.Satisfied(s.pred, row); err != nil {
+				return false, err
+			}
+		}
+		if keep {
+			if firstKey == nil {
+				firstKey = append([]byte(nil), key...)
+			}
+			counted++
+		} else {
+			d.mu.Lock()
+			d.stats.RowsFiltered++
+			d.mu.Unlock()
+		}
+		return true, nil
+	})
+	if scanErr != nil {
+		return errReply(scanErr)
+	}
+	reply.Count = counted
+
+	// The counted records are still locked as a group (shared virtual
+	// block lock) when the count runs under a transaction, so the count
+	// stays stable until commit.
+	if req.Tx != 0 && counted > 0 {
+		blockRange := keys.Range{Low: firstKey, High: reply.LastKey, HighIncl: true}
+		if err := d.locks.Acquire(req.Tx, req.File, blockRange, lock.Shared); err != nil {
+			return errReply(err)
+		}
+		d.joinTx(req.Tx)
+	}
+
+	if !reply.Done {
+		d.mu.Lock()
+		d.stats.Redrives++
+		d.mu.Unlock()
+		if isFirst {
+			reply.SCB = d.newSCB(s)
+		} else {
+			reply.SCB = req.SCB
+		}
+	} else if !isFirst {
+		d.mu.Lock()
+		delete(d.scbs, req.SCB)
+		d.mu.Unlock()
+	}
+	return reply
+}
+
 // updateSubset serves UPDATE^SUBSET^FIRST/NEXT: selection predicate and
 // update expression both evaluated at the Disk Process. The record never
 // crosses the FS-DP interface in either direction.

@@ -80,6 +80,10 @@ func All(s Sizes) ([]*Table, error) {
 	if err := add(t11, err); err != nil {
 		return nil, fmt.Errorf("E11: %w", err)
 	}
+	_, t12, err := E12(s.Rows)
+	if err := add(t12, err); err != nil {
+		return nil, fmt.Errorf("E12: %w", err)
+	}
 	_, tf1, err := F1()
 	if err := add(tf1, err); err != nil {
 		return nil, fmt.Errorf("F1: %w", err)

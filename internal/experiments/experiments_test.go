@@ -174,6 +174,32 @@ func TestE10RedriveBounds(t *testing.T) {
 	}
 }
 
+func TestE12ParallelScan(t *testing.T) {
+	results, _, err := E12(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("%d results", len(results))
+	}
+	base := results[0]
+	for _, r := range results {
+		// E12 itself verifies rows/checksum/msgs/bytes; re-assert the
+		// headline invariant here so a regression reads clearly.
+		if r.Msgs != base.Msgs || r.Rows != base.Rows {
+			t.Errorf("DOP %d: traffic changed (%d msgs, %d rows)", r.DOP, r.Msgs, r.Rows)
+		}
+		if r.DOP > 1 && r.Modeled >= base.Modeled {
+			t.Errorf("DOP %d: modeled %v not below sequential %v", r.DOP, r.Modeled, base.Modeled)
+		}
+	}
+	// Four even partitions at DOP 4 should come close to dividing the
+	// makespan; demand well over 2x to leave slack for span skew.
+	if last := results[len(results)-1]; last.Speedup < 2.0 {
+		t.Errorf("DOP %d speedup %.2fx, want > 2x", last.DOP, last.Speedup)
+	}
+}
+
 func TestE11LockingMatrix(t *testing.T) {
 	results, _, err := E11()
 	if err != nil {

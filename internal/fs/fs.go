@@ -115,6 +115,11 @@ func indexRow(base *record.Schema, idx *IndexDef, row record.Row) record.Row {
 type FS struct {
 	client *msg.Client
 	coord  *tmf.Coordinator
+
+	// scanDOP is the default degree of parallelism applied when a
+	// SelectSpec leaves Parallel at zero. Zero keeps the classic
+	// synchronous one-partition-at-a-time scan.
+	scanDOP int
 }
 
 // New creates a File System bound to a requester processor and the
@@ -127,6 +132,19 @@ func New(client *msg.Client, coord *tmf.Coordinator) *FS {
 	return f
 }
 
+// SetScanParallel sets the default scan degree of parallelism used when
+// a SelectSpec leaves Parallel at zero (0 = classic sequential scan).
+// Not safe to call concurrently with scans in flight.
+func (f *FS) SetScanParallel(dop int) {
+	if dop < 0 {
+		dop = 0
+	}
+	f.scanDOP = dop
+}
+
+// ScanParallel returns the default scan degree of parallelism.
+func (f *FS) ScanParallel() int { return f.scanDOP }
+
 // send ships one request to a Disk Process and decodes the reply.
 func (f *FS) send(server string, req *fsdp.Request) (*fsdp.Reply, error) {
 	raw, err := f.client.Send(server, fsdp.EncodeRequest(req))
@@ -134,6 +152,23 @@ func (f *FS) send(server string, req *fsdp.Request) (*fsdp.Reply, error) {
 		return nil, err
 	}
 	return fsdp.DecodeReply(raw)
+}
+
+// sendMeasured is send plus per-conversation accounting: it returns the
+// encoded request and reply sizes so a scan can attribute its own
+// traffic to partition conversations without touching the network's
+// global counters (which aggregate every requester).
+func (f *FS) sendMeasured(server string, req *fsdp.Request) (reply *fsdp.Reply, reqBytes, replyBytes int, err error) {
+	raw := fsdp.EncodeRequest(req)
+	replyRaw, err := f.client.Send(server, raw)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	reply, err = fsdp.DecodeReply(replyRaw)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return reply, len(raw), len(replyRaw), nil
 }
 
 // SendRaw ships one FS-DP request and returns the undecorated reply. The

@@ -1,0 +1,398 @@
+package fs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nonstopsql/internal/expr"
+	"nonstopsql/internal/fsdp"
+	"nonstopsql/internal/msg"
+	"nonstopsql/internal/tmf"
+)
+
+// This file is the parallel scan engine: the "run the servers in
+// parallel" half of the paper's architecture. Each partition of a file
+// is owned by its own Disk Process on its own processor, so the
+// continuation re-drive conversations against different partitions are
+// independent — the File System can drive them from concurrent scanner
+// goroutines and merge the replies, instead of walking partitions one
+// at a time and blocking on every message pair.
+//
+// Even at DOP=1 the engine pipelines: the scanner issues the next
+// re-drive as soon as a reply arrives, and the consumer decodes batch k
+// while the Disk Process builds batch k+1 (the per-span channels hold
+// two batches, a double buffer).
+
+// SpanStats accounts one partition conversation of a scan.
+type SpanStats struct {
+	Server  string
+	Dist    msg.Distance  // hop class from the requester to the server
+	Msgs    uint64        // request/reply pairs
+	Bytes   uint64        // encoded request + reply bytes
+	Rows    uint64        // rows delivered by this partition
+	Batches uint64        // replies that carried rows
+	Busy    time.Duration // wall time this conversation spent waiting on the DP
+}
+
+// Modeled returns the conversation's cost under the message cost model:
+// a per-pair charge by hop distance plus the per-KB byte charge. This
+// is the per-conversation analogue of msg.CostModel.Estimate.
+func (sp SpanStats) Modeled(m msg.CostModel) time.Duration {
+	return time.Duration(sp.Msgs)*m.PairCost(sp.Dist) +
+		time.Duration(sp.Bytes/1024)*m.PerKB
+}
+
+// ScanStats accounts one scan: totals across its partition
+// conversations plus the per-span breakdown. Obtain a snapshot with
+// Rows.Stats after the scan completes (or at any point; the snapshot is
+// consistent).
+type ScanStats struct {
+	Partitions int // partition conversations that exchanged messages
+	Messages   uint64
+	Batches    uint64
+	Rows       uint64
+	Bytes      uint64
+	Wall       time.Duration // start of scan to exhaustion/close
+	Busy       time.Duration // summed per-conversation message wait time
+	Spans      []SpanStats
+}
+
+// Overlap reports how much conversation time ran concurrently: the
+// ratio of summed per-span busy time to wall time. Sequential scans sit
+// near 1.0; a DOP-4 scan over 4 partitions approaches 4.0.
+func (s ScanStats) Overlap() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.Busy) / float64(s.Wall)
+}
+
+// Modeled returns the modeled elapsed time of the scan when its
+// partition conversations run on dop concurrent scanners, using the
+// same greedy claim-in-order schedule the engine uses: each scanner
+// takes the next unstarted conversation when it finishes its current
+// one. dop=1 reduces to the sum over all conversations (the sequential
+// scan); dop >= len(Spans) reduces to the longest single conversation.
+func (s ScanStats) Modeled(m msg.CostModel, dop int) time.Duration {
+	if dop < 1 {
+		dop = 1
+	}
+	if dop > len(s.Spans) {
+		dop = len(s.Spans)
+	}
+	if dop == 0 {
+		return 0
+	}
+	workers := make([]time.Duration, dop)
+	for _, sp := range s.Spans {
+		wi := 0
+		for i := 1; i < dop; i++ {
+			if workers[i] < workers[wi] {
+				wi = i
+			}
+		}
+		workers[wi] += sp.Modeled(m)
+	}
+	var makespan time.Duration
+	for _, w := range workers {
+		if w > makespan {
+			makespan = w
+		}
+	}
+	return makespan
+}
+
+// spanBatch is one reply's worth of rows from one partition.
+type spanBatch struct {
+	rows [][]byte
+	keys [][]byte
+}
+
+// parScan drives a scan's partition conversations from a pool of
+// scanner goroutines. Scanners claim conversations in key order via an
+// atomic counter. Ordered mode gives every span its own buffered
+// channel and the consumer drains them in key order, so results are
+// byte-identical to the sequential scan; unordered mode funnels every
+// span into one shared channel and delivers batches as they arrive.
+type parScan struct {
+	fs   *FS
+	tx   *tmf.Tx
+	def  *FileDef
+	spec SelectSpec
+
+	spans []partSpan
+	next  atomic.Int64 // span claim counter
+
+	chans []chan spanBatch // ordered: one per span
+	out   chan spanBatch   // unordered: shared
+	cur   int              // ordered: span the consumer is draining
+
+	done     chan struct{} // closed to cancel scanners
+	finished chan struct{} // closed after every scanner exited
+	stop     sync.Once
+	wg       sync.WaitGroup
+
+	mu       sync.Mutex
+	firstErr error
+	stats    *ScanStats
+}
+
+// startParScan launches the scanner pool. dop is clamped to the span
+// count; spans must be non-empty.
+func startParScan(f *FS, tx *tmf.Tx, def *FileDef, spec SelectSpec, spans []partSpan, dop int, stats *ScanStats) *parScan {
+	if dop < 1 {
+		dop = 1
+	}
+	if dop > len(spans) {
+		dop = len(spans)
+	}
+	p := &parScan{
+		fs: f, tx: tx, def: def, spec: spec, spans: spans,
+		done: make(chan struct{}), finished: make(chan struct{}),
+		stats: stats,
+	}
+	stats.Spans = make([]SpanStats, len(spans))
+	for i, span := range spans {
+		stats.Spans[i].Server = span.server
+		stats.Spans[i].Dist = f.client.DistanceTo(span.server)
+	}
+	if spec.Unordered {
+		p.out = make(chan spanBatch, 2*dop)
+	} else {
+		p.chans = make([]chan spanBatch, len(spans))
+		for i := range p.chans {
+			// Capacity 2: the double buffer. The scanner parks at most
+			// two undecoded batches ahead of the consumer, keeping one
+			// re-drive in flight while a batch is being decoded.
+			p.chans[i] = make(chan spanBatch, 2)
+		}
+	}
+	for w := 0; w < dop; w++ {
+		p.wg.Add(1)
+		go p.scanner()
+	}
+	go func() {
+		p.wg.Wait()
+		if p.out != nil {
+			close(p.out)
+		}
+		close(p.finished)
+	}()
+	return p
+}
+
+// scanner claims partition conversations in key order and drives each
+// to exhaustion.
+func (p *parScan) scanner() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.done:
+			return
+		default:
+		}
+		idx := int(p.next.Add(1)) - 1
+		if idx >= len(p.spans) {
+			return
+		}
+		if !p.scanSpan(idx) {
+			return
+		}
+	}
+}
+
+// scanSpan drives one partition's re-drive conversation. Returns false
+// when the scan was cancelled or failed (the scanner should exit).
+func (p *parScan) scanSpan(idx int) bool {
+	span := p.spans[idx]
+	var ch chan spanBatch
+	if p.chans != nil {
+		ch = p.chans[idx]
+		defer close(ch)
+	} else {
+		ch = p.out
+	}
+	req := firstScanRequest(p.def, p.spec, p.tx, span)
+	for {
+		t0 := time.Now()
+		reply, reqB, repB, err := p.fs.sendMeasured(span.server, req)
+		wait := time.Since(t0)
+		if err == nil {
+			if p.tx != nil && req.Tx != 0 {
+				p.tx.Join(span.server)
+			}
+			err = replyErr(reply)
+		}
+		p.mu.Lock()
+		sp := &p.stats.Spans[idx]
+		sp.Msgs++
+		sp.Bytes += uint64(reqB + repB)
+		sp.Busy += wait
+		if err == nil && len(reply.Rows) > 0 {
+			sp.Rows += uint64(len(reply.Rows))
+			sp.Batches++
+		}
+		p.mu.Unlock()
+		if err != nil {
+			p.fail(err)
+			return false
+		}
+		if len(reply.Rows) > 0 {
+			select {
+			case ch <- spanBatch{rows: reply.Rows, keys: reply.RowKeys}:
+			case <-p.done:
+				p.closeSCB(span.server, reply)
+				return false
+			}
+		}
+		if reply.Done {
+			return true
+		}
+		select {
+		case <-p.done:
+			p.closeSCB(span.server, reply)
+			return false
+		default:
+		}
+		req = nextScanRequest(p.def, p.spec, p.tx, req, reply)
+	}
+}
+
+// closeSCB retires an abandoned conversation's Subset Control Block on
+// the Disk Process (CLOSE^SUBSET), best effort.
+func (p *parScan) closeSCB(server string, reply *fsdp.Reply) {
+	if reply == nil || reply.Done || reply.SCB == 0 {
+		return
+	}
+	req := &fsdp.Request{Kind: fsdp.KCloseSubset, File: p.def.Name, SCB: reply.SCB}
+	_, reqB, repB, err := p.fs.sendMeasured(server, req)
+	if err != nil {
+		return
+	}
+	p.mu.Lock()
+	// Attribute to totals via the span carrying this server (first match).
+	for i := range p.stats.Spans {
+		if p.stats.Spans[i].Server == server {
+			p.stats.Spans[i].Msgs++
+			p.stats.Spans[i].Bytes += uint64(reqB + repB)
+			break
+		}
+	}
+	p.mu.Unlock()
+}
+
+// fail records the scan's first error and cancels the siblings.
+func (p *parScan) fail(err error) {
+	p.mu.Lock()
+	if p.firstErr == nil {
+		p.firstErr = err
+	}
+	p.mu.Unlock()
+	p.cancel()
+}
+
+func (p *parScan) cancel() { p.stop.Do(func() { close(p.done) }) }
+
+// err returns the first error any scanner hit.
+func (p *parScan) err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.firstErr
+}
+
+// shutdown cancels the scan and waits for every scanner goroutine to
+// exit — after it returns, the scan holds no goroutines. Scanners
+// parked on a full batch channel unblock through the done arm of their
+// send select.
+func (p *parScan) shutdown() {
+	p.cancel()
+	<-p.finished
+}
+
+// nextBatch delivers the next batch to the consumer. ok=false means the
+// scan is drained (check err) .
+func (p *parScan) nextBatch() (rows [][]byte, keys [][]byte, ok bool) {
+	if p.out != nil {
+		b, open := <-p.out
+		if !open {
+			return nil, nil, false
+		}
+		return b.rows, b.keys, true
+	}
+	for p.cur < len(p.chans) {
+		ch := p.chans[p.cur]
+		select {
+		case b, open := <-ch:
+			if !open {
+				p.cur++
+				continue
+			}
+			return b.rows, b.keys, true
+		case <-p.finished:
+			// Every scanner exited. A closed or stocked channel still
+			// yields; an open empty channel means its span was never
+			// claimed (the scan aborted) — stop.
+			select {
+			case b, open := <-ch:
+				if !open {
+					p.cur++
+					continue
+				}
+				return b.rows, b.keys, true
+			default:
+				p.cur = len(p.chans)
+			}
+		}
+	}
+	return nil, nil, false
+}
+
+// firstScanRequest builds the GET^FIRST message opening one partition's
+// conversation.
+func firstScanRequest(def *FileDef, spec SelectSpec, tx *tmf.Tx, span partSpan) *fsdp.Request {
+	req := &fsdp.Request{File: def.Name, Range: span.r, RowLimit: spec.RowLimit}
+	if tx != nil {
+		req.Tx = tx.ID
+	}
+	if spec.Exclusive {
+		req.Mode = 2
+	}
+	switch spec.Mode {
+	case ModeVSBB:
+		req.Kind = fsdp.KGetFirstVSBB
+		req.Pred = expr.Encode(spec.Pred)
+		req.Proj = spec.Proj
+	case ModeRSBB:
+		req.Kind = fsdp.KGetFirstRSBB
+	default:
+		// Record-at-a-time: an RSBB conversation limited to one record
+		// per message — each READ costs a message pair, as under the old
+		// interface.
+		req.Kind = fsdp.KGetFirstRSBB
+		req.RowLimit = 1
+	}
+	return req
+}
+
+// nextScanRequest builds the continuation re-drive following reply.
+func nextScanRequest(def *FileDef, spec SelectSpec, tx *tmf.Tx, prev *fsdp.Request, reply *fsdp.Reply) *fsdp.Request {
+	req := &fsdp.Request{
+		File:  def.Name,
+		Range: prev.Range.Continue(reply.LastKey),
+		SCB:   reply.SCB, RowLimit: prev.RowLimit,
+	}
+	if tx != nil {
+		req.Tx = tx.ID
+	}
+	if spec.Exclusive {
+		req.Mode = 2
+	}
+	switch spec.Mode {
+	case ModeVSBB:
+		req.Kind = fsdp.KGetNextVSBB
+	default:
+		req.Kind = fsdp.KGetNextRSBB
+	}
+	return req
+}

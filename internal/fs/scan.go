@@ -1,6 +1,11 @@
 package fs
 
 import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
 	"nonstopsql/internal/expr"
 	"nonstopsql/internal/fsdp"
 	"nonstopsql/internal/keys"
@@ -25,6 +30,20 @@ const (
 	ModeVSBB
 )
 
+// String returns the mode's protocol-level name.
+func (m ScanMode) String() string {
+	switch m {
+	case ModeRecord:
+		return "RECORD"
+	case ModeRSBB:
+		return "RSBB"
+	case ModeVSBB:
+		return "VSBB"
+	default:
+		return fmt.Sprintf("ScanMode(%d)", int(m))
+	}
+}
+
 // SelectSpec describes one single-variable scan over a (possibly
 // partitioned) file.
 type SelectSpec struct {
@@ -33,6 +52,18 @@ type SelectSpec struct {
 	Pred  expr.Expr // DP-side predicate (ModeVSBB only)
 	Proj  []int     // DP-side projection (ModeVSBB only)
 
+	// Parallel is the scan's degree of parallelism: how many partition
+	// conversations run concurrently (clamped to the partition count).
+	// 0 uses the FS default (SetScanParallel; itself 0 by default =
+	// classic synchronous scan). 1 runs a single scanner goroutine that
+	// still pipelines — it issues the next re-drive while the consumer
+	// decodes the previous batch.
+	Parallel int
+	// Unordered lets a parallel scan deliver batches as partitions
+	// produce them instead of merging back into key order. Only
+	// meaningful when the scan actually runs parallel.
+	Unordered bool
+
 	// RowLimit optionally narrows the DP's per-message row budget
 	// (tests, ablations).
 	RowLimit uint32
@@ -40,8 +71,22 @@ type SelectSpec struct {
 	Exclusive bool
 }
 
+// validate rejects spec combinations the protocol would silently
+// ignore: only GET^*^VSBB messages carry a predicate or projection, so
+// a Pred/Proj on the record or RSBB interface would come back as
+// unfiltered, unprojected rows.
+func (spec SelectSpec) validate() error {
+	if spec.Mode != ModeVSBB && (spec.Pred != nil || len(spec.Proj) > 0) {
+		return fmt.Errorf("fs: SelectSpec: Pred/Proj require ModeVSBB; mode %v cannot evaluate them at the Disk Process", spec.Mode)
+	}
+	return nil
+}
+
 // Rows iterates a Select result: batches are fetched lazily, one FS-DP
-// message (plus re-drives) at a time, across partitions in key order.
+// message (plus re-drives) at a time. Sequential scans walk partitions
+// in key order; parallel scans (SelectSpec.Parallel) drive partition
+// conversations from concurrent scanner goroutines and either merge
+// results back into key order or deliver them unordered.
 type Rows struct {
 	fs   *FS
 	tx   *tmf.Tx
@@ -58,15 +103,39 @@ type Rows struct {
 	done    bool // current span exhausted
 	started bool
 
+	par    *parScan // non-nil when the parallel engine drives the scan
+	start  time.Time
+	stats  ScanStats
+	closed bool
+
 	err error
 }
 
 // Select starts a scan and returns its row iterator.
 func (f *FS) Select(tx *tmf.Tx, def *FileDef, spec SelectSpec) *Rows {
-	return &Rows{
+	r := &Rows{
 		fs: f, tx: tx, def: def, spec: spec,
 		spans: partitionsFor(def.Partitions, spec.Range),
+		start: time.Now(),
 	}
+	if err := spec.validate(); err != nil {
+		r.err = err
+		return r
+	}
+	dop := spec.Parallel
+	if dop == 0 {
+		dop = f.scanDOP
+	}
+	if dop > 0 && len(r.spans) > 0 {
+		r.par = startParScan(f, tx, def, spec, r.spans, dop, &r.stats)
+		return r
+	}
+	r.stats.Spans = make([]SpanStats, len(r.spans))
+	for i, span := range r.spans {
+		r.stats.Spans[i].Server = span.server
+		r.stats.Spans[i].Dist = f.client.DistanceTo(span.server)
+	}
+	return r
 }
 
 // Next returns the next row and its record key. ok=false ends iteration;
@@ -87,7 +156,18 @@ func (r *Rows) Next() (row record.Row, key []byte, ok bool) {
 			}
 			return decoded, key, true
 		}
+		if r.par != nil {
+			rows, keysOut, ok := r.par.nextBatch()
+			if !ok {
+				r.err = r.par.err()
+				r.finish()
+				return nil, nil, false
+			}
+			r.batch, r.keysOut, r.pos = rows, keysOut, 0
+			continue
+		}
 		if !r.fetch() {
+			r.finish()
 			return nil, nil, false
 		}
 	}
@@ -95,6 +175,70 @@ func (r *Rows) Next() (row record.Row, key []byte, ok bool) {
 
 // Err returns the error that terminated iteration, if any.
 func (r *Rows) Err() error { return r.err }
+
+// Close abandons the scan. Open continuation conversations are retired
+// (CLOSE^SUBSET) and, for parallel scans, every scanner goroutine has
+// exited by the time Close returns. Close is idempotent and safe after
+// normal exhaustion.
+func (r *Rows) Close() {
+	if r.closed {
+		return
+	}
+	r.closed = true
+	if r.par != nil {
+		r.par.shutdown()
+		if r.err == nil {
+			r.err = r.par.err()
+		}
+	} else if r.started && !r.done && r.req != nil && r.req.SCB != 0 {
+		// Mid-conversation on the current partition: retire its SCB.
+		_, _ = r.fs.send(r.spans[r.spanIdx].server, &fsdp.Request{
+			Kind: fsdp.KCloseSubset, File: r.def.Name, SCB: r.req.SCB,
+		})
+	}
+	r.batch, r.keysOut, r.pos = nil, nil, 0
+	r.spanIdx = len(r.spans)
+	r.done = true
+	r.finish()
+}
+
+// finish stamps the scan's wall time, once.
+func (r *Rows) finish() {
+	if r.par != nil {
+		r.par.mu.Lock()
+		defer r.par.mu.Unlock()
+	}
+	if r.stats.Wall == 0 {
+		r.stats.Wall = time.Since(r.start)
+	}
+}
+
+// Stats returns a consistent snapshot of the scan's per-partition
+// accounting with totals filled in. Wall is the time from Select until
+// exhaustion/Close (or until now, for a scan still in flight).
+func (r *Rows) Stats() ScanStats {
+	if r.par != nil {
+		r.par.mu.Lock()
+		defer r.par.mu.Unlock()
+	}
+	s := r.stats
+	s.Spans = append([]SpanStats(nil), r.stats.Spans...)
+	s.Partitions, s.Messages, s.Batches, s.Rows, s.Bytes, s.Busy = 0, 0, 0, 0, 0, 0
+	for _, sp := range s.Spans {
+		if sp.Msgs > 0 {
+			s.Partitions++
+		}
+		s.Messages += sp.Msgs
+		s.Batches += sp.Batches
+		s.Rows += sp.Rows
+		s.Bytes += sp.Bytes
+		s.Busy += sp.Busy
+	}
+	if s.Wall == 0 {
+		s.Wall = time.Since(r.start)
+	}
+	return s
+}
 
 // fetch pulls the next batch: a re-drive on the current partition, or
 // GET^FIRST on the next partition.
@@ -106,7 +250,7 @@ func (r *Rows) fetch() bool {
 		span := r.spans[r.spanIdx]
 		if !r.started {
 			r.started = true
-			r.req = r.firstRequest(span)
+			r.req = firstScanRequest(r.def, r.spec, r.tx, span)
 		} else if r.done {
 			// Current partition exhausted: move on.
 			r.spanIdx++
@@ -121,7 +265,7 @@ func (r *Rows) fetch() bool {
 		r.batch, r.keysOut, r.pos = reply.Rows, reply.RowKeys, 0
 		r.done = reply.Done
 		if !reply.Done {
-			r.req = r.nextRequest(span, reply)
+			r.req = nextScanRequest(r.def, r.spec, r.tx, r.req, reply)
 		}
 		if len(r.batch) > 0 {
 			return true
@@ -133,59 +277,25 @@ func (r *Rows) fetch() bool {
 	}
 }
 
-func (r *Rows) firstRequest(span partSpan) *fsdp.Request {
-	req := &fsdp.Request{File: r.def.Name, Range: span.r, RowLimit: r.spec.RowLimit}
-	if r.tx != nil {
-		req.Tx = r.tx.ID
-	}
-	if r.spec.Exclusive {
-		req.Mode = 2
-	}
-	switch r.spec.Mode {
-	case ModeVSBB:
-		req.Kind = fsdp.KGetFirstVSBB
-		req.Pred = expr.Encode(r.spec.Pred)
-		req.Proj = r.spec.Proj
-	case ModeRSBB:
-		req.Kind = fsdp.KGetFirstRSBB
-	default:
-		// Record-at-a-time: an RSBB conversation limited to one record
-		// per message — each READ costs a message pair, as under the old
-		// interface.
-		req.Kind = fsdp.KGetFirstRSBB
-		req.RowLimit = 1
-	}
-	return req
-}
-
-func (r *Rows) nextRequest(span partSpan, reply *fsdp.Reply) *fsdp.Request {
-	req := &fsdp.Request{
-		File:  r.def.Name,
-		Range: r.req.Range.Continue(reply.LastKey),
-		SCB:   reply.SCB, RowLimit: r.req.RowLimit,
-	}
-	if r.tx != nil {
-		req.Tx = r.tx.ID
-	}
-	if r.spec.Exclusive {
-		req.Mode = 2
-	}
-	switch r.spec.Mode {
-	case ModeVSBB:
-		req.Kind = fsdp.KGetNextVSBB
-	default:
-		req.Kind = fsdp.KGetNextRSBB
-	}
-	return req
-}
-
 func (r *Rows) sendScan(server string, req *fsdp.Request) (*fsdp.Reply, error) {
-	reply, err := r.fs.sendTx(r.tx, server, req)
+	t0 := time.Now()
+	reply, reqB, repB, err := r.fs.sendMeasured(server, req)
 	if err != nil {
 		return nil, err
 	}
+	if r.tx != nil && req.Tx != 0 {
+		r.tx.Join(server)
+	}
+	sp := &r.stats.Spans[r.spanIdx]
+	sp.Msgs++
+	sp.Bytes += uint64(reqB + repB)
+	sp.Busy += time.Since(t0)
 	if err := replyErr(reply); err != nil {
 		return nil, err
+	}
+	if len(reply.Rows) > 0 {
+		sp.Rows += uint64(len(reply.Rows))
+		sp.Batches++
 	}
 	return reply, nil
 }
@@ -194,6 +304,7 @@ func (r *Rows) sendScan(server string, req *fsdp.Request) (*fsdp.Reply, error) {
 // small results).
 func (f *FS) SelectAll(tx *tmf.Tx, def *FileDef, spec SelectSpec) ([]record.Row, error) {
 	rows := f.Select(tx, def, spec)
+	defer rows.Close()
 	var out []record.Row
 	for {
 		row, _, ok := rows.Next()
@@ -205,19 +316,105 @@ func (f *FS) SelectAll(tx *tmf.Tx, def *FileDef, spec SelectSpec) ([]record.Row,
 	return out, rows.Err()
 }
 
-// Count returns the number of records in the range satisfying pred,
-// counting at the Disk Process side via VSBB with a minimal projection.
+// Count returns the number of records in the range satisfying pred.
+// The count runs entirely at the Disk Processes (COUNT^FIRST/NEXT): the
+// predicate evaluates at the data source and each re-drive moves a
+// constant-size reply carrying only the qualifying-record count. The
+// per-partition conversations fan out with the FS default degree of
+// parallelism (SetScanParallel).
 func (f *FS) Count(tx *tmf.Tx, def *FileDef, rng keys.Range, pred expr.Expr) (int, error) {
-	rows := f.Select(tx, def, SelectSpec{
-		Mode: ModeVSBB, Range: rng, Pred: pred, Proj: def.Schema.KeyFields[:1],
-	})
+	return f.CountParallel(tx, def, rng, pred, f.scanDOP)
+}
+
+// CountParallel is Count with an explicit degree of parallelism for the
+// per-partition conversations (<=1 = one partition at a time).
+func (f *FS) CountParallel(tx *tmf.Tx, def *FileDef, rng keys.Range, pred expr.Expr, dop int) (int, error) {
+	spans := partitionsFor(def.Partitions, rng)
+	if len(spans) == 0 {
+		return 0, nil
+	}
+	if dop > len(spans) {
+		dop = len(spans)
+	}
+	if dop <= 1 {
+		total := 0
+		for _, span := range spans {
+			n, err := f.countSpan(tx, def, span, pred, nil)
+			total += n
+			if err != nil {
+				return total, err
+			}
+		}
+		return total, nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		next     atomic.Int64
+		stop     atomic.Bool
+		total    int
+		firstErr error
+	)
+	for w := 0; w < dop; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if stop.Load() {
+					return
+				}
+				idx := int(next.Add(1)) - 1
+				if idx >= len(spans) {
+					return
+				}
+				n, err := f.countSpan(tx, def, spans[idx], pred, &stop)
+				mu.Lock()
+				total += n
+				if err != nil && firstErr == nil {
+					firstErr = err
+					stop.Store(true)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return total, firstErr
+}
+
+// countSpan drives one partition's COUNT^FIRST/NEXT conversation to
+// exhaustion, abandoning early (and retiring the SCB) when a sibling
+// conversation failed.
+func (f *FS) countSpan(tx *tmf.Tx, def *FileDef, span partSpan, pred expr.Expr, stop *atomic.Bool) (int, error) {
+	req := &fsdp.Request{Kind: fsdp.KCountFirst, File: def.Name, Range: span.r, Pred: expr.Encode(pred)}
+	if tx != nil {
+		req.Tx = tx.ID
+	}
 	n := 0
 	for {
-		_, _, ok := rows.Next()
-		if !ok {
-			break
+		reply, err := f.sendTx(tx, span.server, req)
+		if err != nil {
+			return n, err
 		}
-		n++
+		if err := replyErr(reply); err != nil {
+			return n, err
+		}
+		n += int(reply.Count)
+		if reply.Done {
+			return n, nil
+		}
+		if stop != nil && stop.Load() {
+			_, _ = f.send(span.server, &fsdp.Request{
+				Kind: fsdp.KCloseSubset, File: def.Name, SCB: reply.SCB,
+			})
+			return n, nil
+		}
+		req = &fsdp.Request{
+			Kind: fsdp.KCountNext, File: def.Name,
+			Range: req.Range.Continue(reply.LastKey), SCB: reply.SCB,
+		}
+		if tx != nil {
+			req.Tx = tx.ID
+		}
 	}
-	return n, rows.Err()
 }

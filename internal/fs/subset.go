@@ -2,6 +2,8 @@ package fs
 
 import (
 	"bytes"
+	"sync"
+	"sync/atomic"
 
 	"nonstopsql/internal/expr"
 	"nonstopsql/internal/fsdp"
@@ -26,33 +28,107 @@ func (f *FS) UpdateSubset(tx *tmf.Tx, def *FileDef, rng keys.Range, pred expr.Ex
 	if def.AssignsTouchIndexes(assigns) {
 		return f.updateSubsetRequesterSide(tx, def, rng, pred, assigns)
 	}
-	total := 0
-	for _, span := range partitionsFor(def.Partitions, rng) {
-		req := &fsdp.Request{
+	return f.fanoutSubset(tx, def, rng, func(span partSpan) *fsdp.Request {
+		return &fsdp.Request{
 			Kind: fsdp.KUpdateSubsetFirst, Tx: tx.ID, File: def.Name,
 			Range:  span.r,
 			Pred:   expr.Encode(pred),
 			Assign: expr.EncodeAssignments(assigns),
 		}
-		for {
-			reply, err := f.sendTx(tx, span.server, req)
+	}, fsdp.KUpdateSubsetNext)
+}
+
+// fanoutSubset drives one DP-pushdown subset conversation per partition
+// intersecting rng, concurrently (bounded by the FS scan DOP, minimum
+// the partition count does not exceed — each partition's conversation
+// is still strictly sequential, so its per-partition locking and
+// re-drive semantics are exactly those of the sequential path). Reply
+// counts are summed; the first error wins and cancels the siblings at
+// their next message boundary.
+func (f *FS) fanoutSubset(tx *tmf.Tx, def *FileDef, rng keys.Range, first func(partSpan) *fsdp.Request, nextKind fsdp.Kind) (int, error) {
+	spans := partitionsFor(def.Partitions, rng)
+	if len(spans) == 0 {
+		return 0, nil
+	}
+	dop := f.scanDOP
+	if dop < 1 || dop > len(spans) {
+		dop = len(spans)
+	}
+	if dop == 1 || len(spans) == 1 {
+		total := 0
+		for _, span := range spans {
+			n, err := f.subsetSpan(tx, span, first(span), nextKind, nil)
+			total += n
 			if err != nil {
 				return total, err
 			}
-			if err := replyErr(reply); err != nil {
-				return total, err
+		}
+		return total, nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		next     atomic.Int64
+		stop     atomic.Bool
+		total    int
+		firstErr error
+	)
+	for w := 0; w < dop; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if stop.Load() {
+					return
+				}
+				idx := int(next.Add(1)) - 1
+				if idx >= len(spans) {
+					return
+				}
+				span := spans[idx]
+				n, err := f.subsetSpan(tx, span, first(span), nextKind, &stop)
+				mu.Lock()
+				total += n
+				if err != nil && firstErr == nil {
+					firstErr = err
+					stop.Store(true)
+				}
+				mu.Unlock()
 			}
-			total += int(reply.Count)
-			if reply.Done {
-				break
-			}
-			req = &fsdp.Request{
-				Kind: fsdp.KUpdateSubsetNext, Tx: tx.ID, File: def.Name,
-				Range: req.Range.Continue(reply.LastKey), SCB: reply.SCB,
-			}
+		}()
+	}
+	wg.Wait()
+	return total, firstErr
+}
+
+// subsetSpan drives one partition's subset conversation (update or
+// delete) to exhaustion, abandoning between re-drives when a sibling
+// failed.
+func (f *FS) subsetSpan(tx *tmf.Tx, span partSpan, req *fsdp.Request, nextKind fsdp.Kind, stop *atomic.Bool) (int, error) {
+	n := 0
+	for {
+		reply, err := f.sendTx(tx, span.server, req)
+		if err != nil {
+			return n, err
+		}
+		if err := replyErr(reply); err != nil {
+			return n, err
+		}
+		n += int(reply.Count)
+		if reply.Done {
+			return n, nil
+		}
+		if stop != nil && stop.Load() {
+			_, _ = f.send(span.server, &fsdp.Request{
+				Kind: fsdp.KCloseSubset, File: req.File, SCB: reply.SCB,
+			})
+			return n, nil
+		}
+		req = &fsdp.Request{
+			Kind: nextKind, Tx: tx.ID, File: req.File,
+			Range: req.Range.Continue(reply.LastKey), SCB: reply.SCB,
 		}
 	}
-	return total, nil
 }
 
 // updateSubsetRequesterSide scans qualifying rows (still filtered at the
@@ -107,32 +183,13 @@ func (f *FS) DeleteSubset(tx *tmf.Tx, def *FileDef, rng keys.Range, pred expr.Ex
 	if len(def.Indexes) > 0 {
 		return f.deleteSubsetRequesterSide(tx, def, rng, pred)
 	}
-	total := 0
-	for _, span := range partitionsFor(def.Partitions, rng) {
-		req := &fsdp.Request{
+	return f.fanoutSubset(tx, def, rng, func(span partSpan) *fsdp.Request {
+		return &fsdp.Request{
 			Kind: fsdp.KDeleteSubsetFirst, Tx: tx.ID, File: def.Name,
 			Range: span.r,
 			Pred:  expr.Encode(pred),
 		}
-		for {
-			reply, err := f.sendTx(tx, span.server, req)
-			if err != nil {
-				return total, err
-			}
-			if err := replyErr(reply); err != nil {
-				return total, err
-			}
-			total += int(reply.Count)
-			if reply.Done {
-				break
-			}
-			req = &fsdp.Request{
-				Kind: fsdp.KDeleteSubsetNext, Tx: tx.ID, File: def.Name,
-				Range: req.Range.Continue(reply.LastKey), SCB: reply.SCB,
-			}
-		}
-	}
-	return total, nil
+	}, fsdp.KDeleteSubsetNext)
 }
 
 func (f *FS) deleteSubsetRequesterSide(tx *tmf.Tx, def *FileDef, rng keys.Range, pred expr.Expr) (int, error) {

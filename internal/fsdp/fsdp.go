@@ -68,6 +68,12 @@ const (
 
 	// CloseSubset discards a Subset Control Block early.
 	KCloseSubset
+
+	// Set-oriented aggregation: count the records of a subset at the
+	// Disk Process. The reply carries only a count — no record, not even
+	// a projected key column, crosses the interface.
+	KCountFirst
+	KCountNext
 )
 
 var kindNames = map[Kind]string{
@@ -82,6 +88,7 @@ var kindNames = map[Kind]string{
 	KCreateFile: "CREATE", KDropFile: "DROP",
 	KPrepare: "PREPARE", KCommit: "COMMIT", KAbort: "ABORT",
 	KCloseSubset: "CLOSE^SUBSET",
+	KCountFirst:  "COUNT^FIRST", KCountNext: "COUNT^NEXT",
 }
 
 // String returns the message type's protocol name.

@@ -25,6 +25,19 @@ func DefaultCostModel() CostModel {
 	}
 }
 
+// PairCost returns the modeled cost of one request/reply pair at the
+// given distance, excluding the per-KB byte charge.
+func (m CostModel) PairCost(d Distance) time.Duration {
+	switch d {
+	case DistLocal:
+		return m.LocalMsg
+	case DistBus:
+		return m.BusMsg
+	default:
+		return m.NetMsg
+	}
+}
+
 // Estimate returns the modeled elapsed time for the counted traffic.
 func (m CostModel) Estimate(s Stats) time.Duration {
 	d := time.Duration(s.Local)*m.LocalMsg +

@@ -191,6 +191,40 @@ func (n *Network) NewClient(proc ProcessorID) *Client {
 // Processor returns where the client runs.
 func (c *Client) Processor() ProcessorID { return c.proc }
 
+// Distance classifies one request/reply hop by how far it travels —
+// the same classification Send charges to the Local/Bus/Network
+// counters, exposed so per-conversation accounting (parallel scan
+// statistics) can cost its own traffic without racing on the global
+// counters.
+type Distance int
+
+const (
+	// DistLocal is a message pair that stays on the sender's processor.
+	DistLocal Distance = iota
+	// DistBus crosses the inter-processor bus within one node.
+	DistBus
+	// DistNetwork crosses node boundaries.
+	DistNetwork
+)
+
+// DistanceTo classifies the hop from this client to the named server.
+// An unknown server classifies as DistNetwork: locating it would itself
+// cross the network.
+func (c *Client) DistanceTo(server string) Distance {
+	proc, ok := c.net.Lookup(server)
+	if !ok {
+		return DistNetwork
+	}
+	switch {
+	case proc == c.proc:
+		return DistLocal
+	case proc.Node == c.proc.Node:
+		return DistBus
+	default:
+		return DistNetwork
+	}
+}
+
 // Send delivers one request message to the named server and waits for
 // the reply, charging both directions to the traffic counters.
 func (c *Client) Send(server string, payload []byte) ([]byte, error) {

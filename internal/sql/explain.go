@@ -155,6 +155,20 @@ func (s *Session) explainSelect(sb *strings.Builder, sel Select) error {
 		needed = neededColumns(def.Schema, alias, exprs)
 	}
 	sb.WriteString("SELECT (single-variable query)\n")
+	if isCountStarQuery(sel) {
+		rng, residual := expr.ExtractKeyRange(pred, def.Schema)
+		fmt.Fprintf(sb, "  access %s: COUNT(*) at Disk Processes via COUNT^FIRST/NEXT (constant-size replies)\n", def.Name)
+		if residual != nil {
+			fmt.Fprintf(sb, "  predicate at Disk Process: %s\n", residual)
+		}
+		if rng.Low != nil || rng.High != nil {
+			fmt.Fprintf(sb, "  primary-key range %s\n", rng.String())
+		}
+		if parts := len(def.Partitions); parts > 1 {
+			fmt.Fprintf(sb, "  %d partitions, counted concurrently\n", parts)
+		}
+		return nil
+	}
 	planAccess(def, pred, needed).describe(sb, "  ")
 	aggregate := len(sel.GroupBy) > 0
 	for _, item := range sel.Items {

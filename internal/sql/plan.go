@@ -57,8 +57,11 @@ func neededColumns(schema *record.Schema, alias string, exprs []aExpr) map[int]b
 //
 // needed lists the client-required columns (nil = all). stopAfter > 0
 // ends the scan early once that many rows are in hand (LIMIT without
-// ORDER BY).
-func (s *Session) tableAccess(tx *tmf.Tx, def *fs.FileDef, pred expr.Expr, needed map[int]bool, stopAfter int) ([]record.Row, error) {
+// ORDER BY). unordered lets a parallel scan (an FS configured with
+// SetScanParallel) deliver partitions' batches as they arrive instead
+// of merging back into key order — set only when the consumer is
+// order-insensitive (e.g. feeds a single-group aggregate).
+func (s *Session) tableAccess(tx *tmf.Tx, def *fs.FileDef, pred expr.Expr, needed map[int]bool, stopAfter int, unordered bool) ([]record.Row, error) {
 	schema := def.Schema
 	rng, residual := expr.ExtractKeyRange(pred, schema)
 
@@ -97,7 +100,7 @@ func (s *Session) tableAccess(tx *tmf.Tx, def *fs.FileDef, pred expr.Expr, neede
 			}
 		}
 	}
-	spec := fs.SelectSpec{Range: rng}
+	spec := fs.SelectSpec{Range: rng, Unordered: unordered}
 	if residual != nil || proj != nil {
 		spec.Mode = fs.ModeVSBB
 		spec.Pred = residual
@@ -106,6 +109,10 @@ func (s *Session) tableAccess(tx *tmf.Tx, def *fs.FileDef, pred expr.Expr, neede
 		spec.Mode = fs.ModeRSBB
 	}
 	rows := s.fs.Select(tx, def, spec)
+	// Close releases the parallel engine's scanner goroutines (and any
+	// open DP-side subset control blocks) when stopAfter ends the scan
+	// early; after a full drain it is a no-op.
+	defer rows.Close()
 	var out []record.Row
 	for {
 		row, _, ok := rows.Next()
@@ -211,11 +218,21 @@ func (s *Session) singleTableSelect(tx *tmf.Tx, sel Select) (*Result, error) {
 		needed = neededColumns(def.Schema, alias, exprs)
 	}
 
+	// COUNT(*) pushdown: a bare single-table COUNT(*) needs no rows at
+	// all — the Disk Processes count qualifying records and each
+	// re-drive returns a constant-size reply (COUNT^FIRST/NEXT).
+	if res, ok, err := s.countStarPushdown(tx, sel, def, pred); ok || err != nil {
+		return res, err
+	}
+
 	stopAfter := -1
 	if sel.Limit >= 0 && len(sel.OrderBy) == 0 && !aggregate {
 		stopAfter = sel.Limit
 	}
-	rows, err := s.tableAccess(tx, def, pred, needed, stopAfter)
+	// A single-group aggregate folds every row commutatively, so a
+	// parallel scan may deliver partitions' batches in arrival order.
+	unordered := aggregate && len(sel.GroupBy) == 0
+	rows, err := s.tableAccess(tx, def, pred, needed, stopAfter, unordered)
 	if err != nil {
 		return nil, err
 	}
@@ -224,6 +241,41 @@ func (s *Session) singleTableSelect(tx *tmf.Tx, sel Select) (*Result, error) {
 		return s.aggregateResult(sel, sc, rows)
 	}
 	return s.projectResult(sel, sc, def.Schema, rows)
+}
+
+// countStarPushdown recognizes SELECT COUNT(*) FROM t [WHERE ...] — a
+// single COUNT(*) item, no GROUP BY/HAVING/ORDER BY — and answers it
+// with fs.Count so only counts cross the FS-DP interface. ok reports
+// whether the query matched.
+func (s *Session) countStarPushdown(tx *tmf.Tx, sel Select, def *fs.FileDef, pred expr.Expr) (*Result, bool, error) {
+	if !isCountStarQuery(sel) {
+		return nil, false, nil
+	}
+	rng, residual := expr.ExtractKeyRange(pred, def.Schema)
+	n, err := s.fs.Count(tx, def, rng, residual)
+	if err != nil {
+		return nil, true, err
+	}
+	name := sel.Items[0].Alias
+	if name == "" {
+		name = displayName(sel.Items[0].Expr)
+	}
+	res := &Result{Columns: []string{name}, Rows: []record.Row{{record.Int(int64(n))}}}
+	if sel.Limit >= 0 && len(res.Rows) > sel.Limit {
+		res.Rows = res.Rows[:sel.Limit]
+	}
+	res.Affected = len(res.Rows)
+	return res, true, nil
+}
+
+// isCountStarQuery reports whether sel is a bare single-table COUNT(*)
+// answerable by the DP-side count protocol.
+func isCountStarQuery(sel Select) bool {
+	if len(sel.Items) != 1 || len(sel.GroupBy) > 0 || sel.Having != nil || len(sel.OrderBy) > 0 {
+		return false
+	}
+	call, isCall := sel.Items[0].Expr.(aCall)
+	return isCall && call.Fn == "COUNT" && call.Star && !call.Distinct
 }
 
 // projectResult applies ORDER BY / LIMIT / the select list to full-width

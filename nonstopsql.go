@@ -63,6 +63,12 @@ type Config struct {
 	CacheSlotsPerDP int           // buffer pool pages per Disk Process
 	LockTimeout     time.Duration // lock wait bound
 	DPWorkers       int           // goroutines per Disk Process group (default 16)
+
+	// ScanParallel is the default degree of parallelism for scans and
+	// counts over partitioned files: how many per-partition Disk Process
+	// conversations each scan drives concurrently (clamped to the
+	// partition count). 0 keeps the classic one-partition-at-a-time scan.
+	ScanParallel int
 }
 
 // A Database is one simulated Tandem network with its catalog.
@@ -95,6 +101,7 @@ func Open(cfg Config) (*Database, error) {
 		CacheSlots:         cfg.CacheSlotsPerDP,
 		LockTimeout:        cfg.LockTimeout,
 		DPWorkers:          cfg.DPWorkers,
+		ScanParallel:       cfg.ScanParallel,
 	})
 	if err != nil {
 		return nil, err
