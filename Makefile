@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench experiments
+.PHONY: check build vet test race bench experiments benchjson
 
 check: build vet race
 
@@ -26,3 +26,8 @@ bench:
 
 experiments:
 	$(GO) run ./cmd/benchtab
+
+# Machine-readable benchmark report (BENCH_<tag>.json): counted
+# quantities plus the E13 TPS-vs-workers curve, for diffing revisions.
+benchjson:
+	scripts/bench.sh

@@ -176,6 +176,25 @@ func BenchmarkE12ParallelScan(b *testing.B) {
 	}
 }
 
+func BenchmarkE13IntraDPConcurrency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, _, err := experiments.E13(100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			switch r.Workers {
+			case 1:
+				b.ReportMetric(r.TPS, "tps@w1")
+			case 4:
+				b.ReportMetric(r.TPS, "tps@w4")
+				b.ReportMetric(r.Speedup, "speedup@w4")
+				b.ReportMetric(float64(r.LatchWaits), "latch-waits@w4")
+			}
+		}
+	}
+}
+
 func BenchmarkF1RemoteAccess(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		results, _, err := experiments.F1()

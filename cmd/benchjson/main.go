@@ -1,0 +1,136 @@
+// Command benchjson runs the headline experiments and writes their
+// counted quantities as machine-readable JSON, so successive PRs can be
+// compared number-to-number (scripts/bench.sh wraps this and names the
+// file BENCH_<tag>.json).
+//
+// Usage:
+//
+//	benchjson [-quick] [-tag pr2] [-out BENCH_pr2.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"nonstopsql/internal/experiments"
+)
+
+type e7JSON struct {
+	System       string  `json:"system"`
+	Txns         int     `json:"txns"`
+	MsgsPerTxn   float64 `json:"msgs_per_txn"`
+	KBPerTxn     float64 `json:"kb_per_txn"`
+	AuditPerTxn  float64 `json:"audit_bytes_per_txn"`
+	DiskIOPerTxn float64 `json:"disk_ios_per_txn"`
+	EstMsPerTxn  float64 `json:"est_ms_per_txn"`
+}
+
+type e12JSON struct {
+	DOP       int     `json:"dop"`
+	Rows      int     `json:"rows"`
+	Msgs      uint64  `json:"msgs"`
+	Bytes     uint64  `json:"bytes"`
+	ModeledMs float64 `json:"modeled_ms"`
+	Speedup   float64 `json:"speedup"`
+}
+
+type e13JSON struct {
+	Workers    int     `json:"workers"`
+	Clients    int     `json:"clients"`
+	Txns       int     `json:"txns"`
+	EffConc    float64 `json:"eff_conc"`
+	LatchWaits uint64  `json:"latch_waits"`
+	ModeledMs  float64 `json:"modeled_ms"`
+	TPS        float64 `json:"tps"`
+	Speedup    float64 `json:"speedup"`
+}
+
+type report struct {
+	Tag   string `json:"tag"`
+	Quick bool   `json:"quick"`
+	Sizes struct {
+		Rows       int `json:"rows"`
+		Txns       int `json:"txns"`
+		TxnsPerCli int `json:"txns_per_cli"`
+	} `json:"sizes"`
+	E7  []e7JSON  `json:"e7_debitcredit"`
+	E12 []e12JSON `json:"e12_parallel_scan"`
+	E13 []e13JSON `json:"e13_intra_dp_concurrency"`
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func main() {
+	quick := flag.Bool("quick", false, "run with test-sized workloads")
+	tag := flag.String("tag", "dev", "tag recorded in the report")
+	out := flag.String("out", "", "output path (default stdout)")
+	flag.Parse()
+
+	sizes := experiments.Full()
+	if *quick {
+		sizes = experiments.Quick()
+	}
+	var r report
+	r.Tag = *tag
+	r.Quick = *quick
+	r.Sizes.Rows = sizes.Rows
+	r.Sizes.Txns = sizes.Txns
+	r.Sizes.TxnsPerCli = sizes.TxnsPerCli
+
+	e7, _, err := experiments.E7(sizes.Txns)
+	if err != nil {
+		fail("E7", err)
+	}
+	for _, x := range e7 {
+		r.E7 = append(r.E7, e7JSON{
+			System: x.System, Txns: x.Txns, MsgsPerTxn: x.MsgsPerTxn,
+			KBPerTxn: x.BytesPerTxn, AuditPerTxn: x.AuditPerTxn,
+			DiskIOPerTxn: x.DiskIOPerTxn, EstMsPerTxn: x.EstMsPerTxn,
+		})
+	}
+
+	e12, _, err := experiments.E12(sizes.Rows)
+	if err != nil {
+		fail("E12", err)
+	}
+	for _, x := range e12 {
+		r.E12 = append(r.E12, e12JSON{
+			DOP: x.DOP, Rows: x.Rows, Msgs: x.Msgs, Bytes: x.Bytes,
+			ModeledMs: ms(x.Modeled), Speedup: x.Speedup,
+		})
+	}
+
+	e13, _, err := experiments.E13(sizes.TxnsPerCli)
+	if err != nil {
+		fail("E13", err)
+	}
+	for _, x := range e13 {
+		r.E13 = append(r.E13, e13JSON{
+			Workers: x.Workers, Clients: x.Clients, Txns: x.Txns,
+			EffConc: x.EffConc, LatchWaits: x.LatchWaits,
+			ModeledMs: ms(x.Modeled), TPS: x.TPS, Speedup: x.Speedup,
+		})
+	}
+
+	enc, err := json.MarshalIndent(&r, "", "  ")
+	if err != nil {
+		fail("encode", err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fail("write", err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func fail(what string, err error) {
+	fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", what, err)
+	os.Exit(1)
+}

@@ -9,13 +9,30 @@
 // through the buffer pool's LRU, WAL gate, pre-fetch, and write-behind
 // machinery. The root page never moves (splits push the old root's
 // contents down), so a file is identified durably by its root block.
+//
+// Concurrency uses per-page latches with latch crabbing rather than a
+// tree-wide mutex, so one Disk Process group can serve many requesters
+// against the same file at once:
+//
+//   - readers descend root-to-leaf with shared latches, releasing the
+//     parent as soon as the child is latched;
+//   - writers descend optimistically (shared crabbing, exclusive only
+//     on the leaf) and restart with a pessimistic full-path exclusive
+//     descent when a split or collapse must propagate;
+//   - range scans hold one leaf latch at a time, following right-
+//     sibling links with the same hand-over-hand coupling.
+//
+// Latches order strictly root-to-leaf and left-to-right, so descents,
+// chain scans, and collapse repairs can never form a cycle. Disk reads
+// for a page happen while holding only that page's latch (the buffer
+// pool de-duplicates concurrent loads per slot), so a cache miss on one
+// page never stalls operations on unrelated pages.
 package btree
 
 import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
-	"sync"
 
 	"nonstopsql/internal/cache"
 	"nonstopsql/internal/disk"
@@ -49,30 +66,38 @@ type cell struct {
 // A Tree is one key-sequenced file (or one partition, or one secondary
 // index — the Disk Process manages each as a single B-tree).
 type Tree struct {
-	mu   sync.Mutex
 	pool *cache.Pool
 	vol  *disk.Volume
 	name string
 	root disk.BlockNum
+	lt   *Latches
 }
 
-// New creates an empty key-sequenced file and returns it.
-func New(pool *cache.Pool, vol *disk.Volume, name string) (*Tree, error) {
+// New creates an empty key-sequenced file and returns it. lt is the
+// volume's shared latch table; nil gets a private one (tests).
+func New(pool *cache.Pool, vol *disk.Volume, name string, lt *Latches) (*Tree, error) {
+	if lt == nil {
+		lt = NewLatches(nil)
+	}
 	root := vol.Allocate()
-	t := &Tree{pool: pool, vol: vol, name: name, root: root}
+	t := &Tree{pool: pool, vol: vol, name: name, root: root, lt: lt}
 	pg, err := pool.Get(root)
 	if err != nil {
 		return nil, err
 	}
 	defer pg.Release()
-	writePage(pg.Data(), pageLeaf, 0, nil)
+	writePage(pg.Data(), pageLeaf, 0, 0, nil)
 	pg.MarkDirty(0)
 	return t, nil
 }
 
-// Open attaches to an existing file by its root block.
-func Open(pool *cache.Pool, vol *disk.Volume, name string, root disk.BlockNum) *Tree {
-	return &Tree{pool: pool, vol: vol, name: name, root: root}
+// Open attaches to an existing file by its root block. lt is the
+// volume's shared latch table; nil gets a private one (tests).
+func Open(pool *cache.Pool, vol *disk.Volume, name string, root disk.BlockNum, lt *Latches) *Tree {
+	if lt == nil {
+		lt = NewLatches(nil)
+	}
+	return &Tree{pool: pool, vol: vol, name: name, root: root, lt: lt}
 }
 
 // Root returns the file's fixed root block.
@@ -81,19 +106,25 @@ func (t *Tree) Root() disk.BlockNum { return t.root }
 // Name returns the file name.
 func (t *Tree) Name() string { return t.name }
 
+// Latches returns the tree's latch table (stats).
+func (t *Tree) Latches() *Latches { return t.lt }
+
 // page (de)serialization ----------------------------------------------
 
-// header: [0] type, [1:3] cell count, [3] level (leaf = 0), [4:15] spare.
-// The level lets an interior page at level 1 hand out its children's
-// block numbers as *leaf* numbers without reading them — the basis of
-// the Disk Process's pre-fetch planning.
-func writePage(buf []byte, typ byte, level byte, cells []cell) {
+// header: [0] type, [1:3] cell count, [3] level (leaf = 0), [4:8] right
+// sibling block for leaves (0 = none; block 0 is never allocated),
+// [8:15] spare. The level lets an interior page at level 1 hand out its
+// children's block numbers as *leaf* numbers without reading them — the
+// basis of the Disk Process's pre-fetch planning. The sibling link lets
+// range scans walk the leaf level holding one latch at a time.
+func writePage(buf []byte, typ byte, level byte, next disk.BlockNum, cells []cell) {
 	for i := range buf {
 		buf[i] = 0
 	}
 	buf[0] = typ
 	binary.LittleEndian.PutUint16(buf[1:3], uint16(len(cells)))
 	buf[3] = level
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(next))
 	off := headerSize
 	for _, c := range cells {
 		off += binary.PutUvarint(buf[off:], uint64(len(c.key)))
@@ -121,6 +152,10 @@ func readPage(buf []byte) (typ byte, level byte, cells []cell) {
 		cells[i] = cell{key: k, val: v}
 	}
 	return typ, level, cells
+}
+
+func readNext(buf []byte) disk.BlockNum {
+	return disk.BlockNum(binary.LittleEndian.Uint32(buf[4:8]))
 }
 
 func cellsSize(cells []cell) int {
@@ -178,30 +213,65 @@ func childIndex(cells []cell, k []byte) int {
 	return i - 1
 }
 
-// Get returns the record bytes stored under key.
-func (t *Tree) Get(key []byte) ([]byte, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.getLocked(key)
+// page access helpers --------------------------------------------------
+
+// readBlock pins bn, decodes it, and unpins. The caller must hold bn's
+// latch; the decoded cells are copies, so they stay valid after both
+// the pin and the latch are gone.
+func (t *Tree) readBlock(bn disk.BlockNum) (typ, level byte, next disk.BlockNum, cells []cell, err error) {
+	pg, err := t.pool.Get(bn)
+	if err != nil {
+		return 0, 0, 0, nil, err
+	}
+	typ, level, cells = readPage(pg.Data())
+	next = readNext(pg.Data())
+	pg.Release()
+	return typ, level, next, cells, nil
 }
 
-func (t *Tree) getLocked(key []byte) ([]byte, error) {
+// storePage rewrites bn. The caller must hold bn's latch exclusively
+// (or otherwise guarantee the page is unreachable).
+func (t *Tree) storePage(bn disk.BlockNum, typ, level byte, next disk.BlockNum, cells []cell, lsn wal.LSN) error {
+	pg, err := t.pool.Get(bn)
+	if err != nil {
+		return err
+	}
+	writePage(pg.Data(), typ, level, next, cells)
+	pg.MarkDirty(lsn)
+	pg.Release()
+	return nil
+}
+
+// reads ----------------------------------------------------------------
+
+// Get returns the record bytes stored under key. The descent crabs
+// shared latches: the parent is released only once the child is
+// latched, so a concurrent split or collapse can never redirect the
+// descent onto a freed page.
+func (t *Tree) Get(key []byte) ([]byte, error) {
+	t.lt.opEnter()
+	defer t.lt.opExit()
+	pl := t.lt.acquire(t.root, false)
 	bn := t.root
 	for {
-		pg, err := t.pool.Get(bn)
+		typ, _, _, cells, err := t.readBlock(bn)
 		if err != nil {
+			pl.release()
 			return nil, err
 		}
-		typ, _, cells := readPage(pg.Data())
-		pg.Release()
 		if typ == pageInterior {
 			if len(cells) == 0 {
-				return nil, ErrNotFound
+				pl.release()
+				return nil, fmt.Errorf("%w (%s)", ErrNotFound, t.name)
 			}
-			bn = childOf(cells[childIndex(cells, key)])
+			child := childOf(cells[childIndex(cells, key)])
+			cpl := t.lt.acquire(child, false)
+			pl.release()
+			pl, bn = cpl, child
 			continue
 		}
 		i, exact := findCell(cells, key)
+		pl.release()
 		if !exact {
 			return nil, fmt.Errorf("%w (%s)", ErrNotFound, t.name)
 		}
@@ -209,37 +279,7 @@ func (t *Tree) getLocked(key []byte) ([]byte, error) {
 	}
 }
 
-// Insert stores a new record; lsn is the audit record protecting the
-// modification (write-ahead-log page stamping).
-func (t *Tree) Insert(key, val []byte, lsn wal.LSN) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	_, err := t.modify(key, val, lsn, opInsert)
-	return err
-}
-
-// Update replaces an existing record's bytes.
-func (t *Tree) Update(key, val []byte, lsn wal.LSN) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	_, err := t.modify(key, val, lsn, opUpdate)
-	return err
-}
-
-// Upsert stores the record whether or not the key exists (recovery redo).
-func (t *Tree) Upsert(key, val []byte, lsn wal.LSN) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	_, err := t.modify(key, val, lsn, opUpsert)
-	return err
-}
-
-// Delete removes a record.
-func (t *Tree) Delete(key []byte, lsn wal.LSN) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.deleteLocked(key, lsn)
-}
+// writes ---------------------------------------------------------------
 
 type opKind int
 
@@ -247,90 +287,132 @@ const (
 	opInsert opKind = iota
 	opUpdate
 	opUpsert
+	opDelete
 )
 
-// splitResult describes a page split to the parent: a new right sibling
-// starting at sepKey.
-type splitResult struct {
-	sepKey []byte
-	right  disk.BlockNum
+// Insert stores a new record; lsn is the audit record protecting the
+// modification (write-ahead-log page stamping).
+func (t *Tree) Insert(key, val []byte, lsn wal.LSN) error {
+	return t.apply(key, val, lsn, opInsert)
 }
 
-// modify descends to the leaf and applies the operation, splitting on
-// the way back up as needed.
-func (t *Tree) modify(key, val []byte, lsn wal.LSN, op opKind) (*splitResult, error) {
-	split, err := t.modifyAt(t.root, key, val, lsn, op)
-	if err != nil {
-		return nil, err
-	}
-	if split == nil {
-		return nil, nil
-	}
-	// Root split: the root block must not move. Copy current root into a
-	// fresh left child, then rewrite the root as an interior page over
-	// {left, right}.
-	pg, err := t.pool.Get(t.root)
-	if err != nil {
-		return nil, err
-	}
-	defer pg.Release()
-	typ, level, cells := readPage(pg.Data())
-	leftBn := t.vol.Allocate()
-	left, err := t.pool.Get(leftBn)
-	if err != nil {
-		return nil, err
-	}
-	writePage(left.Data(), typ, level, cells)
-	left.MarkDirty(lsn)
-	left.Release()
-	rootCells := []cell{
-		childCell(nil, leftBn),
-		childCell(split.sepKey, split.right),
-	}
-	writePage(pg.Data(), pageInterior, level+1, rootCells)
-	pg.MarkDirty(lsn)
-	return nil, nil
+// Update replaces an existing record's bytes.
+func (t *Tree) Update(key, val []byte, lsn wal.LSN) error {
+	return t.apply(key, val, lsn, opUpdate)
 }
 
-func (t *Tree) modifyAt(bn disk.BlockNum, key, val []byte, lsn wal.LSN, op opKind) (*splitResult, error) {
-	pg, err := t.pool.Get(bn)
+// Upsert stores the record whether or not the key exists (recovery redo).
+func (t *Tree) Upsert(key, val []byte, lsn wal.LSN) error {
+	return t.apply(key, val, lsn, opUpsert)
+}
+
+// Delete removes a record.
+func (t *Tree) Delete(key []byte, lsn wal.LSN) error {
+	return t.apply(key, nil, lsn, opDelete)
+}
+
+// apply runs one write operation. Almost every write stays within one
+// leaf, so it first tries the optimistic descent (shared crabbing,
+// exclusive latch on the leaf only). When the leaf would split or
+// collapse — a structure change that must propagate to ancestors — it
+// restarts pessimistically, holding the whole root-to-leaf path
+// exclusive. With variable-length keys no cheap "safe node" bound
+// exists (a promoted separator's size depends on the leaf keys), so
+// restart-on-propagate is both simpler and sound.
+func (t *Tree) apply(key, val []byte, lsn wal.LSN, op opKind) error {
+	t.lt.opEnter()
+	defer t.lt.opExit()
+	done, err := t.applyOptimistic(key, val, lsn, op)
+	if done {
+		return err
+	}
+	return t.applyPessimistic(key, val, lsn, op)
+}
+
+// leafExclusive descends with shared crabbing and returns the covering
+// leaf latched exclusively. While the leaf's parent is latched (shared)
+// no structure change can run in that subtree — a pessimistic writer
+// would need the parent exclusive — so the child pointer stays valid
+// until the leaf latch is granted.
+func (t *Tree) leafExclusive(key []byte) (pageLatch, disk.BlockNum, error) {
+	for {
+		pl := t.lt.acquire(t.root, false)
+		bn := t.root
+		restart := false
+		for !restart {
+			typ, level, _, cells, err := t.readBlock(bn)
+			if err != nil {
+				pl.release()
+				return pageLatch{}, 0, err
+			}
+			if typ != pageInterior {
+				// Root is the leaf (or still the zeroed page of a file
+				// whose first write never reached disk — recovery redoes
+				// into it as an empty leaf). Upgrade by
+				// release-and-reacquire and re-verify: the root may have
+				// grown a level in between.
+				pl.release()
+				xpl := t.lt.acquire(bn, true)
+				typ2, _, _, _, err := t.readBlock(bn)
+				if err != nil {
+					xpl.release()
+					return pageLatch{}, 0, err
+				}
+				if typ2 == pageInterior {
+					xpl.release()
+					restart = true
+					continue
+				}
+				return xpl, bn, nil
+			}
+			if len(cells) == 0 {
+				pl.release()
+				return pageLatch{}, 0, fmt.Errorf("btree: empty interior page %d in %s", bn, t.name)
+			}
+			child := childOf(cells[childIndex(cells, key)])
+			excl := level == 1 // children are leaves: latch the target exclusively
+			cpl := t.lt.acquire(child, excl)
+			pl.release()
+			if excl {
+				return cpl, child, nil
+			}
+			pl, bn = cpl, child
+		}
+	}
+}
+
+// applyOptimistic applies op when it stays within one leaf. done=false
+// means a split or collapse must propagate: nothing was modified and
+// the pessimistic descent must redo the operation.
+func (t *Tree) applyOptimistic(key, val []byte, lsn wal.LSN, op opKind) (bool, error) {
+	pl, bn, err := t.leafExclusive(key)
 	if err != nil {
-		return nil, err
+		return true, err
 	}
-	typ, level, cells := readPage(pg.Data())
-
-	if typ == pageInterior {
-		idx := childIndex(cells, key)
-		child := childOf(cells[idx])
-		pg.Release()
-		split, err := t.modifyAt(child, key, val, lsn, op)
-		if err != nil || split == nil {
-			return nil, err
-		}
-		// Insert the new separator into this interior page.
-		pg, err = t.pool.Get(bn)
-		if err != nil {
-			return nil, err
-		}
-		defer pg.Release()
-		_, level, cells = readPage(pg.Data())
-		i, _ := findCell(cells, split.sepKey)
-		cells = append(cells, cell{})
-		copy(cells[i+1:], cells[i:])
-		cells[i] = childCell(split.sepKey, split.right)
-		return t.storeOrSplit(pg, pageInterior, level, cells, lsn)
+	defer pl.release()
+	_, _, next, cells, err := t.readBlock(bn)
+	if err != nil {
+		return true, err
 	}
-
-	defer pg.Release()
 	i, exact := findCell(cells, key)
+	if op == opDelete {
+		if !exact {
+			return true, fmt.Errorf("%w (%s)", ErrNotFound, t.name)
+		}
+		cells = append(cells[:i], cells[i+1:]...)
+		if len(cells) == 0 && bn != t.root {
+			return false, nil // leaf emptied: collapse may propagate
+		}
+		return true, t.storePage(bn, pageLeaf, 0, next, cells, lsn)
+	}
 	switch op {
 	case opInsert:
 		if exact {
-			return nil, fmt.Errorf("%w (%s)", ErrDuplicate, t.name)
+			return true, fmt.Errorf("%w (%s)", ErrDuplicate, t.name)
 		}
 	case opUpdate:
 		if !exact {
-			return nil, fmt.Errorf("%w (%s)", ErrNotFound, t.name)
+			return true, fmt.Errorf("%w (%s)", ErrNotFound, t.name)
 		}
 	}
 	if exact {
@@ -340,18 +422,129 @@ func (t *Tree) modifyAt(bn disk.BlockNum, key, val []byte, lsn wal.LSN, op opKin
 		copy(cells[i+1:], cells[i:])
 		cells[i] = cell{key: append([]byte(nil), key...), val: append([]byte(nil), val...)}
 	}
-	return t.storeOrSplit(pg, pageLeaf, level, cells, lsn)
+	if cellsSize(cells) > usable {
+		return false, nil // leaf overflows: split propagates
+	}
+	return true, t.storePage(bn, pageLeaf, 0, next, cells, lsn)
 }
 
-// storeOrSplit writes cells back into pg, splitting into a new right
-// sibling when they no longer fit.
-func (t *Tree) storeOrSplit(pg *cache.Page, typ byte, level byte, cells []cell, lsn wal.LSN) (*splitResult, error) {
-	if cellsSize(cells) <= usable {
-		writePage(pg.Data(), typ, level, cells)
-		pg.MarkDirty(lsn)
-		return nil, nil
+// wframe is one exclusively latched ancestor on a pessimistic path.
+type wframe struct {
+	bn  disk.BlockNum
+	pl  pageLatch
+	idx int // child index taken during the descent
+}
+
+func releaseFrames(path []wframe) {
+	for i := len(path) - 1; i >= 0; i-- {
+		path[i].pl.release()
 	}
-	// Split at the byte midpoint.
+}
+
+// applyPessimistic redoes op holding every page on the root-to-leaf
+// path exclusively, so splits and collapses propagate upward with no
+// further latch acquisition above the current page.
+func (t *Tree) applyPessimistic(key, val []byte, lsn wal.LSN, op opKind) error {
+	var path []wframe
+	pl := t.lt.acquire(t.root, true)
+	bn := t.root
+	for {
+		typ, _, next, cells, err := t.readBlock(bn)
+		if err != nil {
+			pl.release()
+			releaseFrames(path)
+			return err
+		}
+		if typ == pageInterior {
+			if len(cells) == 0 {
+				pl.release()
+				releaseFrames(path)
+				return fmt.Errorf("btree: empty interior page %d in %s", bn, t.name)
+			}
+			idx := childIndex(cells, key)
+			child := childOf(cells[idx])
+			path = append(path, wframe{bn: bn, pl: pl, idx: idx})
+			pl = t.lt.acquire(child, true)
+			bn = child
+			continue
+		}
+		i, exact := findCell(cells, key)
+		if op == opDelete {
+			if !exact {
+				pl.release()
+				releaseFrames(path)
+				return fmt.Errorf("%w (%s)", ErrNotFound, t.name)
+			}
+			cells = append(cells[:i], cells[i+1:]...)
+			return t.finishDelete(path, pl, bn, next, cells, lsn)
+		}
+		switch op {
+		case opInsert:
+			if exact {
+				pl.release()
+				releaseFrames(path)
+				return fmt.Errorf("%w (%s)", ErrDuplicate, t.name)
+			}
+		case opUpdate:
+			if !exact {
+				pl.release()
+				releaseFrames(path)
+				return fmt.Errorf("%w (%s)", ErrNotFound, t.name)
+			}
+		}
+		if exact {
+			cells[i].val = append([]byte(nil), val...)
+		} else {
+			cells = append(cells, cell{})
+			copy(cells[i+1:], cells[i:])
+			cells[i] = cell{key: append([]byte(nil), key...), val: append([]byte(nil), val...)}
+		}
+		return t.finishStore(path, pl, bn, pageLeaf, 0, next, cells, lsn)
+	}
+}
+
+// finishStore writes cells into bn, splitting upward along the held
+// path as long as pages overflow, and releases every latch.
+func (t *Tree) finishStore(path []wframe, pl pageLatch, bn disk.BlockNum, typ, level byte, next disk.BlockNum, cells []cell, lsn wal.LSN) error {
+	for {
+		if cellsSize(cells) <= usable {
+			err := t.storePage(bn, typ, level, next, cells, lsn)
+			pl.release()
+			releaseFrames(path)
+			return err
+		}
+		if bn == t.root {
+			err := t.splitRoot(typ, level, cells, lsn)
+			pl.release()
+			releaseFrames(path)
+			return err
+		}
+		sep, rightBn, err := t.splitPage(bn, typ, level, next, cells, lsn)
+		pl.release()
+		if err != nil {
+			releaseFrames(path)
+			return err
+		}
+		// Insert the new separator into the parent (still latched).
+		parent := path[len(path)-1]
+		path = path[:len(path)-1]
+		_, plevel, _, pcells, err := t.readBlock(parent.bn)
+		if err != nil {
+			parent.pl.release()
+			releaseFrames(path)
+			return err
+		}
+		i, _ := findCell(pcells, sep)
+		pcells = append(pcells, cell{})
+		copy(pcells[i+1:], pcells[i:])
+		pcells[i] = childCell(sep, rightBn)
+		pl, bn, typ, level, next, cells = parent.pl, parent.bn, pageInterior, plevel, 0, pcells
+	}
+}
+
+// splitCells distributes an oversized cell list at the byte midpoint;
+// interior splits promote the first right separator to the parent.
+func splitCells(typ byte, cells []cell) (left, right []cell, sep []byte) {
 	splitAt, sz := 0, 0
 	for i, c := range cells {
 		sz += cellsSize([]cell{c})
@@ -366,109 +559,128 @@ func (t *Tree) storeOrSplit(pg *cache.Page, typ byte, level byte, cells []cell, 
 	if splitAt >= len(cells) {
 		splitAt = len(cells) - 1
 	}
-	leftCells, rightCells := cells[:splitAt], cells[splitAt:]
+	left, right = cells[:splitAt], cells[splitAt:]
+	sep = append([]byte(nil), right[0].key...)
+	if typ == pageInterior {
+		right = append([]cell{childCell(nil, childOf(right[0]))}, right[1:]...)
+	}
+	return left, right, sep
+}
+
+// splitPage splits bn into itself plus a newly allocated right sibling
+// and returns the separator and the new block. The right page is
+// written before the left one links to it: a chain scanner entering the
+// left leaf from its own left sibling may follow the new link the
+// moment the left page is rewritten, and must find the sibling
+// complete. The sibling is unreachable from above until the caller
+// posts the separator into the (exclusively latched) parent.
+func (t *Tree) splitPage(bn disk.BlockNum, typ, level byte, next disk.BlockNum, cells []cell, lsn wal.LSN) ([]byte, disk.BlockNum, error) {
+	leftCells, rightCells, sep := splitCells(typ, cells)
 	rightBn := t.vol.Allocate()
-	right, err := t.pool.Get(rightBn)
-	if err != nil {
-		return nil, err
-	}
-	defer right.Release()
-
-	var sepKey []byte
+	var leftNext, rightNext disk.BlockNum
 	if typ == pageLeaf {
-		writePage(right.Data(), pageLeaf, 0, rightCells)
-		writePage(pg.Data(), pageLeaf, 0, leftCells)
-		sepKey = append([]byte(nil), rightCells[0].key...)
-	} else {
-		// Interior split: the first right cell's separator moves up.
-		sepKey = append([]byte(nil), rightCells[0].key...)
-		promoted := append([]cell{childCell(nil, childOf(rightCells[0]))}, rightCells[1:]...)
-		writePage(right.Data(), pageInterior, level, promoted)
-		writePage(pg.Data(), pageInterior, level, leftCells)
+		leftNext, rightNext = rightBn, next
 	}
-	right.MarkDirty(lsn)
-	pg.MarkDirty(lsn)
-	return &splitResult{sepKey: sepKey, right: rightBn}, nil
+	if err := t.storePage(rightBn, typ, level, rightNext, rightCells, lsn); err != nil {
+		return nil, 0, err
+	}
+	if err := t.storePage(bn, typ, level, leftNext, leftCells, lsn); err != nil {
+		return nil, 0, err
+	}
+	return sep, rightBn, nil
 }
 
-// pathFrame records one interior page and the child index taken while
-// descending.
-type pathFrame struct {
-	bn  disk.BlockNum
-	idx int
+// splitRoot handles overflow of the root itself. The root block never
+// moves: its contents split into two fresh children and the root is
+// rewritten as an interior page over {left, right}. The caller holds
+// the root latched exclusively throughout.
+func (t *Tree) splitRoot(typ, level byte, cells []cell, lsn wal.LSN) error {
+	leftCells, rightCells, sep := splitCells(typ, cells)
+	leftBn := t.vol.Allocate()
+	rightBn := t.vol.Allocate()
+	var leftNext disk.BlockNum
+	if typ == pageLeaf {
+		leftNext = rightBn
+	}
+	if err := t.storePage(rightBn, typ, level, 0, rightCells, lsn); err != nil {
+		return err
+	}
+	if err := t.storePage(leftBn, typ, level, leftNext, leftCells, lsn); err != nil {
+		return err
+	}
+	rootCells := []cell{
+		childCell(nil, leftBn),
+		childCell(sep, rightBn),
+	}
+	return t.storePage(t.root, pageInterior, level+1, 0, rootCells, lsn)
 }
 
-// deleteLocked removes key, collapsing empty leaves out of their parent.
-func (t *Tree) deleteLocked(key []byte, lsn wal.LSN) error {
-	var path []pathFrame
-	bn := t.root
-	for {
-		pg, err := t.pool.Get(bn)
-		if err != nil {
-			return err
-		}
-		typ, _, cells := readPage(pg.Data())
-		if typ == pageInterior {
-			idx := childIndex(cells, key)
-			path = append(path, pathFrame{bn: bn, idx: idx})
-			child := childOf(cells[idx])
-			pg.Release()
-			bn = child
-			continue
-		}
-		i, exact := findCell(cells, key)
-		if !exact {
-			pg.Release()
-			return fmt.Errorf("%w (%s)", ErrNotFound, t.name)
-		}
-		cells = append(cells[:i], cells[i+1:]...)
-		writePage(pg.Data(), pageLeaf, 0, cells) // leaves are level 0
-		pg.MarkDirty(lsn)
-		empty := len(cells) == 0
-		pg.Release()
-		if !empty || len(path) == 0 {
-			return nil
-		}
-		return t.collapse(path, bn, lsn)
+// finishDelete writes the leaf back after a removal, collapsing it out
+// of the tree when it emptied ("B-tree splits and collapses"). Only a
+// leaf with a left sibling under the same parent is freed: that
+// sibling's chain pointer can be repaired under latches taken
+// left-to-right — the same order chain scanners use — so no cycle is
+// possible. A leaf at child index 0 stays in place empty; interior
+// pages therefore never empty and collapses never propagate upward.
+func (t *Tree) finishDelete(path []wframe, pl pageLatch, bn, next disk.BlockNum, cells []cell, lsn wal.LSN) error {
+	if len(cells) > 0 || len(path) == 0 {
+		// Non-empty leaf, or the root itself: rewrite in place.
+		err := t.storePage(bn, pageLeaf, 0, next, cells, lsn)
+		pl.release()
+		releaseFrames(path)
+		return err
 	}
-}
-
-// collapse removes an empty page from its parent ("B-tree splits and
-// collapses"). Interior pages emptied of children collapse upward; the
-// root never collapses away — an empty tree is an empty leaf at root.
-func (t *Tree) collapse(path []pathFrame, emptyChild disk.BlockNum, lsn wal.LSN) error {
-	for pi := len(path) - 1; pi >= 0; pi-- {
-		f := path[pi]
-		pg, err := t.pool.Get(f.bn)
-		if err != nil {
-			return err
-		}
-		_, level, cells := readPage(pg.Data())
-		cells = append(cells[:f.idx], cells[f.idx+1:]...)
-		// The leftmost surviving separator becomes -inf.
-		if f.idx == 0 && len(cells) > 0 {
-			cells[0].key = nil
-		}
-		writePage(pg.Data(), pageInterior, level, cells)
-		pg.MarkDirty(lsn)
-		pg.Release()
-		t.pool.Discard(emptyChild)
-		t.vol.Free(emptyChild)
-		if len(cells) > 0 {
-			return nil
-		}
-		emptyChild = f.bn
-		if pi == 0 {
-			// Empty root: reset to an empty leaf (the root block stays).
-			rg, err := t.pool.Get(t.root)
-			if err != nil {
-				return err
-			}
-			writePage(rg.Data(), pageLeaf, 0, nil)
-			rg.MarkDirty(lsn)
-			rg.Release()
-			return nil
-		}
+	parent := path[len(path)-1]
+	_, plevel, _, pcells, err := t.readBlock(parent.bn)
+	if err != nil {
+		pl.release()
+		releaseFrames(path)
+		return err
 	}
-	return nil
+	leftBn := disk.BlockNum(0)
+	if parent.idx > 0 {
+		leftBn = childOf(pcells[parent.idx-1])
+	}
+	if leftBn == 0 {
+		// Leftmost child: keep the empty leaf so the parent never empties.
+		err := t.storePage(bn, pageLeaf, 0, next, nil, lsn)
+		pl.release()
+		releaseFrames(path)
+		return err
+	}
+	// Free the leaf. The neighbor's latch must come before the leaf's
+	// (left-to-right); release the leaf and re-latch both in order. The
+	// parent stays exclusively latched, so nothing can descend into
+	// either page meanwhile — the leaf is still empty when re-latched,
+	// and chain scanners already past the neighbor drain out under the
+	// latches we are about to wait for.
+	pl.release()
+	lpl := t.lt.acquire(leftBn, true)
+	pl = t.lt.acquire(bn, true)
+	_, _, lnext, lcells, err := t.readBlock(leftBn)
+	if err == nil && lnext != bn {
+		err = fmt.Errorf("btree: leaf chain of %s skips page %d (neighbor %d links to %d)", t.name, bn, leftBn, lnext)
+	}
+	if err == nil {
+		// Bypass the empty leaf in the chain, then unhook it from the
+		// parent. Removing a non-first child just drops its separator;
+		// the neighbor's span absorbs the gap.
+		err = t.storePage(leftBn, pageLeaf, 0, next, lcells, lsn)
+	}
+	if err == nil {
+		pcells = append(pcells[:parent.idx], pcells[parent.idx+1:]...)
+		err = t.storePage(parent.bn, pageInterior, plevel, 0, pcells, lsn)
+	}
+	if err == nil {
+		// Drop the cached page. The block is NOT returned to the
+		// allocator: an asynchronous pre-fetch planned from a stale leaf
+		// run may still read it, and a re-used block could then be
+		// installed in the cache with dead contents. Simulated volumes
+		// are plentiful (same policy as dp.dropFile).
+		t.pool.Discard(bn)
+	}
+	pl.release()
+	lpl.release()
+	releaseFrames(path)
+	return err
 }

@@ -17,7 +17,7 @@ func newTestTree(t testing.TB, cap int) (*Tree, *cache.Pool, *disk.Volume) {
 	t.Helper()
 	v := disk.NewVolume("$DATA", false)
 	p := cache.NewPool(v, cap, nil)
-	tr, err := New(p, v, "EMP")
+	tr, err := New(p, v, "EMP", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,7 +277,7 @@ func TestPersistenceThroughPool(t *testing.T) {
 	// come back from the volume.
 	v := disk.NewVolume("$DATA", false)
 	p := cache.NewPool(v, 64, nil)
-	tr, err := New(p, v, "EMP")
+	tr, err := New(p, v, "EMP", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,7 +288,7 @@ func TestPersistenceThroughPool(t *testing.T) {
 		t.Fatal(err)
 	}
 	p.Crash()
-	tr2 := Open(p, v, "EMP", tr.Root())
+	tr2 := Open(p, v, "EMP", tr.Root(), nil)
 	for i := 0; i < 500; i++ {
 		got, err := tr2.Get(ik(int64(i)))
 		if err != nil || string(got) != fmt.Sprintf("v%d", i) {
@@ -381,7 +381,7 @@ func TestLeafRunRangePruning(t *testing.T) {
 func TestScanWithPrefetchUsesBulkReads(t *testing.T) {
 	v := disk.NewVolume("$DATA", false)
 	p := cache.NewPool(v, 2048, nil)
-	tr, _ := New(p, v, "EMP")
+	tr, _ := New(p, v, "EMP", nil)
 	var recs []KV
 	for i := 0; i < 3000; i++ {
 		recs = append(recs, KV{Key: ik(int64(i)), Val: bytes.Repeat([]byte("z"), 60)})

@@ -12,20 +12,26 @@ import (
 // key span may intersect r. It walks only interior pages — this is the
 // Disk Process's "advance knowledge of the required key span": the list
 // feeds bulk reads and asynchronous pre-fetch before any leaf is read.
+//
+// Each interior page is latched only while being decoded, so the run is
+// advisory under concurrency: a leaf may split or collapse before the
+// pre-fetch lands. That is harmless — interior pages are never freed,
+// collapsed leaf blocks are never re-allocated, and the latched chain
+// scan (Scan) is what provides the consistent view.
 func (t *Tree) LeafRun(r keys.Range) ([]disk.BlockNum, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.leafRunLocked(t.root, r)
+	t.lt.opEnter()
+	defer t.lt.opExit()
+	return t.leafRun(t.root, r)
 }
 
-func (t *Tree) leafRunLocked(bn disk.BlockNum, r keys.Range) ([]disk.BlockNum, error) {
-	pg, err := t.pool.Get(bn)
+func (t *Tree) leafRun(bn disk.BlockNum, r keys.Range) ([]disk.BlockNum, error) {
+	pl := t.lt.acquire(bn, false)
+	typ, level, _, cells, err := t.readBlock(bn)
+	pl.release()
 	if err != nil {
 		return nil, err
 	}
-	typ, level, cells := readPage(pg.Data())
-	pg.Release()
-	if typ == pageLeaf {
+	if typ != pageInterior {
 		return []disk.BlockNum{bn}, nil
 	}
 	var out []disk.BlockNum
@@ -44,7 +50,7 @@ func (t *Tree) leafRunLocked(bn disk.BlockNum, r keys.Range) ([]disk.BlockNum, e
 			out = append(out, childOf(c))
 			continue
 		}
-		sub, err := t.leafRunLocked(childOf(c), r)
+		sub, err := t.leafRun(childOf(c), r)
 		if err != nil {
 			return nil, err
 		}
@@ -54,46 +60,96 @@ func (t *Tree) leafRunLocked(bn disk.BlockNum, r keys.Range) ([]disk.BlockNum, e
 }
 
 // ScanFunc receives each record in key order. Returning false stops the
-// scan early (e.g. the re-drive limits of a set-oriented request).
+// scan early (e.g. the re-drive limits of a set-oriented request). The
+// callback runs under a shared leaf latch and must not re-enter the
+// tree.
 type ScanFunc func(key, val []byte) (bool, error)
 
 // Scan visits every record in r, in key order. When prefetch is true the
 // leaf blocks covering the span are loaded ahead asynchronously with
 // bulk I/O; otherwise leaves are demand-read one block at a time.
+//
+// The scan crabs shared latches down to the leaf covering r.Low, then
+// walks the leaf level through the right-sibling links, acquiring the
+// next leaf's latch before releasing the current one. It holds at most
+// two leaf latches at any instant, so a long range scan never blocks
+// writers elsewhere in the tree.
 func (t *Tree) Scan(r keys.Range, prefetch bool, fn ScanFunc) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	leaves, err := t.leafRunLocked(t.root, r)
-	if err != nil {
-		return err
-	}
+	t.lt.opEnter()
+	defer t.lt.opExit()
 	if prefetch {
-		t.pool.Prefetch(leaves)
-	}
-	for _, bn := range leaves {
-		pg, err := t.pool.Get(bn)
+		leaves, err := t.leafRun(t.root, r)
 		if err != nil {
 			return err
 		}
-		_, _, cells := readPage(pg.Data())
-		pg.Release()
+		t.pool.Prefetch(leaves)
+	}
+	pl, bn, err := t.leafShared(r.Low)
+	if err != nil {
+		return err
+	}
+	for {
+		_, _, next, cells, err := t.readBlock(bn)
+		if err != nil {
+			pl.release()
+			return err
+		}
 		for _, c := range cells {
 			if r.BeforeLow(c.key) {
 				continue
 			}
 			if r.AfterHigh(c.key) {
+				pl.release()
 				return nil
 			}
 			cont, err := fn(c.key, c.val)
 			if err != nil {
+				pl.release()
 				return err
 			}
 			if !cont {
+				pl.release()
 				return nil
 			}
 		}
+		if next == 0 {
+			pl.release()
+			return nil
+		}
+		npl := t.lt.acquire(next, false)
+		pl.release()
+		pl, bn = npl, next
 	}
-	return nil
+}
+
+// leafShared crabs shared latches to the leaf covering key (nil = the
+// leftmost leaf) and returns it latched shared.
+func (t *Tree) leafShared(key []byte) (pageLatch, disk.BlockNum, error) {
+	pl := t.lt.acquire(t.root, false)
+	bn := t.root
+	for {
+		typ, _, _, cells, err := t.readBlock(bn)
+		if err != nil {
+			pl.release()
+			return pageLatch{}, 0, err
+		}
+		if typ != pageInterior {
+			return pl, bn, nil // leaf, or a zeroed never-written root
+		}
+		if len(cells) == 0 {
+			pl.release()
+			return pageLatch{}, 0, fmt.Errorf("btree: empty interior page %d in %s", bn, t.name)
+		}
+		var child disk.BlockNum
+		if key == nil {
+			child = childOf(cells[0])
+		} else {
+			child = childOf(cells[childIndex(cells, key)])
+		}
+		cpl := t.lt.acquire(child, false)
+		pl.release()
+		pl, bn = cpl, child
+	}
 }
 
 // Count returns the number of records in r.
@@ -110,12 +166,16 @@ func (t *Tree) Count(r keys.Range) (int, error) {
 // leaves are allocated as one physically contiguous run so later range
 // scans can use maximal bulk I/Os — this models a freshly loaded
 // key-sequenced file whose physical clustering has not yet been broken
-// by splits.
+// by splits. The root is held exclusively for the whole load; callers
+// must not run BulkLoad concurrently with operations already below the
+// root (the Disk Process only bulk-loads quiesced files).
 func (t *Tree) BulkLoad(recs []KV, lsn wal.LSN) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.lt.opEnter()
+	defer t.lt.opExit()
+	pl := t.lt.acquire(t.root, true)
+	defer pl.release()
 
-	if n, _ := t.countLocked(); n != 0 {
+	if n, _ := t.countFrom(t.root); n != 0 {
 		return fmt.Errorf("btree: BulkLoad into non-empty file %s", t.name)
 	}
 	for i := 1; i < len(recs); i++ {
@@ -147,28 +207,22 @@ func (t *Tree) BulkLoad(recs []KV, lsn wal.LSN) error {
 	leafCells = append(leafCells, cur)
 
 	if len(leafCells) == 1 {
-		pg, err := t.pool.Get(t.root)
-		if err != nil {
-			return err
-		}
-		writePage(pg.Data(), pageLeaf, 0, leafCells[0])
-		pg.MarkDirty(lsn)
-		pg.Release()
-		return nil
+		return t.storePage(t.root, pageLeaf, 0, 0, leafCells[0], lsn)
 	}
 
-	// Contiguous leaf run.
+	// Contiguous leaf run, chained left to right through the sibling
+	// links.
 	start := t.vol.AllocateRun(len(leafCells))
 	entries := make([]cell, len(leafCells)) // separators for the level above
 	for i, cs := range leafCells {
 		bn := start + disk.BlockNum(i)
-		pg, err := t.pool.Get(bn)
-		if err != nil {
+		next := disk.BlockNum(0)
+		if i+1 < len(leafCells) {
+			next = bn + 1
+		}
+		if err := t.storePage(bn, pageLeaf, 0, next, cs, lsn); err != nil {
 			return err
 		}
-		writePage(pg.Data(), pageLeaf, 0, cs)
-		pg.MarkDirty(lsn)
-		pg.Release()
 		var sep []byte
 		if i > 0 {
 			sep = cs[0].key
@@ -196,14 +250,7 @@ func (t *Tree) BulkLoad(recs []KV, lsn wal.LSN) error {
 		entries = nextLevel
 		level++
 	}
-	pg, err := t.pool.Get(t.root)
-	if err != nil {
-		return err
-	}
-	writePage(pg.Data(), pageInterior, level, entries)
-	pg.MarkDirty(lsn)
-	pg.Release()
-	return nil
+	return t.storePage(t.root, pageInterior, level, 0, entries, lsn)
 }
 
 // writeInterior materializes one interior page over group and returns
@@ -211,15 +258,11 @@ func (t *Tree) BulkLoad(recs []KV, lsn wal.LSN) error {
 // -inf; the parent keeps the original first separator.
 func (t *Tree) writeInterior(group []cell, level byte, lsn wal.LSN) cell {
 	bn := t.vol.Allocate()
-	pg, err := t.pool.Get(bn)
-	if err != nil {
-		panic(fmt.Sprintf("btree: interior alloc: %v", err))
-	}
 	sep := group[0].key
 	local := append([]cell{childCell(nil, childOf(group[0]))}, group[1:]...)
-	writePage(pg.Data(), pageInterior, level, local)
-	pg.MarkDirty(lsn)
-	pg.Release()
+	if err := t.storePage(bn, pageInterior, level, 0, local, lsn); err != nil {
+		panic(fmt.Sprintf("btree: interior alloc: %v", err))
+	}
 	return childCell(sep, bn)
 }
 
@@ -229,21 +272,23 @@ type KV struct {
 	Val []byte
 }
 
-// countLocked counts all records (internal; used to guard BulkLoad).
-func (t *Tree) countLocked() (int, error) {
-	leaves, err := t.leafRunLocked(t.root, keys.All())
+// countFrom counts all records under bn without latching (used to guard
+// BulkLoad while the root is held exclusively).
+func (t *Tree) countFrom(bn disk.BlockNum) (int, error) {
+	typ, _, _, cells, err := t.readBlock(bn)
 	if err != nil {
 		return 0, err
 	}
+	if typ != pageInterior {
+		return len(cells), nil
+	}
 	n := 0
-	for _, bn := range leaves {
-		pg, err := t.pool.Get(bn)
+	for _, c := range cells {
+		sub, err := t.countFrom(childOf(c))
 		if err != nil {
 			return 0, err
 		}
-		_, _, cells := readPage(pg.Data())
-		pg.Release()
-		n += len(cells)
+		n += sub
 	}
 	return n, nil
 }

@@ -51,6 +51,12 @@ type Page struct {
 	dirty bool
 	lsn   wal.LSN // page LSN: highest audit LSN applied to this page
 	pins  int
+	// writing marks an in-flight disk write of a snapshot of this page,
+	// taken with mu dropped so a flush of page A never stalls a hit on
+	// page B. While set the page must be neither evicted nor discarded:
+	// a re-read (or re-use of the block) could otherwise race the
+	// write landing on disk.
+	writing bool
 	// LRU bookkeeping
 	prev, next *Page
 }
@@ -149,7 +155,10 @@ func (p *Pool) touch(pg *Page) {
 	p.lruPushFront(pg)
 }
 
-// Get pins the page for block bn, reading it from disk on a miss.
+// Get pins the page for block bn, reading it from disk on a miss. The
+// miss I/O runs with mu dropped and is de-duplicated per slot through
+// the inflight table, so a miss on one block stalls only other readers
+// of that same block — hits and misses elsewhere proceed concurrently.
 func (p *Pool) Get(bn disk.BlockNum) (*Page, error) {
 	p.mu.Lock()
 	for {
@@ -213,50 +222,80 @@ func (p *Pool) installLocked(bn disk.BlockNum, data []byte, pin bool) (*Page, er
 }
 
 // makeRoomLocked evicts LRU unpinned pages until n slots are free,
-// waiting if everything is pinned. Clean pages are stolen first; dirty
-// victims are cleaned under the WAL gate, as the processor-global memory
-// manager does via handshakes with the Disk Process.
+// waiting if everything is pinned or mid-write. Clean pages are stolen
+// first; a dirty victim is cleaned under the WAL gate (with mu dropped
+// for the I/O) and the search restarts, since the world may have moved
+// while the write was in flight.
 func (p *Pool) makeRoomLocked(n int) error {
 	for len(p.pages)+n > p.capacity {
-		victim := p.tail
-		// Prefer the least-recent CLEAN unpinned page.
+		var clean, dirtyVictim *Page
 		for v := p.tail; v != nil; v = v.prev {
-			if v.pins == 0 && !v.dirty {
-				victim = v
+			if v.pins > 0 || v.writing {
+				continue
+			}
+			if !v.dirty {
+				clean = v
 				break
 			}
+			if dirtyVictim == nil {
+				dirtyVictim = v
+			}
 		}
-		for victim != nil && victim.pins > 0 {
-			victim = victim.prev
+		if clean != nil {
+			p.lruRemove(clean)
+			delete(p.pages, clean.bn)
+			p.stats.Evictions++
+			continue
 		}
-		if victim == nil {
-			// All pages pinned: wait for a release.
+		if dirtyVictim == nil {
+			// Everything pinned or being written: wait for a release or
+			// a write completion.
 			p.cond.Wait()
 			continue
 		}
-		if victim.dirty {
-			if err := p.cleanLocked(victim); err != nil {
-				return err
-			}
-			p.stats.DirtyEvictions++
+		if err := p.cleanPageLocked(dirtyVictim); err != nil {
+			return err
 		}
-		p.lruRemove(victim)
-		delete(p.pages, victim.bn)
-		p.stats.Evictions++
+		p.stats.DirtyEvictions++
+		// Re-scan: the victim may have been re-pinned or re-dirtied
+		// while mu was dropped for the write.
 	}
 	return nil
 }
 
-// cleanLocked writes one dirty page to disk under the WAL gate.
-func (p *Pool) cleanLocked(pg *Page) error {
-	if pg.lsn > p.gate.FlushedLSN() {
-		p.stats.WALStalls++
-		p.gate.FlushTo(pg.lsn)
+// cleanPageLocked writes one dirty page to disk under the WAL gate.
+// Called and returning with mu held, but the trail flush and the disk
+// write run with mu DROPPED against a snapshot of the buffer — a miss
+// or hit on any other page proceeds meanwhile. The page is marked clean
+// up front; a concurrent MarkDirty simply re-dirties it with a newer
+// LSN and it gets written again later.
+func (p *Pool) cleanPageLocked(pg *Page) error {
+	for pg.writing {
+		p.cond.Wait()
 	}
-	if err := p.vol.Write(pg.bn, pg.data); err != nil {
+	if !pg.dirty {
+		return nil // another cleaner got here first
+	}
+	pg.writing = true
+	pg.dirty = false
+	lsn := pg.lsn
+	buf := append([]byte(nil), pg.data...)
+	stall := lsn > p.gate.FlushedLSN()
+	if stall {
+		p.stats.WALStalls++
+	}
+	p.mu.Unlock()
+	if stall {
+		p.gate.FlushTo(lsn)
+	}
+	err := p.vol.Write(pg.bn, buf)
+	p.mu.Lock()
+	pg.writing = false
+	p.cond.Broadcast()
+	if err != nil {
+		pg.dirty = true
 		return err
 	}
-	pg.dirty = false
 	return nil
 }
 
@@ -361,56 +400,90 @@ func (p *Pool) WriteBehind() (int, error) {
 	durable := p.gate.FlushedLSN()
 	var aged []*Page
 	for _, pg := range p.pages {
-		if pg.dirty && pg.lsn <= durable && pg.pins == 0 {
+		if pg.dirty && !pg.writing && pg.lsn <= durable && pg.pins == 0 {
 			aged = append(aged, pg)
 		}
 	}
 	sort.Slice(aged, func(i, j int) bool { return aged[i].bn < aged[j].bn })
 
-	written := 0
+	// Claim the pages and snapshot their buffers under mu, then issue
+	// the bulk writes with mu dropped so the I/O never blocks hits or
+	// misses on other pages. Pages re-dirtied during the write keep
+	// their dirty bit (set by MarkDirty) and age again later.
+	bufs := make([][]byte, len(aged))
+	for i, pg := range aged {
+		pg.writing = true
+		pg.dirty = false
+		bufs[i] = append([]byte(nil), pg.data...)
+	}
+	p.mu.Unlock()
+
+	written, ops := 0, 0
+	var werr error
+	ok := make([]bool, len(aged))
 	for i := 0; i < len(aged); {
 		j := i + 1
 		for j < len(aged) && aged[j].bn == aged[j-1].bn+1 && j-i < disk.MaxBulkBlocks {
 			j++
 		}
-		blocks := make([][]byte, 0, j-i)
-		for k := i; k < j; k++ {
-			blocks = append(blocks, aged[k].data)
+		if werr == nil {
+			if err := p.vol.WriteBulk(aged[i].bn, bufs[i:j]); err != nil {
+				werr = err
+			} else {
+				for k := i; k < j; k++ {
+					ok[k] = true
+				}
+				written += j - i
+				ops++
+			}
 		}
-		if err := p.vol.WriteBulk(aged[i].bn, blocks); err != nil {
-			p.mu.Unlock()
-			return written, err
-		}
-		for k := i; k < j; k++ {
-			aged[k].dirty = false
-		}
-		p.stats.WriteBehindOps++
-		p.stats.WriteBehindBlocks += uint64(j - i)
-		written += j - i
 		i = j
 	}
+
+	p.mu.Lock()
+	for i, pg := range aged {
+		pg.writing = false
+		if !ok[i] {
+			pg.dirty = true // failed or skipped: still needs writing
+		}
+	}
+	p.stats.WriteBehindOps += uint64(ops)
+	p.stats.WriteBehindBlocks += uint64(written)
+	p.cond.Broadcast()
 	p.mu.Unlock()
-	return written, nil
+	return written, werr
 }
 
 // FlushAll forces every dirty page to disk (WAL-gated). Used at clean
-// shutdown and by checkpoints.
+// shutdown and by checkpoints, on a quiesced pool; it loops until no
+// page is dirty or mid-write, since each clean drops mu for its I/O.
 func (p *Pool) FlushAll() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	var dirty []*Page
-	for _, pg := range p.pages {
-		if pg.dirty {
-			dirty = append(dirty, pg)
+	for {
+		var dirty []*Page
+		busy := false
+		for _, pg := range p.pages {
+			if pg.dirty {
+				dirty = append(dirty, pg)
+			} else if pg.writing {
+				busy = true
+			}
+		}
+		if len(dirty) == 0 {
+			if !busy {
+				return nil
+			}
+			p.cond.Wait() // let in-flight writes land
+			continue
+		}
+		sort.Slice(dirty, func(i, j int) bool { return dirty[i].bn < dirty[j].bn })
+		for _, pg := range dirty {
+			if err := p.cleanPageLocked(pg); err != nil {
+				return err
+			}
 		}
 	}
-	sort.Slice(dirty, func(i, j int) bool { return dirty[i].bn < dirty[j].bn })
-	for _, pg := range dirty {
-		if err := p.cleanLocked(pg); err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 // Crash drops the entire pool without writing anything: the processor
@@ -425,16 +498,27 @@ func (p *Pool) Crash() {
 
 // Discard drops the page for bn (dirty or not) without writing it. Used
 // when the block itself is being freed — e.g. a collapsed B-tree page —
-// so no stale buffer survives a later reallocation of the block.
+// so no stale buffer survives the block. An in-flight write-behind of
+// the page is waited out first: its write landing after the discard
+// would resurrect dead bytes on disk.
 func (p *Pool) Discard(bn disk.BlockNum) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if pg, ok := p.pages[bn]; ok {
+	for {
+		pg, ok := p.pages[bn]
+		if !ok {
+			return
+		}
 		if pg.pins > 0 {
 			panic("cache: discard of pinned page")
 		}
+		if pg.writing {
+			p.cond.Wait()
+			continue
+		}
 		p.lruRemove(pg)
 		delete(p.pages, bn)
+		return
 	}
 }
 

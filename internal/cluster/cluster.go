@@ -25,7 +25,7 @@ type Options struct {
 	Adaptive      bool // adaptive group-commit timers
 	Prefetch      bool
 	WriteBehind   bool
-	DPWorkers     int // process-group goroutines per DP (default 2)
+	DPWorkers     int // process-group goroutines per DP (default 16)
 	CacheSlots    int // buffer pool pages per DP
 	MaxReplyBytes int
 	MaxRowsPerMsg int

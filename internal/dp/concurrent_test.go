@@ -1,0 +1,213 @@
+package dp
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"nonstopsql/internal/expr"
+	"nonstopsql/internal/fsdp"
+	"nonstopsql/internal/keys"
+	"nonstopsql/internal/record"
+	"nonstopsql/internal/tmf"
+)
+
+// TestConcurrentMixedWorkload drives one DP's Serve from many
+// goroutines at once — the shape the process group creates when
+// DPWorkers > 1 — against a single file. Key space is partitioned so
+// transactions never contend on record locks; what IS shared is every
+// page latch, the cache, the lock table, and the audit trail. The test
+// exists to let the race detector and the latch protocol see point
+// reads, inserts (splits), a repeated subset update, and chain range
+// scans interleaved on one tree.
+func TestConcurrentMixedWorkload(t *testing.T) {
+	d, _, _ := testDP(t, nil)
+	const base = 2000
+	loadEmp(t, d, base) // keys 0..1999
+
+	const (
+		inserters = 2
+		perIns    = 300
+		insBase   = 10000 // inserter w owns [insBase+w*perIns, …)
+	)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var wg sync.WaitGroup
+
+		// Point readers over keys 1000..1999 (never updated or deleted):
+		// every read must return exactly the loaded row.
+		for r := 0; r < 2; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				for i := 0; i < 800; i++ {
+					k := int64(1000 + (i*13+r*7)%1000)
+					reply := d.Serve(&fsdp.Request{Kind: fsdp.KReadRecord, File: "EMP", Key: key1(k)})
+					if !reply.OK() || len(reply.Rows) != 1 {
+						t.Errorf("reader: key %d: %+v", k, reply)
+						return
+					}
+					row, err := record.Decode(reply.Rows[0])
+					if err != nil || row[0].I != k {
+						t.Errorf("reader: key %d decoded %v %v", k, row, err)
+						return
+					}
+				}
+			}(r)
+		}
+
+		// Inserters: disjoint fresh key ranges, ten rows per transaction.
+		// These drive leaf splits while readers and scanners hold shared
+		// latches elsewhere in the same tree.
+		for w := 0; w < inserters; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				lo := int64(insBase + w*perIns)
+				for i := 0; i < perIns; i += 10 {
+					tx := tmf.NewTxID()
+					for j := 0; j < 10; j++ {
+						k := lo + int64(i+j)
+						reply := d.Serve(&fsdp.Request{Kind: fsdp.KInsertRecord, Tx: tx, File: "EMP",
+							Row: record.Encode(empRow(k, fmt.Sprintf("new-%d", k), float64(k)))})
+						if !reply.OK() {
+							t.Errorf("insert %d: %s", k, reply.Err)
+							return
+						}
+					}
+					reply := d.Serve(&fsdp.Request{Kind: fsdp.KCommit, Tx: tx})
+					if !reply.OK() {
+						t.Errorf("commit: %s", reply.Err)
+						return
+					}
+				}
+			}(w)
+		}
+
+		// Subset updater: one message per pass bumps SALARY across keys
+		// 0..999 — a set-oriented write that locks its own partition and
+		// sweeps a thousand records through the latch protocol per call.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := keys.Range{Low: key1(0), High: key1(base / 2)}
+			assigns := expr.EncodeAssignments([]expr.Assignment{
+				{Field: 3, E: expr.Bin(expr.OpAdd, expr.F(3, "SALARY"), expr.CFloat(1))},
+			})
+			for pass := 0; pass < 20; pass++ {
+				tx := tmf.NewTxID()
+				req := &fsdp.Request{Kind: fsdp.KUpdateSubsetFirst, Tx: tx, File: "EMP",
+					Range: rng, Assign: assigns}
+				total := uint32(0)
+				for {
+					reply := d.Serve(req)
+					if !reply.OK() {
+						t.Errorf("subset update: %s", reply.Err)
+						return
+					}
+					total += reply.Count
+					if reply.Done {
+						break
+					}
+					req = &fsdp.Request{Kind: fsdp.KUpdateSubsetNext, Tx: tx, File: "EMP",
+						Range: rng.Continue(reply.LastKey), Assign: assigns, SCB: reply.SCB}
+				}
+				if int(total) != base/2 {
+					t.Errorf("subset update pass %d touched %d rows, want %d", pass, total, base/2)
+					return
+				}
+				reply := d.Serve(&fsdp.Request{Kind: fsdp.KCommit, Tx: tx})
+				if !reply.OK() {
+					t.Errorf("subset commit: %s", reply.Err)
+					return
+				}
+			}
+		}()
+
+		// Range scanner: browse-mode RSBB sweeps over the read-only
+		// partition, following re-drives; rows must arrive in key order.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := keys.Range{Low: key1(base / 2), High: key1(base)}
+			for pass := 0; pass < 15; pass++ {
+				req := &fsdp.Request{Kind: fsdp.KGetFirstRSBB, File: "EMP", Range: rng}
+				seen := 0
+				last := int64(-1)
+				for {
+					reply := d.Serve(req)
+					if !reply.OK() {
+						t.Errorf("scan: %s", reply.Err)
+						return
+					}
+					for _, raw := range reply.Rows {
+						row, err := record.Decode(raw)
+						if err != nil {
+							t.Errorf("scan decode: %v", err)
+							return
+						}
+						if row[0].I <= last {
+							t.Errorf("scan out of order: %d after %d", row[0].I, last)
+							return
+						}
+						last = row[0].I
+						seen++
+					}
+					if reply.Done {
+						break
+					}
+					req = &fsdp.Request{Kind: fsdp.KGetNextRSBB, File: "EMP",
+						Range: rng.Continue(reply.LastKey), SCB: reply.SCB}
+				}
+				if seen != base/2 {
+					t.Errorf("scan pass %d saw %d rows, want %d", pass, seen, base/2)
+					return
+				}
+			}
+		}()
+
+		wg.Wait()
+	}()
+	select {
+	case <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatal("deadlock: concurrent DP workload did not finish")
+	}
+	if t.Failed() {
+		return
+	}
+
+	// Every inserted row is durable and readable.
+	for w := 0; w < inserters; w++ {
+		lo := int64(insBase + w*perIns)
+		for i := int64(0); i < perIns; i++ {
+			reply := d.Serve(&fsdp.Request{Kind: fsdp.KReadRecord, File: "EMP", Key: key1(lo + i)})
+			if !reply.OK() || len(reply.Rows) != 1 {
+				t.Fatalf("inserted key %d unreadable: %+v", lo+i, reply)
+			}
+		}
+	}
+	// The subset updates all committed: salary = 1000*i + 20 passes.
+	reply := d.Serve(&fsdp.Request{Kind: fsdp.KReadRecord, File: "EMP", Key: key1(17)})
+	row, err := record.Decode(reply.Rows[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := float64(1000*17 + 20); row[3].F != want {
+		t.Errorf("key 17 salary %v, want %v", row[3].F, want)
+	}
+
+	st := d.Stats()
+	if st.LatchShared == 0 || st.LatchExclusive == 0 {
+		t.Errorf("latch counters not collected: %+v", st)
+	}
+	if st.MaxInFlight < 2 {
+		t.Errorf("expected overlapping requests in the DP, max in-flight %d", st.MaxInFlight)
+	}
+	if st.MaxTreeOps < 2 {
+		t.Errorf("expected overlapping tree ops, max %d", st.MaxTreeOps)
+	}
+}

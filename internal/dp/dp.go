@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nonstopsql/internal/btree"
@@ -93,6 +94,30 @@ type Stats struct {
 	RowsInserted   uint64
 	PredicateEvals uint64
 	CheckEvals     uint64
+
+	// Intra-DP concurrency: how hard the process group's handlers
+	// actually drove the trees in parallel.
+	LatchShared    uint64 // shared page-latch grants
+	LatchExclusive uint64 // exclusive page-latch grants
+	LatchWaits     uint64 // latch grants that had to block
+	MaxTreeOps     int64  // high-water mark of concurrent tree operations
+	MaxInFlight    int    // high-water mark of requests in service at once
+}
+
+// counters is the internal atomic form of Stats: the serve hot path
+// must not take any DP-wide lock just to count.
+type counters struct {
+	requests       atomic.Uint64
+	setRequests    atomic.Uint64
+	redrives       atomic.Uint64
+	rowsScanned    atomic.Uint64
+	rowsReturned   atomic.Uint64
+	rowsFiltered   atomic.Uint64
+	rowsUpdated    atomic.Uint64
+	rowsDeleted    atomic.Uint64
+	rowsInserted   atomic.Uint64
+	predicateEvals atomic.Uint64
+	checkEvals     atomic.Uint64
 }
 
 // fileState is one file fragment managed by this DP as a single B-tree.
@@ -116,16 +141,25 @@ type scb struct {
 
 // A DP is one Disk Process (group).
 type DP struct {
-	cfg   Config
-	pool  *cache.Pool
-	locks *lock.Manager
+	cfg     Config
+	pool    *cache.Pool
+	locks   *lock.Manager
+	latches *btree.Latches // one page-latch table for all the volume's trees
 
-	mu      sync.Mutex
+	// filesMu guards the file map on a read-mostly path: every record
+	// operation looks its file up, but files are created rarely.
+	filesMu sync.RWMutex
 	files   map[string]*fileState
+
+	// mu guards transaction and subset-control state only; it is never
+	// held across I/O or tree operations.
+	mu      sync.Mutex
 	scbs    map[uint32]*scb
 	nextSCB uint32
 	txs     map[uint64]*txState
-	stats   Stats
+
+	stats counters
+	meter concMeter
 }
 
 // New creates a Disk Process over its volume.
@@ -146,6 +180,9 @@ func New(cfg Config) (*DP, error) {
 	}
 	d.locks.DefaultTimeout = cfg.LockTimeout
 	d.pool = cache.NewPool(cfg.Volume, cfg.CacheSlots, cfg.Audit.Trail())
+	// The meter is the latch Waiter: time a handler spends blocked on a
+	// page latch is subtracted from the measured effective concurrency.
+	d.latches = btree.NewLatches(&d.meter)
 	return d, nil
 }
 
@@ -166,16 +203,54 @@ func (d *DP) Locks() *lock.Manager { return d.locks }
 
 // Stats returns a snapshot of the counters.
 func (d *DP) Stats() Stats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.stats
+	ls := d.latches.Stats()
+	_, maxIn := d.meter.snapshot()
+	return Stats{
+		Requests:       d.stats.requests.Load(),
+		SetRequests:    d.stats.setRequests.Load(),
+		Redrives:       d.stats.redrives.Load(),
+		RowsScanned:    d.stats.rowsScanned.Load(),
+		RowsReturned:   d.stats.rowsReturned.Load(),
+		RowsFiltered:   d.stats.rowsFiltered.Load(),
+		RowsUpdated:    d.stats.rowsUpdated.Load(),
+		RowsDeleted:    d.stats.rowsDeleted.Load(),
+		RowsInserted:   d.stats.rowsInserted.Load(),
+		PredicateEvals: d.stats.predicateEvals.Load(),
+		CheckEvals:     d.stats.checkEvals.Load(),
+		LatchShared:    ls.SharedGrants,
+		LatchExclusive: ls.ExclusiveGrants,
+		LatchWaits:     ls.Waits,
+		MaxTreeOps:     ls.MaxOps,
+		MaxInFlight:    maxIn,
+	}
 }
 
-// ResetStats zeroes the counters.
+// ResetStats zeroes the counters, including the latch table's and the
+// concurrency meter's.
 func (d *DP) ResetStats() {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.stats = Stats{}
+	d.stats.requests.Store(0)
+	d.stats.setRequests.Store(0)
+	d.stats.redrives.Store(0)
+	d.stats.rowsScanned.Store(0)
+	d.stats.rowsReturned.Store(0)
+	d.stats.rowsFiltered.Store(0)
+	d.stats.rowsUpdated.Store(0)
+	d.stats.rowsDeleted.Store(0)
+	d.stats.rowsInserted.Store(0)
+	d.stats.predicateEvals.Store(0)
+	d.stats.checkEvals.Store(0)
+	d.latches.ResetStats()
+	d.meter.reset()
+}
+
+// Concurrency returns the measured effective concurrency of request
+// service since the last reset — the time integral of (requests in
+// service − requests blocked on a page latch), divided by the time at
+// least one request was in service — and the in-service high-water
+// mark. With one worker it is exactly 1; it approaches the worker count
+// when the latch rewrite actually lets handlers overlap.
+func (d *DP) Concurrency() (float64, int) {
+	return d.meter.snapshot()
 }
 
 // Handler is the msg.Handler for this DP's process group.
@@ -192,9 +267,9 @@ func (d *DP) Handler(reqBytes []byte) []byte {
 func (d *DP) Serve(req *fsdp.Request) *fsdp.Reply { return d.serve(req) }
 
 func (d *DP) serve(req *fsdp.Request) *fsdp.Reply {
-	d.mu.Lock()
-	d.stats.Requests++
-	d.mu.Unlock()
+	d.stats.requests.Add(1)
+	d.meter.enter()
+	defer d.meter.exit()
 
 	var reply *fsdp.Reply
 	switch req.Kind {
@@ -260,18 +335,23 @@ func errReply(err error) *fsdp.Reply {
 
 var errConstraint = errors.New("dp: CHECK constraint violated")
 
-// getFile looks up a file fragment.
+// getFile looks up a file fragment. This is on the path of every
+// record operation, so it takes only a read lock.
 func (d *DP) getFile(name string) (*fileState, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.filesMu.RLock()
 	f, ok := d.files[name]
+	d.filesMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("dp %s: no file %q", d.cfg.Name, name)
 	}
 	return f, nil
 }
 
-// createFile creates a key-sequenced file fragment on this volume.
+// createFile creates a key-sequenced file fragment on this volume. The
+// tree creation does I/O (allocating and writing the root page), so it
+// runs outside the file-map lock; a duplicate discovered at publish
+// time loses the race and its root block is simply abandoned (the
+// simulated volumes are plentiful, as in dropFile).
 func (d *DP) createFile(req *fsdp.Request) *fsdp.Reply {
 	schema, err := record.DecodeSchema(req.Schema)
 	if err != nil {
@@ -281,24 +361,31 @@ func (d *DP) createFile(req *fsdp.Request) *fsdp.Reply {
 	if err != nil {
 		return errReply(err)
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if _, dup := d.files[req.File]; dup {
+	d.filesMu.RLock()
+	_, dup := d.files[req.File]
+	d.filesMu.RUnlock()
+	if dup {
 		return &fsdp.Reply{Code: fsdp.ErrGeneral, Err: fmt.Sprintf("dp %s: file %q exists", d.cfg.Name, req.File)}
 	}
-	tree, err := btree.New(d.pool, d.cfg.Volume, req.File)
+	tree, err := btree.New(d.pool, d.cfg.Volume, req.File, d.latches)
 	if err != nil {
 		return errReply(err)
 	}
+	d.filesMu.Lock()
+	if _, dup := d.files[req.File]; dup {
+		d.filesMu.Unlock()
+		return &fsdp.Reply{Code: fsdp.ErrGeneral, Err: fmt.Sprintf("dp %s: file %q exists", d.cfg.Name, req.File)}
+	}
 	d.files[req.File] = &fileState{schema: schema, check: check, tree: tree, fieldAudit: req.Audit}
+	d.filesMu.Unlock()
 	return &fsdp.Reply{Root: uint32(tree.Root())}
 }
 
 // dropFile removes a file fragment (its blocks are not reclaimed; the
 // simulated volumes are plentiful).
 func (d *DP) dropFile(req *fsdp.Request) *fsdp.Reply {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.filesMu.Lock()
+	defer d.filesMu.Unlock()
 	if _, ok := d.files[req.File]; !ok {
 		return &fsdp.Reply{Code: fsdp.ErrNotFound, Err: fmt.Sprintf("dp %s: no file %q", d.cfg.Name, req.File)}
 	}
@@ -308,12 +395,12 @@ func (d *DP) dropFile(req *fsdp.Request) *fsdp.Reply {
 
 // AttachFile registers an existing file fragment (recovery, takeover).
 func (d *DP) AttachFile(name string, schema *record.Schema, check expr.Expr, root disk.BlockNum, fieldAudit bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.filesMu.Lock()
+	defer d.filesMu.Unlock()
 	d.files[name] = &fileState{
 		schema:     schema,
 		check:      check,
-		tree:       btree.Open(d.pool, d.cfg.Volume, name, root),
+		tree:       btree.Open(d.pool, d.cfg.Volume, name, root, d.latches),
 		fieldAudit: fieldAudit,
 	}
 }
@@ -381,9 +468,7 @@ func (d *DP) insertOne(tx uint64, file string, f *fileState, row record.Row) err
 		return err
 	}
 	d.addUndo(tx, undoRec{file: file, kind: wal.RecInsert, key: key})
-	d.mu.Lock()
-	d.stats.RowsInserted++
-	d.mu.Unlock()
+	d.stats.rowsInserted.Add(1)
 	return nil
 }
 
@@ -456,9 +541,7 @@ func (d *DP) updateOne(tx uint64, file string, f *fileState, key []byte, transfo
 		return err
 	}
 	d.addUndo(tx, undoRec{file: file, kind: wal.RecUpdate, key: key, before: oldEnc})
-	d.mu.Lock()
-	d.stats.RowsUpdated++
-	d.mu.Unlock()
+	d.stats.rowsUpdated.Add(1)
 	return nil
 }
 
@@ -505,9 +588,7 @@ func (d *DP) deleteOne(tx uint64, file string, f *fileState, key []byte) error {
 		return err
 	}
 	d.addUndo(tx, undoRec{file: file, kind: wal.RecDelete, key: key, before: oldEnc})
-	d.mu.Lock()
-	d.stats.RowsDeleted++
-	d.mu.Unlock()
+	d.stats.rowsDeleted.Add(1)
 	return nil
 }
 
@@ -551,9 +632,7 @@ func (d *DP) checkConstraint(f *fileState, row record.Row) error {
 	if f.check == nil {
 		return nil
 	}
-	d.mu.Lock()
-	d.stats.CheckEvals++
-	d.mu.Unlock()
+	d.stats.checkEvals.Add(1)
 	ok, err := expr.Satisfied(f.check, row)
 	if err != nil {
 		return err

@@ -90,9 +90,7 @@ func (d *DP) getSubset(req *fsdp.Request) *fsdp.Reply {
 	if err != nil {
 		return errReply(err)
 	}
-	d.mu.Lock()
-	d.stats.SetRequests++
-	d.mu.Unlock()
+	d.stats.setRequests.Add(1)
 
 	virtual := req.Kind == fsdp.KGetFirstVSBB || req.Kind == fsdp.KGetNextVSBB
 	isFirst := req.Kind == fsdp.KGetFirstVSBB || req.Kind == fsdp.KGetFirstRSBB
@@ -126,9 +124,7 @@ func (d *DP) getSubset(req *fsdp.Request) *fsdp.Reply {
 			return false, nil
 		}
 		batch.processed++
-		d.mu.Lock()
-		d.stats.RowsScanned++
-		d.mu.Unlock()
+		d.stats.rowsScanned.Add(1)
 		reply.LastKey = append(reply.LastKey[:0], key...)
 
 		keep := true
@@ -139,9 +135,7 @@ func (d *DP) getSubset(req *fsdp.Request) *fsdp.Reply {
 				return false, err
 			}
 			if s.pred != nil {
-				d.mu.Lock()
-				d.stats.PredicateEvals++
-				d.mu.Unlock()
+				d.stats.predicateEvals.Add(1)
 				ok, err := expr.Satisfied(s.pred, row)
 				if err != nil {
 					return false, err
@@ -166,13 +160,9 @@ func (d *DP) getSubset(req *fsdp.Request) *fsdp.Reply {
 			reply.Rows = append(reply.Rows, out)
 			reply.RowKeys = append(reply.RowKeys, append([]byte(nil), key...))
 			batch.bytes += len(out)
-			d.mu.Lock()
-			d.stats.RowsReturned++
-			d.mu.Unlock()
+			d.stats.rowsReturned.Add(1)
 		} else {
-			d.mu.Lock()
-			d.stats.RowsFiltered++
-			d.mu.Unlock()
+			d.stats.rowsFiltered.Add(1)
 		}
 		return true, nil
 	})
@@ -195,9 +185,7 @@ func (d *DP) getSubset(req *fsdp.Request) *fsdp.Reply {
 	}
 
 	if !reply.Done {
-		d.mu.Lock()
-		d.stats.Redrives++
-		d.mu.Unlock()
+		d.stats.redrives.Add(1)
 		if isFirst {
 			reply.SCB = d.newSCB(s)
 		} else {
@@ -222,9 +210,7 @@ func (d *DP) countSubset(req *fsdp.Request) *fsdp.Reply {
 	if err != nil {
 		return errReply(err)
 	}
-	d.mu.Lock()
-	d.stats.SetRequests++
-	d.mu.Unlock()
+	d.stats.setRequests.Add(1)
 
 	isFirst := req.Kind == fsdp.KCountFirst
 	var s *scb
@@ -253,9 +239,7 @@ func (d *DP) countSubset(req *fsdp.Request) *fsdp.Reply {
 			return false, nil
 		}
 		batch.processed++
-		d.mu.Lock()
-		d.stats.RowsScanned++
-		d.mu.Unlock()
+		d.stats.rowsScanned.Add(1)
 		reply.LastKey = append(reply.LastKey[:0], key...)
 
 		keep := true
@@ -264,9 +248,7 @@ func (d *DP) countSubset(req *fsdp.Request) *fsdp.Reply {
 			if err != nil {
 				return false, err
 			}
-			d.mu.Lock()
-			d.stats.PredicateEvals++
-			d.mu.Unlock()
+			d.stats.predicateEvals.Add(1)
 			if keep, err = expr.Satisfied(s.pred, row); err != nil {
 				return false, err
 			}
@@ -277,9 +259,7 @@ func (d *DP) countSubset(req *fsdp.Request) *fsdp.Reply {
 			}
 			counted++
 		} else {
-			d.mu.Lock()
-			d.stats.RowsFiltered++
-			d.mu.Unlock()
+			d.stats.rowsFiltered.Add(1)
 		}
 		return true, nil
 	})
@@ -300,9 +280,7 @@ func (d *DP) countSubset(req *fsdp.Request) *fsdp.Reply {
 	}
 
 	if !reply.Done {
-		d.mu.Lock()
-		d.stats.Redrives++
-		d.mu.Unlock()
+		d.stats.redrives.Add(1)
 		if isFirst {
 			reply.SCB = d.newSCB(s)
 		} else {
@@ -336,9 +314,7 @@ func (d *DP) mutateSubset(req *fsdp.Request, isFirst, isUpdate bool) *fsdp.Reply
 	if req.Tx == 0 {
 		return &fsdp.Reply{Code: fsdp.ErrBadRequest, Err: "dp: subset mutation requires a transaction"}
 	}
-	d.mu.Lock()
-	d.stats.SetRequests++
-	d.mu.Unlock()
+	d.stats.setRequests.Add(1)
 
 	var s *scb
 	if isFirst {
@@ -371,9 +347,7 @@ func (d *DP) mutateSubset(req *fsdp.Request, isFirst, isUpdate bool) *fsdp.Reply
 			return false, nil
 		}
 		batch.processed++
-		d.mu.Lock()
-		d.stats.RowsScanned++
-		d.mu.Unlock()
+		d.stats.rowsScanned.Add(1)
 		reply.LastKey = append(reply.LastKey[:0], key...)
 		keep := true
 		if s.pred != nil {
@@ -381,9 +355,7 @@ func (d *DP) mutateSubset(req *fsdp.Request, isFirst, isUpdate bool) *fsdp.Reply
 			if err != nil {
 				return false, err
 			}
-			d.mu.Lock()
-			d.stats.PredicateEvals++
-			d.mu.Unlock()
+			d.stats.predicateEvals.Add(1)
 			if keep, err = expr.Satisfied(s.pred, row); err != nil {
 				return false, err
 			}
@@ -391,9 +363,7 @@ func (d *DP) mutateSubset(req *fsdp.Request, isFirst, isUpdate bool) *fsdp.Reply
 		if keep {
 			hits = append(hits, hit{key: append([]byte(nil), key...)})
 		} else {
-			d.mu.Lock()
-			d.stats.RowsFiltered++
-			d.mu.Unlock()
+			d.stats.rowsFiltered.Add(1)
 		}
 		return true, nil
 	})
@@ -421,9 +391,7 @@ func (d *DP) mutateSubset(req *fsdp.Request, isFirst, isUpdate bool) *fsdp.Reply
 	}
 
 	if !reply.Done {
-		d.mu.Lock()
-		d.stats.Redrives++
-		d.mu.Unlock()
+		d.stats.redrives.Add(1)
 		if isFirst {
 			reply.SCB = d.newSCB(s)
 		} else {

@@ -84,6 +84,10 @@ func All(s Sizes) ([]*Table, error) {
 	if err := add(t12, err); err != nil {
 		return nil, fmt.Errorf("E12: %w", err)
 	}
+	_, t13, err := E13(s.TxnsPerCli)
+	if err := add(t13, err); err != nil {
+		return nil, fmt.Errorf("E13: %w", err)
+	}
 	_, tf1, err := F1()
 	if err := add(tf1, err); err != nil {
 		return nil, fmt.Errorf("F1: %w", err)

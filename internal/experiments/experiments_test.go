@@ -260,3 +260,29 @@ func TestTableRender(t *testing.T) {
 		t.Errorf("render:\n%s", out)
 	}
 }
+
+func TestE13IntraDPConcurrency(t *testing.T) {
+	results, _, err := E13(Quick().TxnsPerCli)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("%d results", len(results))
+	}
+	base := results[0]
+	if base.EffConc > 1.05 {
+		t.Errorf("workers=1 effective concurrency %.2f, want ~1", base.EffConc)
+	}
+	for _, r := range results {
+		// E13 itself verifies checksums, commit counts, and 1→2→4
+		// monotonicity; re-assert the headline invariant here.
+		if r.Checksum != base.Checksum || r.Commits != base.Commits {
+			t.Errorf("workers=%d: results changed (checksum %x, commits %d)", r.Workers, r.Checksum, r.Commits)
+		}
+	}
+	for _, r := range results {
+		if r.Workers == 4 && r.Speedup < 2.0 {
+			t.Errorf("workers=4 speedup %.2fx, want >= 2x", r.Speedup)
+		}
+	}
+}

@@ -1,0 +1,23 @@
+#!/bin/sh
+# Regenerate the machine-readable benchmark report for this revision:
+#
+#   scripts/bench.sh [tag]        # full scale  -> BENCH_<tag>.json
+#   QUICK=1 scripts/bench.sh pr2  # test scale
+#
+# The tag defaults to the abbreviated git HEAD. The JSON carries the
+# counted quantities (messages, bytes, modeled elapsed, the E13
+# TPS-vs-workers curve) that EXPERIMENTS.md records in prose, so two
+# revisions can be diffed number-to-number.
+set -eu
+cd "$(dirname "$0")/.."
+
+TAG="${1:-$(git rev-parse --short HEAD 2>/dev/null || echo dev)}"
+OUT="BENCH_${TAG}.json"
+
+FLAGS="-tag $TAG -out $OUT"
+if [ "${QUICK:-0}" != "0" ]; then
+    FLAGS="$FLAGS -quick"
+fi
+
+# shellcheck disable=SC2086
+go run ./cmd/benchjson $FLAGS
