@@ -132,6 +132,15 @@ func (lt *Latches) opEnter() {
 
 func (lt *Latches) opExit() { lt.ops.Add(-1) }
 
+// Live returns the number of latch-table entries currently held or
+// awaited. A quiesced Disk Process must report zero — anything else is
+// a leaked latch.
+func (lt *Latches) Live() int {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	return len(lt.m)
+}
+
 // Stats returns a snapshot of the counters.
 func (lt *Latches) Stats() LatchStats {
 	return LatchStats{

@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"nonstopsql/internal/disk"
+	"nonstopsql/internal/fault"
 	"nonstopsql/internal/wal"
 )
 
@@ -285,6 +286,7 @@ func (p *Pool) cleanPageLocked(pg *Page) error {
 		p.stats.WALStalls++
 	}
 	p.mu.Unlock()
+	fault.Inject(fault.CacheCleanBeforeWrite)
 	if stall {
 		p.gate.FlushTo(lsn)
 	}
@@ -417,6 +419,7 @@ func (p *Pool) WriteBehind() (int, error) {
 		bufs[i] = append([]byte(nil), pg.data...)
 	}
 	p.mu.Unlock()
+	fault.Inject(fault.CacheWriteBehind)
 
 	written, ops := 0, 0
 	var werr error

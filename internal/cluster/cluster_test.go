@@ -318,3 +318,78 @@ func TestCrashUnderConcurrentLoadLosesNoCommittedData(t *testing.T) {
 		}
 	}
 }
+
+// TestTakeoverAfterAbort is the regression test for abort-path undo
+// bypassing the checkpoint stream. The backup of a process pair only
+// knows what the Checkpoint callback ships it; if the compensating
+// actions of an abort never go through it, a takeover right after the
+// abort serves the aborted rows as if they committed. Post-fix, the
+// abort's compensations and abort record are checkpointed like forward
+// audit, so the takeover sees them gone and the keys stay reusable.
+func TestTakeoverAfterAbort(t *testing.T) {
+	c, err := cluster.New(cluster.Options{ProcessPairs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.AddVolume(0, 0, "$P2"); err != nil {
+		t.Fatal(err)
+	}
+	f := c.NewFS(0, 2)
+	def := kvDef("$P2")
+	if err := f.Create(def); err != nil {
+		t.Fatal(err)
+	}
+
+	tx := f.Begin()
+	if err := f.Insert(tx, def, record.Row{record.Int(1), record.String("keep")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Aborted transaction; count the checkpoint traffic its undo ships.
+	c.Net.ResetStats()
+	tx2 := f.Begin()
+	for i := int64(2); i <= 3; i++ {
+		if err := f.Insert(tx2, def, record.Row{record.Int(i), record.String("doomed")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Abort(tx2); err != nil {
+		t.Fatal(err)
+	}
+	// 2 insert + 1 abort requests to the primary, and 5 checkpoint
+	// messages to the backup: 2 forward inserts, 2 compensations, 1
+	// abort record. Fewer than 8 total means the undo skipped the
+	// checkpoint stream.
+	if got := c.Net.Stats().Requests; got < 8 {
+		t.Errorf("abort shipped %d messages; compensations missing from the checkpoint stream", got)
+	}
+
+	if err := c.Takeover("$P2"); err != nil {
+		t.Fatal(err)
+	}
+
+	if row, err := f.Read(nil, def, record.Int(1).AppendKey(nil), false); err != nil || row[1].S != "keep" {
+		t.Fatalf("committed row lost across takeover: %v %v", row, err)
+	}
+	for i := int64(2); i <= 3; i++ {
+		if row, err := f.Read(nil, def, record.Int(i).AppendKey(nil), false); err == nil {
+			t.Errorf("aborted row %d served after takeover: %v", i, row)
+		}
+	}
+	// The aborted keys are immediately reusable on the new primary.
+	tx3 := f.Begin()
+	if err := f.Insert(tx3, def, record.Row{record.Int(2), record.String("fresh")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Commit(tx3); err != nil {
+		t.Fatal(err)
+	}
+	row, err := f.Read(nil, def, record.Int(2).AppendKey(nil), false)
+	if err != nil || row[1].S != "fresh" {
+		t.Fatalf("aborted key not reusable after takeover: %v %v", row, err)
+	}
+}

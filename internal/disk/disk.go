@@ -13,6 +13,9 @@ package disk
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+
+	"nonstopsql/internal/fault"
 )
 
 const (
@@ -62,6 +65,13 @@ type Volume struct {
 	name     string
 	mirrored bool
 
+	// frozen simulates the instant of a power failure: once set, writes
+	// are silently dropped (the drive lost power mid-operation) while
+	// reads keep serving the last durable image for the recovery test to
+	// inspect. Atomic rather than mu-guarded so a fault-injection hook
+	// can freeze the volume from within an in-progress bulk write.
+	frozen atomic.Bool
+
 	mu     sync.Mutex
 	blocks map[BlockNum][]byte
 	next   BlockNum
@@ -77,6 +87,35 @@ func NewVolume(name string, mirrored bool) *Volume {
 
 // Name returns the volume name (e.g. "$DATA1").
 func (v *Volume) Name() string { return v.name }
+
+// Freeze captures the volume's durable state at the instant of a
+// simulated power failure: every subsequent write is dropped. Lock-free
+// so it can be called from a fault hook that fires while a writer holds
+// the volume mutex — a bulk write that is interrupted mid-run persists
+// only the prefix written before the freeze, i.e. a torn write.
+func (v *Volume) Freeze() { v.frozen.Store(true) }
+
+// Frozen reports whether the volume has been frozen.
+func (v *Volume) Frozen() bool { return v.frozen.Load() }
+
+// Clone returns an unfrozen deep copy of the volume's current block
+// image (allocation state included, I/O counters zeroed) under the
+// given name. Recovery tests recover into a clone so the frozen
+// original stays inspectable.
+func (v *Volume) Clone(name string) *Volume {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c := &Volume{name: name, mirrored: v.mirrored, blocks: make(map[BlockNum][]byte, len(v.blocks)), next: v.next}
+	for bn, data := range v.blocks {
+		if data == nil {
+			c.blocks[bn] = nil
+		} else {
+			c.blocks[bn] = append([]byte(nil), data...)
+		}
+	}
+	c.free = append([]BlockNum(nil), v.free...)
+	return c
+}
 
 // Allocate reserves a fresh block and returns its number. Freed blocks
 // are reused first, preserving physical clustering where possible.
@@ -175,10 +214,14 @@ func (v *Volume) Write(bn BlockNum, data []byte) error {
 	if len(data) != BlockSize {
 		return fmt.Errorf("disk %s: write of %d bytes, want %d", v.name, len(data), BlockSize)
 	}
+	fault.Inject(fault.DiskWrite)
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if _, ok := v.blocks[bn]; !ok {
 		return fmt.Errorf("disk %s: write to unallocated block %d", v.name, bn)
+	}
+	if v.frozen.Load() {
+		return nil
 	}
 	v.stats.Writes++
 	v.stats.BlocksWritten++
@@ -209,6 +252,9 @@ func (v *Volume) WriteBulk(start BlockNum, blocks [][]byte) error {
 			return fmt.Errorf("disk %s: bulk write spans unallocated block %d", v.name, start+BlockNum(i))
 		}
 	}
+	if v.frozen.Load() {
+		return nil
+	}
 	v.stats.Writes++
 	if n > 1 {
 		v.stats.BulkWrites++
@@ -218,6 +264,12 @@ func (v *Volume) WriteBulk(start BlockNum, blocks [][]byte) error {
 		v.stats.MirrorWrites += uint64(1)
 	}
 	for i, b := range blocks {
+		// A freeze firing here tears the write: the blocks already
+		// copied are durable, this one and the rest never land.
+		fault.Inject(fault.DiskBulkWrite)
+		if v.frozen.Load() {
+			return nil
+		}
 		v.blocks[start+BlockNum(i)] = append([]byte(nil), b...)
 	}
 	return nil

@@ -1,0 +1,97 @@
+package dp
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"nonstopsql/internal/disk"
+	"nonstopsql/internal/fsdp"
+	"nonstopsql/internal/record"
+	"nonstopsql/internal/tmf"
+	"nonstopsql/internal/wal"
+)
+
+// TestAbortCheckpointsCompensations is the regression test for the undo
+// path writing compensation records straight to the trail instead of
+// through appendAudit. The backup half of a process pair learns about
+// state changes only from the Checkpoint callback; an abort that skips
+// it leaves the backup believing the aborted rows still exist, so a
+// takeover right after the abort resurrects them. Post-fix, every
+// compensation and the abort record itself must hit the checkpoint
+// stream.
+func TestAbortCheckpointsCompensations(t *testing.T) {
+	var ckpts atomic.Int64
+	vol := disk.NewVolume("$DATA1", true)
+	auditVol := disk.NewVolume("$AUDIT", true)
+	trail, err := wal.NewTrail(wal.Config{Volume: auditVol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(trail.Close)
+	d, err := New(Config{
+		Name: "$DATA1", Volume: vol,
+		Audit:      tmf.NewAuditPort(trail, nil, "", 0),
+		Checkpoint: func(int) { ckpts.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := createEmp(t, d, nil)
+
+	tx := tmf.NewTxID()
+	insertEmp(t, d, s, tx, empRow(1, "doomed-a", 10))
+	insertEmp(t, d, s, tx, empRow(2, "doomed-b", 20))
+	base := ckpts.Load()
+
+	reply := d.Serve(&fsdp.Request{Kind: fsdp.KAbort, Tx: tx})
+	if !reply.OK() {
+		t.Fatal(reply.Err)
+	}
+	// Two compensating deletes plus the abort record: three checkpoint
+	// messages to the backup.
+	if got := ckpts.Load() - base; got != 3 {
+		t.Fatalf("abort sent %d checkpoint messages, want 3 (2 compensations + abort)", got)
+	}
+
+	// The trail agrees: compensations flagged, abort last, and the tx's
+	// lastLSN accounting means a flush covers all of them.
+	trail.Flush()
+	recs, err := wal.Scan(auditVol, trail.FirstBlock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var comps, aborts int
+	for _, r := range recs {
+		if r.TxID != tx {
+			continue
+		}
+		if r.Compensation {
+			if r.Type != wal.RecDelete {
+				t.Errorf("compensation for an insert should be a delete, got %s", r.Type)
+			}
+			comps++
+		}
+		if r.Type == wal.RecAbort {
+			aborts++
+			if comps != 2 {
+				t.Errorf("abort record audited before its %d/2 compensations", comps)
+			}
+		}
+	}
+	if comps != 2 || aborts != 1 {
+		t.Fatalf("trail has %d compensations and %d abort records, want 2 and 1", comps, aborts)
+	}
+
+	// The keys are reusable immediately (locks + undo state dropped).
+	tx2 := tmf.NewTxID()
+	insertEmp(t, d, s, tx2, empRow(1, "fresh", 30))
+	commitTx(t, d, tx2)
+	reply = d.Serve(&fsdp.Request{Kind: fsdp.KReadRecord, File: "EMP", Key: key1(1)})
+	if !reply.OK() {
+		t.Fatal(reply.Err)
+	}
+	row, _ := record.Decode(reply.Rows[0])
+	if row[1].S != "fresh" {
+		t.Fatalf("key not reusable after abort: %v", row)
+	}
+}

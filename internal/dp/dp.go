@@ -26,6 +26,7 @@ import (
 	"nonstopsql/internal/cache"
 	"nonstopsql/internal/disk"
 	"nonstopsql/internal/expr"
+	"nonstopsql/internal/fault"
 	"nonstopsql/internal/fsdp"
 	"nonstopsql/internal/lock"
 	"nonstopsql/internal/record"
@@ -464,6 +465,7 @@ func (d *DP) insertOne(tx uint64, file string, f *fileState, row record.Row) err
 		Type: wal.RecInsert, TxID: tx, Volume: d.cfg.Volume.Name(), File: file,
 		Key: key, After: enc,
 	})
+	fault.Inject(fault.DPInsertAfterAudit)
 	if err := f.tree.Insert(key, enc, lsn); err != nil {
 		return err
 	}
@@ -537,6 +539,7 @@ func (d *DP) updateOne(tx uint64, file string, f *fileState, key []byte, transfo
 		rec.After = newEnc
 	}
 	lsn := d.appendAudit(rec)
+	fault.Inject(fault.DPUpdateAfterAudit)
 	if err := f.tree.Update(key, newEnc, lsn); err != nil {
 		return err
 	}
@@ -584,6 +587,7 @@ func (d *DP) deleteOne(tx uint64, file string, f *fileState, key []byte) error {
 		Type: wal.RecDelete, TxID: tx, Volume: d.cfg.Volume.Name(), File: file,
 		Key: key, Before: oldEnc,
 	})
+	fault.Inject(fault.DPDeleteAfterAudit)
 	if err := f.tree.Delete(key, lsn); err != nil {
 		return err
 	}

@@ -28,10 +28,22 @@ func (d *DP) Crash() {
 }
 
 // Recover rebuilds this volume's state from the durable audit trail:
-// redo repeats history for every logged operation on this volume in LSN
-// order, then in-flight ("loser") transactions — no commit and no abort
-// record — are undone from their before-images. Files must be attached
+// every attached file's tree is reset to empty, then redo repeats
+// history for every logged operation on this volume in LSN order, then
+// in-flight ("loser") transactions — no commit and no abort record —
+// are undone from their before-images. Files must be attached
 // (AttachFile) before calling.
+//
+// The reset matters: the on-disk tree image at a crash is an arbitrary
+// subset of the cache's dirty pages, so a multi-page structure change
+// (split, collapse) can be half on disk — a parent routing into a
+// never-written child, or a leaf chain bypassing a reachable page.
+// Only the logical record operations are audited, never the structure
+// changes, so the image cannot be repaired page-by-page; but the trail
+// is never truncated, so replaying the whole history into a fresh tree
+// reconstructs the exact committed state regardless of which pages the
+// crash caught on disk. Orphaned blocks of the old tree are simply
+// abandoned (the simulated volumes are plentiful, as in dropFile).
 func (d *DP) Recover(records []*wal.Record) error {
 	vol := d.cfg.Volume.Name()
 	committed := make(map[uint64]bool)
@@ -52,6 +64,17 @@ func (d *DP) Recover(records []*wal.Record) error {
 		}
 	}
 
+	// Reset pass: every attached tree restarts as an empty leaf at its
+	// (never-moving) root block.
+	d.filesMu.RLock()
+	for name, f := range d.files {
+		if err := f.tree.Reset(); err != nil {
+			d.filesMu.RUnlock()
+			return fmt.Errorf("dp %s: reset of %q: %w", d.cfg.Name, name, err)
+		}
+	}
+	d.filesMu.RUnlock()
+
 	// Redo pass: repeat history.
 	for _, r := range mine {
 		if err := d.redoOne(r); err != nil {
@@ -59,10 +82,12 @@ func (d *DP) Recover(records []*wal.Record) error {
 		}
 	}
 
-	// Undo pass: losers in reverse LSN order.
+	// Undo pass: losers in reverse LSN order. Compensation records are
+	// never undone — they carry no before image, and the forward record
+	// they compensate is undone by this same pass.
 	for i := len(mine) - 1; i >= 0; i-- {
 		r := mine[i]
-		if committed[r.TxID] || aborted[r.TxID] {
+		if committed[r.TxID] || aborted[r.TxID] || r.Compensation {
 			continue
 		}
 		if err := d.undoOne(r); err != nil {

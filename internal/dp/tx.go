@@ -3,6 +3,7 @@ package dp
 import (
 	"fmt"
 
+	"nonstopsql/internal/fault"
 	"nonstopsql/internal/fsdp"
 	"nonstopsql/internal/record"
 	"nonstopsql/internal/wal"
@@ -102,6 +103,7 @@ func (d *DP) commit(req *fsdp.Request) *fsdp.Reply {
 		lsn := trail.AppendCommit(req.Tx)
 		trail.WaitDurable(lsn)
 	}
+	fault.Inject(fault.DPCommitBeforeFinish)
 	d.finishTx(req.Tx)
 	d.idleWork()
 	return &fsdp.Reply{}
@@ -124,9 +126,13 @@ func (d *DP) abort(req *fsdp.Request) *fsdp.Reply {
 	return &fsdp.Reply{}
 }
 
-// undoTx applies the in-memory undo chain in reverse.
+// undoTx applies the in-memory undo chain in reverse. Compensation
+// records go through appendAudit like forward audit: the process pair's
+// backup must see them in its checkpoint stream, and the tx's lastLSN
+// high-water mark must cover them so a later prepare forces them.
 func (d *DP) undoTx(tx uint64, t *txState) error {
 	for i := len(t.undo) - 1; i >= 0; i-- {
+		fault.Inject(fault.DPAbortMidUndo)
 		u := t.undo[i]
 		f, err := d.getFile(u.file)
 		if err != nil {
@@ -136,25 +142,25 @@ func (d *DP) undoTx(tx uint64, t *txState) error {
 		// them too (repeating history).
 		switch u.kind {
 		case wal.RecInsert:
-			lsn := d.cfg.Audit.Append(&wal.Record{
+			lsn := d.appendAudit(&wal.Record{
 				Type: wal.RecDelete, TxID: tx, Volume: d.cfg.Volume.Name(), File: u.file,
-				Key: u.key,
+				Key: u.key, Compensation: true,
 			})
 			if err := f.tree.Delete(u.key, lsn); err != nil {
 				return err
 			}
 		case wal.RecUpdate:
-			lsn := d.cfg.Audit.Append(&wal.Record{
+			lsn := d.appendAudit(&wal.Record{
 				Type: wal.RecUpdate, TxID: tx, Volume: d.cfg.Volume.Name(), File: u.file,
-				Key: u.key, After: u.before,
+				Key: u.key, After: u.before, Compensation: true,
 			})
 			if err := f.tree.Update(u.key, u.before, lsn); err != nil {
 				return err
 			}
 		case wal.RecDelete:
-			lsn := d.cfg.Audit.Append(&wal.Record{
+			lsn := d.appendAudit(&wal.Record{
 				Type: wal.RecInsert, TxID: tx, Volume: d.cfg.Volume.Name(), File: u.file,
-				Key: u.key, After: u.before,
+				Key: u.key, After: u.before, Compensation: true,
 			})
 			if err := f.tree.Insert(u.key, u.before, lsn); err != nil {
 				return err

@@ -230,7 +230,9 @@ func (e *File) sendTx(tx *tmf.Tx, server string, req *fsdp.Request) (*fsdp.Reply
 	// Join even on application errors: the Disk Process may hold locks
 	// for this transaction that only a commit/abort will release.
 	if err == nil && tx != nil && req.Tx != 0 {
-		tx.Join(server)
+		if jerr := tx.Join(server); jerr != nil {
+			return raw, jerr
+		}
 	}
 	return raw, err
 }

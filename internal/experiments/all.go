@@ -88,6 +88,10 @@ func All(s Sizes) ([]*Table, error) {
 	if err := add(t13, err); err != nil {
 		return nil, fmt.Errorf("E13: %w", err)
 	}
+	_, t14, err := E14(s.TxnsPerCli / 4)
+	if err := add(t14, err); err != nil {
+		return nil, fmt.Errorf("E14: %w", err)
+	}
 	_, tf1, err := F1()
 	if err := add(tf1, err); err != nil {
 		return nil, fmt.Errorf("F1: %w", err)

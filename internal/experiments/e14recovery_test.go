@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"testing"
+
+	"nonstopsql/internal/fault"
+)
+
+// TestRecoveryTorture is the CI entry point for the crash-point sweep:
+// every named crash point, deterministic seeds, all recovery invariants
+// checked per point. Short mode shrinks the per-client txn budget.
+func TestRecoveryTorture(t *testing.T) {
+	txns := 60
+	if testing.Short() {
+		txns = 24
+	}
+	results, table, err := E14(txns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := fault.Points()
+	if len(results) != len(points) {
+		t.Fatalf("swept %d points, want %d", len(results), len(points))
+	}
+	if len(points) < 12 {
+		t.Fatalf("only %d named crash points; the sweep must cover at least 12", len(points))
+	}
+	for _, res := range results {
+		if res.Hits == 0 {
+			t.Errorf("point %s: fired without a counted hit", res.Point)
+		}
+	}
+	t.Log("\n" + table.Render())
+}

@@ -220,9 +220,11 @@ func (p *parScan) scanSpan(idx int) bool {
 		wait := time.Since(t0)
 		if err == nil {
 			if p.tx != nil && req.Tx != 0 {
-				p.tx.Join(span.server)
+				err = p.tx.Join(span.server)
 			}
-			err = replyErr(reply)
+			if err == nil {
+				err = replyErr(reply)
+			}
 		}
 		p.mu.Lock()
 		sp := &p.stats.Spans[idx]

@@ -70,7 +70,9 @@ func (f *FS) deleteIndexEntry(tx *tmf.Tx, def *FileDef, idx *IndexDef, row recor
 func (f *FS) sendTx(tx *tmf.Tx, server string, req *fsdp.Request) (*fsdp.Reply, error) {
 	reply, err := f.send(server, req)
 	if err == nil && tx != nil && req.Tx != 0 {
-		tx.Join(server)
+		if jerr := tx.Join(server); jerr != nil {
+			return reply, jerr
+		}
 	}
 	return reply, err
 }

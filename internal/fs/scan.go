@@ -284,7 +284,9 @@ func (r *Rows) sendScan(server string, req *fsdp.Request) (*fsdp.Reply, error) {
 		return nil, err
 	}
 	if r.tx != nil && req.Tx != 0 {
-		r.tx.Join(server)
+		if err := r.tx.Join(server); err != nil {
+			return nil, err
+		}
 	}
 	sp := &r.stats.Spans[r.spanIdx]
 	sp.Msgs++

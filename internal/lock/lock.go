@@ -299,6 +299,19 @@ func (m *Manager) HeldBy(tx TxID) int {
 	return len(m.byTx[tx])
 }
 
+// Held returns the total number of live grants across all transactions.
+// A quiesced Disk Process must report zero — anything else is a lock a
+// finished or crashed transaction leaked.
+func (m *Manager) Held() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, gs := range m.byTx {
+		n += len(gs)
+	}
+	return n
+}
+
 // Stats returns a snapshot of the counters.
 func (m *Manager) Stats() Stats {
 	m.mu.Lock()

@@ -15,6 +15,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"nonstopsql/internal/fault"
 	"nonstopsql/internal/fsdp"
 	"nonstopsql/internal/msg"
 	"nonstopsql/internal/wal"
@@ -47,16 +48,23 @@ func Begin() *Tx {
 }
 
 // Join records that the transaction touched the named Disk Process.
-// Idempotent.
-func (t *Tx) Join(server string) {
+// Idempotent while the transaction is active. Joining a finished
+// transaction is an error: the commit/abort protocol has already run
+// with the participant list it saw, so a late participant would hold
+// its locks forever — no coordinator will ever resolve it.
+func (t *Tx) Join(server string) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.done {
+		return fmt.Errorf("tmf: join of finished transaction %d by %s", t.ID, server)
+	}
 	for _, p := range t.participants {
 		if p == server {
-			return
+			return nil
 		}
 	}
 	t.participants = append(t.participants, server)
+	return nil
 }
 
 // Participants returns the joined Disk Processes.
@@ -119,9 +127,13 @@ func (c *Coordinator) Commit(t *Tx) error {
 		}
 	}
 
+	fault.Inject(fault.TMFAfterPrepare)
+
 	// Commit point: the commit record on the audit trail.
 	lsn := c.Trail.AppendCommit(t.ID)
+	fault.Inject(fault.TMFCommitAppended)
 	c.Trail.WaitDurable(lsn)
+	fault.Inject(fault.TMFCommitDurable)
 
 	// Phase 2: release everyone.
 	var firstErr error

@@ -250,3 +250,37 @@ func TestAuditPortFlushSend(t *testing.T) {
 		t.Errorf("empty flush sent: %d", port.Sends())
 	}
 }
+
+// TestJoinAfterFinishRejected: a participant that first touches a
+// transaction after its commit/abort protocol ran can never be resolved
+// — no coordinator will send it phase 2 — so the late Join must fail
+// loudly instead of silently growing the participant list.
+func TestJoinAfterFinishRejected(t *testing.T) {
+	dp := &fakeDP{trail: newTrail(t)}
+	c := &Coordinator{Trail: dp.trail, Send: dp.send}
+
+	tx := Begin()
+	if err := tx.Join("$D1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Join("$D2"); err == nil {
+		t.Fatal("Join after commit accepted")
+	}
+	if got := tx.Participants(); len(got) != 1 {
+		t.Fatalf("late join grew the participant list: %v", got)
+	}
+
+	tx2 := Begin()
+	if err := tx2.Join("$D1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Abort(tx2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Join("$D1"); err == nil {
+		t.Fatal("Join after abort accepted, even for an existing participant")
+	}
+}

@@ -65,6 +65,12 @@ type Record struct {
 	Before          []byte // before image (undo)
 	After           []byte // after image (redo)
 	FieldCompressed bool
+	// Compensation marks an undo action audited during an abort. Redo
+	// replays it like any data record (repeating history), but the
+	// recovery undo pass must never "undo" one: it carries no before
+	// image, and undoing the forward record it compensates is already
+	// the same state change.
+	Compensation bool
 }
 
 // Size returns the encoded byte size of the record; this is what counts
@@ -79,6 +85,9 @@ func (r *Record) encode(b []byte) []byte {
 	if r.FieldCompressed {
 		flags |= 1
 	}
+	if r.Compensation {
+		flags |= 2
+	}
 	body = append(body, flags)
 	body = binary.AppendUvarint(body, uint64(r.LSN))
 	body = binary.AppendUvarint(body, r.TxID)
@@ -88,7 +97,22 @@ func (r *Record) encode(b []byte) []byte {
 	body = appendBytes(body, r.Before)
 	body = appendBytes(body, r.After)
 	b = binary.AppendUvarint(b, uint64(len(body)))
+	b = binary.BigEndian.AppendUint32(b, bodySum(body))
 	return append(b, body...)
+}
+
+// bodySum is the FNV-1a checksum guarding each frame. A torn block write
+// can leave a frame whose length prefix landed but whose body tail is
+// still zeros; without the checksum such a frame decodes "successfully"
+// into a truncated record and recovery replays garbage. With it, the
+// scan stops at the last fully-written record.
+func bodySum(b []byte) uint32 {
+	h := uint32(2166136261)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return h
 }
 
 func appendBytes(b, v []byte) []byte {
@@ -111,14 +135,18 @@ func takeBytes(b []byte) ([]byte, []byte, error) {
 // record and the remainder.
 func decodeRecord(b []byte) (*Record, []byte, error) {
 	l, n := binary.Uvarint(b)
-	if n <= 0 || uint64(len(b)-n) < l {
+	if n <= 0 || uint64(len(b)-n) < 4 || uint64(len(b)-n-4) < l {
 		return nil, nil, fmt.Errorf("wal: truncated record frame")
 	}
-	body, rest := b[n:n+int(l)], b[n+int(l):]
+	sum := binary.BigEndian.Uint32(b[n:])
+	body, rest := b[n+4:n+4+int(l)], b[n+4+int(l):]
+	if bodySum(body) != sum {
+		return nil, nil, fmt.Errorf("wal: record checksum mismatch (torn write)")
+	}
 	if len(body) < 2 {
 		return nil, nil, fmt.Errorf("wal: record body too short")
 	}
-	r := &Record{Type: RecType(body[0]), FieldCompressed: body[1]&1 != 0}
+	r := &Record{Type: RecType(body[0]), FieldCompressed: body[1]&1 != 0, Compensation: body[1]&2 != 0}
 	body = body[2:]
 	lsn, n := binary.Uvarint(body)
 	if n <= 0 {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"nonstopsql/internal/disk"
+	"nonstopsql/internal/fault"
 )
 
 // Config tunes a Trail. Zero values take documented defaults.
@@ -223,6 +224,13 @@ func (t *Trail) timerFire() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.timerSet = false
+	// The timer can fire concurrently with Close: time.Timer.Stop
+	// returns false once the function is already scheduled, so this
+	// callback may run after the trail was closed (and the volume
+	// possibly crashed by a test). A closed trail never flushes again.
+	if t.closed {
+		return
+	}
 	if t.pendingCommits > 0 || len(t.pending) > 0 {
 		t.stats.TimerFlushes++
 		t.flushLocked()
@@ -270,7 +278,7 @@ func (t *Trail) Flush() {
 // flushLocked writes all pending bytes to the volume using bulk I/O and
 // wakes durable-waiters.
 func (t *Trail) flushLocked() {
-	if len(t.pending) == 0 {
+	if t.closed || len(t.pending) == 0 {
 		return
 	}
 	t.stats.Flushes++
@@ -282,8 +290,12 @@ func (t *Trail) flushLocked() {
 	t.diskLen += len(data)
 
 	// Pack into blocks: refill the partial tail block, then whole blocks.
+	// haveStart (not start == 0) marks whether the run origin is set:
+	// block number 0 is a valid block, so a tail legitimately living in
+	// block 0 must not be mistaken for "no run started yet".
 	var blocks [][]byte
 	var start disk.BlockNum
+	haveStart := false
 	if t.tailNum != 0 && len(t.tail) > 0 && len(t.tail) < disk.BlockSize {
 		room := disk.BlockSize - len(t.tail)
 		n := room
@@ -293,6 +305,7 @@ func (t *Trail) flushLocked() {
 		t.tail = append(t.tail, data[:n]...)
 		data = data[n:]
 		start = t.tailNum
+		haveStart = true
 		blk := make([]byte, disk.BlockSize)
 		copy(blk, t.tail)
 		blocks = append(blocks, blk)
@@ -309,8 +322,9 @@ func (t *Trail) flushLocked() {
 		blk := make([]byte, disk.BlockSize)
 		copy(blk, data[:n])
 		bn := t.allocNextBlockLocked()
-		if start == 0 {
+		if !haveStart {
 			start = bn
+			haveStart = true
 		}
 		blocks = append(blocks, blk)
 		if n < disk.BlockSize {
@@ -320,6 +334,7 @@ func (t *Trail) flushLocked() {
 		data = data[n:]
 	}
 	// Write in bulk runs of ≤ MaxBulkBlocks.
+	fault.Inject(fault.WALFlushBeforeWrite)
 	for i := 0; i < len(blocks); i += disk.MaxBulkBlocks {
 		end := i + disk.MaxBulkBlocks
 		if end > len(blocks) {
@@ -329,6 +344,7 @@ func (t *Trail) flushLocked() {
 			panic(fmt.Sprintf("wal: audit volume write failed: %v", err))
 		}
 	}
+	fault.Inject(fault.WALFlushAfterWrite)
 
 	t.flushedLSN = t.pendingLast
 	// Wake waiters at or below the durable LSN.
@@ -382,11 +398,15 @@ func (t *Trail) ResetStats() {
 	t.stats = Stats{}
 }
 
-// Close flushes pending audit and stops the timer.
+// Close flushes pending audit, stops the timer, and marks the trail
+// closed; every later flush attempt (including a group-commit timer
+// that had already fired when Stop was called) is a no-op.
 func (t *Trail) Close() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.closed = true
+	if t.closed {
+		return
+	}
 	if t.timer != nil {
 		t.timer.Stop()
 	}
@@ -394,6 +414,7 @@ func (t *Trail) Close() {
 		t.stats.ExplicitFlushes++
 		t.flushLocked()
 	}
+	t.closed = true
 }
 
 // Scan reads the durable audit trail back from the volume, in LSN order.

@@ -6,4 +6,9 @@ set -eux
 cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
+# Deterministic short crash-point sweep first: every named fault point
+# fired, recovery invariants checked per point. Runs again inside the
+# full suite, but a recovery regression should fail here, fast and
+# alone, before the long run starts.
+go test -race -short -run TestRecoveryTorture ./internal/experiments
 go test -race ./...
