@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench experiments benchjson
+.PHONY: check build vet test race bench experiments benchjson benchcmp
 
 check: build vet race
 
@@ -31,3 +31,10 @@ experiments:
 # quantities plus the E13 TPS-vs-workers curve, for diffing revisions.
 benchjson:
 	scripts/bench.sh
+
+# Metric-by-metric diff of two benchjson reports:
+#   make benchcmp NEW=BENCH_pr4.json            # against the seed
+#   make benchcmp OLD=BENCH_a.json NEW=BENCH_b.json
+OLD ?= BENCH_seed.json
+benchcmp:
+	scripts/benchdiff.sh $(OLD) $(NEW)

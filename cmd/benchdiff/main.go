@@ -1,0 +1,165 @@
+// Command benchdiff compares two benchjson reports number-to-number.
+// It flattens every numeric leaf of each JSON document to a dotted path
+// (arrays keyed by their section's natural key field when one exists,
+// by index otherwise) and prints old, new, and relative delta for every
+// metric present in either file.
+//
+// Usage:
+//
+//	benchdiff BENCH_old.json BENCH_new.json
+//
+// Exit status is 0 even when metrics differ — the tool reports, the
+// reader judges; regression gates belong in the experiments' own
+// assertions.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff OLD.json NEW.json\n")
+		os.Exit(2)
+	}
+	oldM, err := load(os.Args[1])
+	if err != nil {
+		fail(err)
+	}
+	newM, err := load(os.Args[2])
+	if err != nil {
+		fail(err)
+	}
+
+	keys := make(map[string]bool, len(oldM)+len(newM))
+	for k := range oldM {
+		keys[k] = true
+	}
+	for k := range newM {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+
+	w := 0
+	for _, k := range sorted {
+		if len(k) > w {
+			w = len(k)
+		}
+	}
+	fmt.Printf("%-*s  %14s  %14s  %9s\n", w, "metric", "old", "new", "delta")
+	for _, k := range sorted {
+		ov, okO := oldM[k]
+		nv, okN := newM[k]
+		switch {
+		case !okO:
+			fmt.Printf("%-*s  %14s  %14s  %9s\n", w, k, "-", num(nv), "new")
+		case !okN:
+			fmt.Printf("%-*s  %14s  %14s  %9s\n", w, k, num(ov), "-", "gone")
+		default:
+			fmt.Printf("%-*s  %14s  %14s  %9s\n", w, k, num(ov), num(nv), delta(ov, nv))
+		}
+	}
+}
+
+// load parses path and flattens its numeric leaves to dotted-path keys.
+func load(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]float64)
+	flatten("", doc, out)
+	return out, nil
+}
+
+// keyFields name, in order of preference, the element field that makes
+// an array row addressable by content rather than by position, so a
+// reordered or lengthened section still lines up across revisions.
+var keyFields = []string{"system", "policy", "dop", "workers", "shards"}
+
+func flatten(prefix string, v any, out map[string]float64) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, child := range x {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			flatten(p, child, out)
+		}
+	case []any:
+		for i, child := range x {
+			p := fmt.Sprintf("%s[%d]", prefix, i)
+			if m, ok := child.(map[string]any); ok {
+				if id := rowKey(m); id != "" {
+					p = prefix + "[" + id + "]"
+				}
+			}
+			flatten(p, child, out)
+		}
+	case float64:
+		out[prefix] = x
+	case bool:
+		if x {
+			out[prefix] = 1
+		} else {
+			out[prefix] = 0
+		}
+	}
+	// Strings and nulls are labels, not metrics; skipped.
+}
+
+// rowKey builds a content-based identifier for an array element.
+func rowKey(m map[string]any) string {
+	id := ""
+	for _, f := range keyFields {
+		switch v := m[f].(type) {
+		case string:
+			id += f + "=" + v + ","
+		case float64:
+			id += fmt.Sprintf("%s=%s,", f, num(v))
+		}
+	}
+	// "phase" alone is not unique, but combined with policy it is.
+	if s, ok := m["phase"].(string); ok {
+		id += "phase=" + s + ","
+	}
+	if id == "" {
+		return ""
+	}
+	return id[:len(id)-1]
+}
+
+func num(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+func delta(o, n float64) string {
+	if o == n {
+		return "="
+	}
+	if o == 0 {
+		return "+inf%"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(n-o)/o)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+	os.Exit(1)
+}

@@ -38,14 +38,35 @@ type e12JSON struct {
 }
 
 type e13JSON struct {
-	Workers    int     `json:"workers"`
-	Clients    int     `json:"clients"`
-	Txns       int     `json:"txns"`
-	EffConc    float64 `json:"eff_conc"`
-	LatchWaits uint64  `json:"latch_waits"`
-	ModeledMs  float64 `json:"modeled_ms"`
-	TPS        float64 `json:"tps"`
-	Speedup    float64 `json:"speedup"`
+	Workers         int     `json:"workers"`
+	Clients         int     `json:"clients"`
+	Txns            int     `json:"txns"`
+	EffConc         float64 `json:"eff_conc"`
+	LatchWaits      uint64  `json:"latch_waits"`
+	ModeledMs       float64 `json:"modeled_ms"`
+	TPS             float64 `json:"tps"`
+	Speedup         float64 `json:"speedup"`
+	CacheHitRate    float64 `json:"cache_hit_rate"`
+	CacheWALStalls  uint64  `json:"cache_wal_stalls"`
+	CacheShardWaits uint64  `json:"cache_shard_waits"`
+}
+
+type e15JSON struct {
+	Policy       string  `json:"policy"`
+	Phase        string  `json:"phase"`
+	Txns         int     `json:"txns"`
+	Scans        int     `json:"scans"`
+	KeyedHitRate float64 `json:"keyed_hit_rate"`
+	KeyedMisses  uint64  `json:"keyed_misses"`
+	WALStalls    uint64  `json:"wal_stalls"`
+	TPS          float64 `json:"tps"`
+	RelTPS       float64 `json:"rel_tps"`
+}
+
+type e15ShardJSON struct {
+	Shards            int     `json:"shards"`
+	Acquires          uint64  `json:"acquires"`
+	ExpectedWaitsPerM float64 `json:"expected_waits_per_m"`
 }
 
 type report struct {
@@ -56,9 +77,11 @@ type report struct {
 		Txns       int `json:"txns"`
 		TxnsPerCli int `json:"txns_per_cli"`
 	} `json:"sizes"`
-	E7  []e7JSON  `json:"e7_debitcredit"`
-	E12 []e12JSON `json:"e12_parallel_scan"`
-	E13 []e13JSON `json:"e13_intra_dp_concurrency"`
+	E7       []e7JSON       `json:"e7_debitcredit"`
+	E12      []e12JSON      `json:"e12_parallel_scan"`
+	E13      []e13JSON      `json:"e13_intra_dp_concurrency"`
+	E15      []e15JSON      `json:"e15_scan_resistant_cache"`
+	E15Sweep []e15ShardJSON `json:"e15_shard_sweep"`
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
@@ -112,6 +135,31 @@ func main() {
 			Workers: x.Workers, Clients: x.Clients, Txns: x.Txns,
 			EffConc: x.EffConc, LatchWaits: x.LatchWaits,
 			ModeledMs: ms(x.Modeled), TPS: x.TPS, Speedup: x.Speedup,
+			CacheHitRate:    x.CacheHitRate,
+			CacheWALStalls:  x.CacheWALStalls,
+			CacheShardWaits: x.CacheShardWaits,
+		})
+	}
+
+	e15, sweep, _, err := experiments.E15(sizes.TxnsPerCli)
+	if err != nil {
+		fail("E15", err)
+	}
+	for _, x := range e15 {
+		policy := "scan-resistant"
+		if x.PlainLRU {
+			policy = "plain-lru"
+		}
+		r.E15 = append(r.E15, e15JSON{
+			Policy: policy, Phase: x.Phase, Txns: x.Txns, Scans: x.Scans,
+			KeyedHitRate: x.KeyedHitRate, KeyedMisses: x.KeyedMisses,
+			WALStalls: x.WALStalls, TPS: x.TPS, RelTPS: x.RelTPS,
+		})
+	}
+	for _, x := range sweep {
+		r.E15Sweep = append(r.E15Sweep, e15ShardJSON{
+			Shards: x.Shards, Acquires: x.Acquires,
+			ExpectedWaitsPerM: x.ExpectedWaitsPerM,
 		})
 	}
 

@@ -215,11 +215,20 @@ func childIndex(cells []cell, k []byte) int {
 
 // page access helpers --------------------------------------------------
 
-// readBlock pins bn, decodes it, and unpins. The caller must hold bn's
-// latch; the decoded cells are copies, so they stay valid after both
-// the pin and the latch are gone.
+// readBlock pins bn with Keyed intent, decodes it, and unpins. The
+// caller must hold bn's latch; the decoded cells are copies, so they
+// stay valid after both the pin and the latch are gone.
 func (t *Tree) readBlock(bn disk.BlockNum) (typ, level byte, next disk.BlockNum, cells []cell, err error) {
-	pg, err := t.pool.Get(bn)
+	return t.readBlockClass(bn, cache.Keyed)
+}
+
+// readBlockClass is readBlock with an explicit cache access class:
+// leaf-level scan reads pass Sequential so a long scan recycles through
+// the pool's probation segment instead of flooding the keyed hot set.
+// Interior pages are always read Keyed by their callers — they are the
+// hot set.
+func (t *Tree) readBlockClass(bn disk.BlockNum, class cache.AccessClass) (typ, level byte, next disk.BlockNum, cells []cell, err error) {
+	pg, err := t.pool.GetClass(bn, class)
 	if err != nil {
 		return 0, 0, 0, nil, err
 	}
@@ -229,10 +238,16 @@ func (t *Tree) readBlock(bn disk.BlockNum) (typ, level byte, next disk.BlockNum,
 	return typ, level, next, cells, nil
 }
 
-// storePage rewrites bn. The caller must hold bn's latch exclusively
-// (or otherwise guarantee the page is unreachable).
+// storePage rewrites bn with Keyed intent. The caller must hold bn's
+// latch exclusively (or otherwise guarantee the page is unreachable).
 func (t *Tree) storePage(bn disk.BlockNum, typ, level byte, next disk.BlockNum, cells []cell, lsn wal.LSN) error {
-	pg, err := t.pool.Get(bn)
+	return t.storePageClass(bn, typ, level, next, cells, lsn, cache.Keyed)
+}
+
+// storePageClass is storePage with an explicit access class; BulkLoad
+// writes its one-pass leaf stream Sequential.
+func (t *Tree) storePageClass(bn disk.BlockNum, typ, level byte, next disk.BlockNum, cells []cell, lsn wal.LSN, class cache.AccessClass) error {
+	pg, err := t.pool.GetClass(bn, class)
 	if err != nil {
 		return err
 	}

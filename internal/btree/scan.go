@@ -3,6 +3,7 @@ package btree
 import (
 	"fmt"
 
+	"nonstopsql/internal/cache"
 	"nonstopsql/internal/disk"
 	"nonstopsql/internal/keys"
 	"nonstopsql/internal/wal"
@@ -75,6 +76,15 @@ type ScanFunc func(key, val []byte) (bool, error)
 // two leaf latches at any instant, so a long range scan never blocks
 // writers elsewhere in the tree.
 func (t *Tree) Scan(r keys.Range, prefetch bool, fn ScanFunc) error {
+	return t.ScanClass(r, prefetch, cache.Keyed, fn)
+}
+
+// ScanClass is Scan with an explicit cache access class for the leaf
+// level. The Disk Process passes Sequential for full-subset scans (per
+// its Subset Control Block) so the leaf stream recycles through the
+// pool's probation segment; interior pages are still read Keyed — they
+// are the index hot set every access shares.
+func (t *Tree) ScanClass(r keys.Range, prefetch bool, class cache.AccessClass, fn ScanFunc) error {
 	t.lt.opEnter()
 	defer t.lt.opExit()
 	if prefetch {
@@ -82,14 +92,14 @@ func (t *Tree) Scan(r keys.Range, prefetch bool, fn ScanFunc) error {
 		if err != nil {
 			return err
 		}
-		t.pool.Prefetch(leaves)
+		t.pool.Prefetch(leaves, class)
 	}
-	pl, bn, err := t.leafShared(r.Low)
+	pl, bn, err := t.leafShared(r.Low, class)
 	if err != nil {
 		return err
 	}
 	for {
-		_, _, next, cells, err := t.readBlock(bn)
+		_, _, next, cells, err := t.readBlockClass(bn, class)
 		if err != nil {
 			pl.release()
 			return err
@@ -123,12 +133,17 @@ func (t *Tree) Scan(r keys.Range, prefetch bool, fn ScanFunc) error {
 }
 
 // leafShared crabs shared latches to the leaf covering key (nil = the
-// leftmost leaf) and returns it latched shared.
-func (t *Tree) leafShared(key []byte) (pageLatch, disk.BlockNum, error) {
+// leftmost leaf) and returns it latched shared. Interior pages are read
+// Keyed regardless of class; only the descent's final hop — reading the
+// leaf itself, reached from a level-1 parent — uses class, so each
+// re-drive of a sequential scan doesn't promote its first leaf into the
+// protected segment.
+func (t *Tree) leafShared(key []byte, class cache.AccessClass) (pageLatch, disk.BlockNum, error) {
 	pl := t.lt.acquire(t.root, false)
 	bn := t.root
+	cls := cache.Keyed
 	for {
-		typ, _, _, cells, err := t.readBlock(bn)
+		typ, level, _, cells, err := t.readBlockClass(bn, cls)
 		if err != nil {
 			pl.release()
 			return pageLatch{}, 0, err
@@ -145,6 +160,9 @@ func (t *Tree) leafShared(key []byte) (pageLatch, disk.BlockNum, error) {
 			child = childOf(cells[0])
 		} else {
 			child = childOf(cells[childIndex(cells, key)])
+		}
+		if level == 1 {
+			cls = class // next read is the leaf
 		}
 		cpl := t.lt.acquire(child, false)
 		pl.release()
@@ -220,7 +238,9 @@ func (t *Tree) BulkLoad(recs []KV, lsn wal.LSN) error {
 		if i+1 < len(leafCells) {
 			next = bn + 1
 		}
-		if err := t.storePage(bn, pageLeaf, 0, next, cs, lsn); err != nil {
+		// One-pass leaf stream: fill through the probation segment so a
+		// bulk load doesn't evict the keyed hot set.
+		if err := t.storePageClass(bn, pageLeaf, 0, next, cs, lsn, cache.Sequential); err != nil {
 			return err
 		}
 		var sep []byte

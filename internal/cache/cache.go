@@ -1,15 +1,19 @@
 // Package cache implements the Disk Process's cache management
-// component: an LRU buffer pool over one volume that obeys write-ahead-
-// log protocol, plus the two SQL-specific optimizations the paper builds
-// on the set-oriented interface — asynchronous pre-fetch of the blocks
-// covering a known key span, and asynchronous write-behind of strings of
-// dirty sequential blocks whose audit has already reached disk.
+// component: a sharded, access-class-aware buffer pool over one volume
+// that obeys write-ahead-log protocol, plus the SQL-specific
+// optimizations the paper builds on the set-oriented interface —
+// asynchronous pre-fetch of the blocks covering a known key span,
+// scan-resistant replacement driven by the access pattern the Subset
+// Control Block already knows, and autonomous write-behind of strings
+// of dirty sequential blocks whose audit has already reached disk.
 package cache
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"nonstopsql/internal/disk"
 	"nonstopsql/internal/fault"
@@ -30,35 +34,103 @@ type nopGate struct{}
 func (nopGate) FlushedLSN() wal.LSN { return ^wal.LSN(0) }
 func (nopGate) FlushTo(wal.LSN)     {}
 
+// AccessClass tells the pool what kind of access a fill or touch is
+// part of. The Disk Process derives it from the Subset Control Block:
+// full-subset scans and bulk loads are Sequential, keyed reads and
+// B-tree index levels are Keyed. Sequential fills recycle through the
+// probation segment so one large scan cannot flood the protected hot
+// set of a keyed workload sharing the volume.
+type AccessClass uint8
+
+const (
+	// Keyed is random, reuse-likely access: point reads, B-tree
+	// interior pages, update-in-place working sets.
+	Keyed AccessClass = iota
+	// Sequential is one-pass access: full-subset scans, bulk loads.
+	Sequential
+)
+
+func (c AccessClass) String() string {
+	if c == Sequential {
+		return "sequential"
+	}
+	return "keyed"
+}
+
+// PrefetchParallel bounds the number of goroutines (and hence
+// concurrent bulk reads) a pool uses to service pre-fetch runs.
+const PrefetchParallel = 4
+
 // Stats counts buffer pool activity.
 type Stats struct {
-	Hits              uint64
+	Hits              uint64 // KeyedHits + SeqHits
 	Misses            uint64 // demand single-block reads
+	KeyedHits         uint64
+	KeyedMisses       uint64
+	SeqHits           uint64
+	SeqMisses         uint64
 	Evictions         uint64
 	DirtyEvictions    uint64
+	Promotions        uint64 // probation pages promoted by a keyed touch
 	PrefetchOps       uint64 // bulk reads issued by pre-fetch
 	PrefetchedBlocks  uint64
+	PrefetchPeak      uint64 // max concurrent pre-fetch workers observed
 	WriteBehindOps    uint64 // bulk writes issued by write-behind
 	WriteBehindBlocks uint64
+	WriterPasses      uint64 // background-writer passes that did work
 	WALStalls         uint64 // flushes forced by the WAL gate
+	ShardAcquires     uint64 // shard-mutex acquisitions, contended or not
+	ShardWaits        uint64 // shard-mutex acquisitions that had to block
+	ShardWaitNanos    uint64 // total time those acquisitions spent blocked
+	Shards            int
 }
+
+// HitRate returns Hits/(Hits+Misses), or 0 with no traffic.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// counters is the pool-wide atomic stats block. Per-shard mutexes make
+// a single locked Stats struct a contention point of its own, so every
+// counter is independent.
+type counters struct {
+	keyedHits, keyedMisses            atomic.Uint64
+	seqHits, seqMisses                atomic.Uint64
+	evictions, dirtyEvictions         atomic.Uint64
+	promotions                        atomic.Uint64
+	prefetchOps, prefetchedBlocks     atomic.Uint64
+	writeBehindOps, writeBehindBlocks atomic.Uint64
+	writerPasses                      atomic.Uint64
+	walStalls                         atomic.Uint64
+}
+
+// Replacement segments. Protected holds the keyed hot set; probation is
+// the recycling ring sequential fills pass through.
+const (
+	segProt = iota
+	segProb
+)
 
 // A Page is a pinned cache buffer. Callers must Release it; Data stays
 // valid only while pinned.
 type Page struct {
-	pool  *Pool
+	sh    *shard
 	bn    disk.BlockNum
 	data  []byte
 	dirty bool
 	lsn   wal.LSN // page LSN: highest audit LSN applied to this page
 	pins  int
 	// writing marks an in-flight disk write of a snapshot of this page,
-	// taken with mu dropped so a flush of page A never stalls a hit on
-	// page B. While set the page must be neither evicted nor discarded:
-	// a re-read (or re-use of the block) could otherwise race the
-	// write landing on disk.
+	// taken with the shard mutex dropped so a flush of page A never
+	// stalls a hit on page B. While set the page must be neither evicted
+	// nor discarded: a re-read (or re-use of the block) could otherwise
+	// race the write landing on disk.
 	writing bool
-	// LRU bookkeeping
+	seg     uint8 // segProt or segProb
+	// LRU bookkeeping within the segment list
 	prev, next *Page
 }
 
@@ -71,8 +143,8 @@ func (p *Page) BlockNum() disk.BlockNum { return p.bn }
 // MarkDirty records a modification protected by the audit record at lsn.
 // The page cannot be written to disk until that audit is durable.
 func (p *Page) MarkDirty(lsn wal.LSN) {
-	p.pool.mu.Lock()
-	defer p.pool.mu.Unlock()
+	p.sh.lock()
+	defer p.sh.mu.Unlock()
 	p.dirty = true
 	if lsn > p.lsn {
 		p.lsn = lsn
@@ -81,13 +153,76 @@ func (p *Page) MarkDirty(lsn wal.LSN) {
 
 // Release unpins the page.
 func (p *Page) Release() {
-	p.pool.mu.Lock()
-	defer p.pool.mu.Unlock()
+	p.sh.lock()
+	defer p.sh.mu.Unlock()
 	if p.pins <= 0 {
 		panic("cache: release of unpinned page")
 	}
 	p.pins--
-	p.pool.cond.Broadcast()
+	p.sh.cond.Broadcast()
+}
+
+// lruList is one intrusive LRU list: head = most recent, tail = least.
+type lruList struct {
+	head, tail *Page
+}
+
+func (l *lruList) remove(pg *Page) {
+	if pg.prev != nil {
+		pg.prev.next = pg.next
+	} else if l.head == pg {
+		l.head = pg.next
+	}
+	if pg.next != nil {
+		pg.next.prev = pg.prev
+	} else if l.tail == pg {
+		l.tail = pg.prev
+	}
+	pg.prev, pg.next = nil, nil
+}
+
+func (l *lruList) pushFront(pg *Page) {
+	pg.prev, pg.next = nil, l.head
+	if l.head != nil {
+		l.head.prev = pg
+	}
+	l.head = pg
+	if l.tail == nil {
+		l.tail = pg
+	}
+}
+
+// shard is one slice of the page table: its own mutex, its own LRU
+// segments, its own in-flight read table. Blocks map to shards by
+// bn & mask, so a contiguous scan string spreads across every shard and
+// no single mutex serializes the volume.
+type shard struct {
+	pool     *Pool
+	capacity int
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	acquires  atomic.Uint64 // every lock acquisition (the arrival rate)
+	waits     atomic.Uint64 // lock acquisitions that found the mutex held
+	waitNanos atomic.Uint64 // total time blocked in those acquisitions
+	pages     map[disk.BlockNum]*Page
+	inflight map[disk.BlockNum]chan struct{}
+	prot     lruList // protected: keyed hot set
+	prob     lruList // probation: sequential recycling ring
+}
+
+// lock acquires the shard mutex, counting contended acquisitions and
+// the time they spend blocked. The clock reads cost nothing on the
+// fast path: they happen only after TryLock has already failed.
+func (s *shard) lock() {
+	s.acquires.Add(1)
+	if s.mu.TryLock() {
+		return
+	}
+	s.waits.Add(1)
+	t0 := time.Now()
+	s.mu.Lock()
+	s.waitNanos.Add(uint64(time.Since(t0)))
 }
 
 // A Pool is the buffer pool for one volume.
@@ -95,184 +230,285 @@ type Pool struct {
 	vol      *disk.Volume
 	gate     WALGate
 	capacity int
+	plainLRU bool
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	pages    map[disk.BlockNum]*Page
-	inflight map[disk.BlockNum]chan struct{}
-	// LRU list: head = most recent, tail = least recent.
-	head, tail *Page
-	stats      Stats
+	shards    []*shard
+	shardMask disk.BlockNum
+
+	stats      counters
 	prefetchWG sync.WaitGroup
+	// prefetchActive/Peak track concurrent pre-fetch workers so tests
+	// can assert the fan-out bound.
+	prefetchActive atomic.Int64
+	prefetchPeak   atomic.Int64
+
+	writerMu sync.Mutex
+	writer   *writerState
+}
+
+// Options tunes pool construction beyond the required parameters.
+type Options struct {
+	// Shards is the number of page-table shards; 0 picks a default from
+	// the capacity (1 below 256 slots, then capacity/128 up to 16).
+	// Rounded down to a power of two and clamped so each shard holds at
+	// least 2 pages.
+	Shards int
+	// PlainLRU disables scan-resistant replacement: every fill and
+	// touch goes to the protected list's front, reproducing the single
+	// global LRU. Used by the E15 ablation.
+	PlainLRU bool
 }
 
 // NewPool creates a buffer pool of the given page capacity over vol.
 // gate may be nil for non-transactional use.
 func NewPool(vol *disk.Volume, capacity int, gate WALGate) *Pool {
+	return NewPoolOpts(vol, capacity, gate, Options{})
+}
+
+// NewPoolOpts creates a buffer pool with explicit Options.
+func NewPoolOpts(vol *disk.Volume, capacity int, gate WALGate, opts Options) *Pool {
 	if capacity < 2 {
 		capacity = 2
 	}
 	if gate == nil {
 		gate = nopGate{}
 	}
-	p := &Pool{
-		vol: vol, gate: gate, capacity: capacity,
-		pages:    make(map[disk.BlockNum]*Page),
-		inflight: make(map[disk.BlockNum]chan struct{}),
+	ns := opts.Shards
+	if ns <= 0 {
+		ns = defaultShards(capacity)
 	}
-	p.cond = sync.NewCond(&p.mu)
+	for ns > capacity/2 {
+		ns /= 2
+	}
+	if ns < 1 {
+		ns = 1
+	}
+	// Round down to a power of two so bn & mask indexes the table.
+	pow := 1
+	for pow*2 <= ns {
+		pow *= 2
+	}
+	ns = pow
+
+	p := &Pool{
+		vol: vol, gate: gate, capacity: capacity, plainLRU: opts.PlainLRU,
+		shards:    make([]*shard, ns),
+		shardMask: disk.BlockNum(ns - 1),
+	}
+	base, rem := capacity/ns, capacity%ns
+	for i := range p.shards {
+		cap := base
+		if i < rem {
+			cap++
+		}
+		s := &shard{
+			pool: p, capacity: cap,
+			pages:    make(map[disk.BlockNum]*Page),
+			inflight: make(map[disk.BlockNum]chan struct{}),
+		}
+		s.cond = sync.NewCond(&s.mu)
+		p.shards[i] = s
+	}
 	return p
 }
 
-// lru helpers (callers hold mu).
-
-func (p *Pool) lruRemove(pg *Page) {
-	if pg.prev != nil {
-		pg.prev.next = pg.next
-	} else if p.head == pg {
-		p.head = pg.next
+// defaultShards picks a shard count for a capacity: small pools (unit
+// tests, tiny configs) keep exact global LRU order with one shard;
+// production-sized pools get capacity/128 shards up to 16.
+func defaultShards(capacity int) int {
+	if capacity < 256 {
+		return 1
 	}
-	if pg.next != nil {
-		pg.next.prev = pg.prev
-	} else if p.tail == pg {
-		p.tail = pg.prev
+	n := capacity / 128
+	if n > 16 {
+		n = 16
 	}
-	pg.prev, pg.next = nil, nil
+	return n
 }
 
-func (p *Pool) lruPushFront(pg *Page) {
-	pg.prev, pg.next = nil, p.head
-	if p.head != nil {
-		p.head.prev = pg
+func (p *Pool) shardFor(bn disk.BlockNum) *shard {
+	return p.shards[bn&p.shardMask]
+}
+
+// touchLocked records a hit on pg under its shard lock. A keyed touch
+// of a probation page promotes it to the protected segment — the block
+// demonstrated reuse. A sequential touch never promotes: the scan will
+// not come back.
+func (s *shard) touchLocked(pg *Page, class AccessClass) {
+	if s.pool.plainLRU {
+		s.prot.remove(pg)
+		s.prot.pushFront(pg)
+		return
 	}
-	p.head = pg
-	if p.tail == nil {
-		p.tail = pg
+	switch {
+	case pg.seg == segProt:
+		s.prot.remove(pg)
+		s.prot.pushFront(pg)
+	case class == Keyed:
+		s.prob.remove(pg)
+		pg.seg = segProt
+		s.prot.pushFront(pg)
+		s.pool.stats.promotions.Add(1)
+	default:
+		s.prob.remove(pg)
+		s.prob.pushFront(pg)
 	}
 }
 
-func (p *Pool) touch(pg *Page) {
-	p.lruRemove(pg)
-	p.lruPushFront(pg)
+func (s *shard) listFor(pg *Page) *lruList {
+	if pg.seg == segProb {
+		return &s.prob
+	}
+	return &s.prot
 }
 
-// Get pins the page for block bn, reading it from disk on a miss. The
-// miss I/O runs with mu dropped and is de-duplicated per slot through
-// the inflight table, so a miss on one block stalls only other readers
-// of that same block — hits and misses elsewhere proceed concurrently.
+// Get pins the page for block bn with Keyed intent, reading it from
+// disk on a miss.
 func (p *Pool) Get(bn disk.BlockNum) (*Page, error) {
-	p.mu.Lock()
+	return p.GetClass(bn, Keyed)
+}
+
+// GetClass pins the page for block bn, reading it from disk on a miss.
+// The miss I/O runs with the shard mutex dropped and is de-duplicated
+// per slot through the in-flight table, so a miss on one block stalls
+// only other readers of that same block — hits and misses elsewhere
+// proceed concurrently.
+func (p *Pool) GetClass(bn disk.BlockNum, class AccessClass) (*Page, error) {
+	s := p.shardFor(bn)
+	s.lock()
 	for {
-		if pg, ok := p.pages[bn]; ok {
+		if pg, ok := s.pages[bn]; ok {
 			pg.pins++
-			p.touch(pg)
-			p.stats.Hits++
-			p.mu.Unlock()
+			s.touchLocked(pg, class)
+			if class == Sequential {
+				p.stats.seqHits.Add(1)
+			} else {
+				p.stats.keyedHits.Add(1)
+			}
+			s.mu.Unlock()
 			return pg, nil
 		}
-		ch, loading := p.inflight[bn]
+		ch, loading := s.inflight[bn]
 		if !loading {
 			break
 		}
-		p.mu.Unlock()
+		s.mu.Unlock()
 		<-ch
-		p.mu.Lock()
+		s.lock()
 	}
 	// Demand read (miss).
 	ch := make(chan struct{})
-	p.inflight[bn] = ch
-	p.stats.Misses++
-	p.mu.Unlock()
+	s.inflight[bn] = ch
+	if class == Sequential {
+		p.stats.seqMisses.Add(1)
+	} else {
+		p.stats.keyedMisses.Add(1)
+	}
+	s.mu.Unlock()
 
 	buf := make([]byte, disk.BlockSize)
 	err := p.vol.Read(bn, buf)
 
-	p.mu.Lock()
-	delete(p.inflight, bn)
+	s.lock()
+	delete(s.inflight, bn)
 	close(ch)
 	if err != nil {
-		p.mu.Unlock()
+		s.mu.Unlock()
 		return nil, err
 	}
-	pg, err := p.installLocked(bn, buf, true)
-	p.mu.Unlock()
+	pg, err := s.installLocked(bn, buf, true, class)
+	s.mu.Unlock()
 	return pg, err
 }
 
 // installLocked inserts a freshly read block, evicting if needed. When
-// pin is true the returned page is pinned.
-func (p *Pool) installLocked(bn disk.BlockNum, data []byte, pin bool) (*Page, error) {
-	if pg, ok := p.pages[bn]; ok {
+// pin is true the returned page is pinned. Keyed fills enter the
+// protected segment; Sequential fills enter probation, where they are
+// first in line for eviction unless a keyed touch rescues them.
+func (s *shard) installLocked(bn disk.BlockNum, data []byte, pin bool, class AccessClass) (*Page, error) {
+	if pg, ok := s.pages[bn]; ok {
 		// Raced with another loader; keep the existing page.
 		if pin {
 			pg.pins++
-			p.touch(pg)
+			s.touchLocked(pg, class)
 		}
 		return pg, nil
 	}
-	if err := p.makeRoomLocked(1); err != nil {
+	if err := s.makeRoomLocked(1); err != nil {
 		return nil, err
 	}
-	pg := &Page{pool: p, bn: bn, data: data}
+	pg := &Page{sh: s, bn: bn, data: data}
 	if pin {
 		pg.pins = 1
 	}
-	p.pages[bn] = pg
-	p.lruPushFront(pg)
+	s.pages[bn] = pg
+	if !s.pool.plainLRU && class == Sequential {
+		pg.seg = segProb
+		s.prob.pushFront(pg)
+	} else {
+		pg.seg = segProt
+		s.prot.pushFront(pg)
+	}
 	return pg, nil
 }
 
-// makeRoomLocked evicts LRU unpinned pages until n slots are free,
-// waiting if everything is pinned or mid-write. Clean pages are stolen
-// first; a dirty victim is cleaned under the WAL gate (with mu dropped
-// for the I/O) and the search restarts, since the world may have moved
-// while the write was in flight.
-func (p *Pool) makeRoomLocked(n int) error {
-	for len(p.pages)+n > p.capacity {
+// makeRoomLocked evicts unpinned pages until n slots are free in this
+// shard, waiting if everything is pinned or mid-write. Victim order:
+// clean probation, clean protected, then a dirty victim (probation
+// first) cleaned under the WAL gate with the shard mutex dropped for
+// the I/O, after which the search restarts, since the world may have
+// moved while the write was in flight.
+func (s *shard) makeRoomLocked(n int) error {
+	for len(s.pages)+n > s.capacity {
 		var clean, dirtyVictim *Page
-		for v := p.tail; v != nil; v = v.prev {
-			if v.pins > 0 || v.writing {
-				continue
+		for _, l := range [2]*lruList{&s.prob, &s.prot} {
+			for v := l.tail; v != nil; v = v.prev {
+				if v.pins > 0 || v.writing {
+					continue
+				}
+				if !v.dirty {
+					clean = v
+					break
+				}
+				if dirtyVictim == nil {
+					dirtyVictim = v
+				}
 			}
-			if !v.dirty {
-				clean = v
+			if clean != nil {
 				break
-			}
-			if dirtyVictim == nil {
-				dirtyVictim = v
 			}
 		}
 		if clean != nil {
-			p.lruRemove(clean)
-			delete(p.pages, clean.bn)
-			p.stats.Evictions++
+			s.listFor(clean).remove(clean)
+			delete(s.pages, clean.bn)
+			s.pool.stats.evictions.Add(1)
 			continue
 		}
 		if dirtyVictim == nil {
 			// Everything pinned or being written: wait for a release or
 			// a write completion.
-			p.cond.Wait()
+			s.cond.Wait()
 			continue
 		}
-		if err := p.cleanPageLocked(dirtyVictim); err != nil {
+		if err := s.cleanPageLocked(dirtyVictim); err != nil {
 			return err
 		}
-		p.stats.DirtyEvictions++
+		s.pool.stats.dirtyEvictions.Add(1)
 		// Re-scan: the victim may have been re-pinned or re-dirtied
-		// while mu was dropped for the write.
+		// while the mutex was dropped for the write.
 	}
 	return nil
 }
 
 // cleanPageLocked writes one dirty page to disk under the WAL gate.
-// Called and returning with mu held, but the trail flush and the disk
-// write run with mu DROPPED against a snapshot of the buffer — a miss
-// or hit on any other page proceeds meanwhile. The page is marked clean
-// up front; a concurrent MarkDirty simply re-dirties it with a newer
-// LSN and it gets written again later.
-func (p *Pool) cleanPageLocked(pg *Page) error {
+// Called and returning with the shard mutex held, but the trail flush
+// and the disk write run with it DROPPED against a snapshot of the
+// buffer — a miss or hit on any other page proceeds meanwhile. The page
+// is marked clean up front; a concurrent MarkDirty simply re-dirties it
+// with a newer LSN and it gets written again later.
+func (s *shard) cleanPageLocked(pg *Page) error {
 	for pg.writing {
-		p.cond.Wait()
+		s.cond.Wait()
 	}
 	if !pg.dirty {
 		return nil // another cleaner got here first
@@ -281,19 +517,19 @@ func (p *Pool) cleanPageLocked(pg *Page) error {
 	pg.dirty = false
 	lsn := pg.lsn
 	buf := append([]byte(nil), pg.data...)
-	stall := lsn > p.gate.FlushedLSN()
+	stall := lsn > s.pool.gate.FlushedLSN()
 	if stall {
-		p.stats.WALStalls++
+		s.pool.stats.walStalls.Add(1)
 	}
-	p.mu.Unlock()
+	s.mu.Unlock()
 	fault.Inject(fault.CacheCleanBeforeWrite)
 	if stall {
-		p.gate.FlushTo(lsn)
+		s.pool.gate.FlushTo(lsn)
 	}
-	err := p.vol.Write(pg.bn, buf)
-	p.mu.Lock()
+	err := s.pool.vol.Write(pg.bn, buf)
+	s.lock()
 	pg.writing = false
-	p.cond.Broadcast()
+	s.cond.Broadcast()
 	if err != nil {
 		pg.dirty = true
 		return err
@@ -302,26 +538,82 @@ func (p *Pool) cleanPageLocked(pg *Page) error {
 }
 
 // Prefetch asynchronously loads the given blocks, grouping physically
-// contiguous ascending runs into bulk reads of up to disk.MaxBulkBlocks.
-// This is the paper's asynchronous pre-fetch: the caller continues
-// CPU-bound processing while the reads proceed.
-func (p *Pool) Prefetch(bns []disk.BlockNum) {
+// contiguous ascending runs into bulk reads of up to disk.MaxBulkBlocks
+// and servicing them with at most PrefetchParallel worker goroutines —
+// a POOL-WIDE budget, not per call. Prefetch is advisory: when every
+// worker slot is already busy, the request is dropped rather than
+// queued, so a scan-heavy workload cannot pile up an unbounded
+// goroutine backlog (demand Gets still fetch every block actually
+// touched). This is the paper's asynchronous pre-fetch: the caller
+// continues CPU-bound processing while the reads proceed.
+func (p *Pool) Prefetch(bns []disk.BlockNum, class AccessClass) {
+	want := len(bns)
+	if want > PrefetchParallel {
+		want = PrefetchParallel
+	}
+	nw := p.reservePrefetch(want)
+	if nw == 0 {
+		return
+	}
+	// Reserve before planRuns: planning registers in-flight entries
+	// that MUST be consumed by a worker, or demand Gets would wait on
+	// them forever.
 	runs := p.planRuns(bns)
+	if len(runs) < nw {
+		p.prefetchActive.Add(int64(len(runs) - nw))
+		nw = len(runs)
+	}
+	if nw == 0 {
+		return
+	}
+	work := make(chan run, len(runs))
 	for _, r := range runs {
-		r := r
+		work <- r
+	}
+	close(work)
+	for i := 0; i < nw; i++ {
 		p.prefetchWG.Add(1)
 		go func() {
 			defer p.prefetchWG.Done()
-			p.loadRun(r)
+			defer p.prefetchActive.Add(-1)
+			for r := range work {
+				p.loadRun(r, class)
+			}
 		}()
 	}
 }
 
+// reservePrefetch atomically claims up to want worker slots from the
+// global budget of PrefetchParallel, returning how many it got (0 =
+// saturated) and raising the fan-out high-water mark.
+func (p *Pool) reservePrefetch(want int) int {
+	for {
+		cur := p.prefetchActive.Load()
+		free := int64(PrefetchParallel) - cur
+		if free <= 0 {
+			return 0
+		}
+		n := int64(want)
+		if n > free {
+			n = free
+		}
+		if !p.prefetchActive.CompareAndSwap(cur, cur+n) {
+			continue
+		}
+		for {
+			old := p.prefetchPeak.Load()
+			if cur+n <= old || p.prefetchPeak.CompareAndSwap(old, cur+n) {
+				return int(n)
+			}
+		}
+	}
+}
+
 // LoadRun synchronously loads the given blocks with bulk reads. Used
-// when pre-fetch is disabled, and by Prefetch's goroutines.
-func (p *Pool) LoadRun(bns []disk.BlockNum) {
+// when pre-fetch is disabled, and by Prefetch's workers.
+func (p *Pool) LoadRun(bns []disk.BlockNum, class AccessClass) {
 	for _, r := range p.planRuns(bns) {
-		p.loadRun(r)
+		p.loadRun(r, class)
 	}
 }
 
@@ -332,24 +624,23 @@ type run struct {
 
 // planRuns filters out already-cached / in-flight blocks and groups the
 // remainder into contiguous runs capped at the bulk I/O limit. It also
-// registers the chosen blocks as in-flight so demand Gets wait rather
-// than double-read.
+// registers the chosen blocks as in-flight in their shards so demand
+// Gets wait rather than double-read.
 func (p *Pool) planRuns(bns []disk.BlockNum) []run {
 	sorted := append([]disk.BlockNum(nil), bns...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	var need []disk.BlockNum
 	for _, bn := range sorted {
-		if _, ok := p.pages[bn]; ok {
-			continue
+		s := p.shardFor(bn)
+		s.lock()
+		_, cached := s.pages[bn]
+		_, loading := s.inflight[bn]
+		if !cached && !loading {
+			s.inflight[bn] = make(chan struct{})
+			need = append(need, bn)
 		}
-		if _, ok := p.inflight[bn]; ok {
-			continue
-		}
-		p.inflight[bn] = make(chan struct{})
-		need = append(need, bn)
+		s.mu.Unlock()
 	}
 	var runs []run
 	for i := 0; i < len(need); {
@@ -363,30 +654,34 @@ func (p *Pool) planRuns(bns []disk.BlockNum) []run {
 	return runs
 }
 
-// loadRun performs the bulk read for one planned run and installs pages.
-func (p *Pool) loadRun(r run) {
+// loadRun performs the bulk read for one planned run and installs
+// pages. A run that read successfully counts as a pre-fetch op even if
+// some installs fail (pool saturated with pinned pages): the I/O
+// happened and most of its blocks landed.
+func (p *Pool) loadRun(r run, class AccessClass) {
 	blocks, err := p.vol.ReadBulk(r.start, r.n)
+	readOK := err == nil
 
-	p.mu.Lock()
 	for i := 0; i < r.n; i++ {
 		bn := r.start + disk.BlockNum(i)
-		if ch, ok := p.inflight[bn]; ok {
-			delete(p.inflight, bn)
+		s := p.shardFor(bn)
+		s.lock()
+		if ch, ok := s.inflight[bn]; ok {
+			delete(s.inflight, bn)
 			close(ch)
 		}
-		if err != nil {
-			continue
+		if err == nil {
+			p.stats.prefetchedBlocks.Add(1)
+			if _, ierr := s.installLocked(bn, blocks[i], false, class); ierr != nil {
+				// Shard saturated with pinned pages: drop the rest.
+				err = ierr
+			}
 		}
-		p.stats.PrefetchedBlocks++
-		if _, ierr := p.installLocked(bn, blocks[i], false); ierr != nil {
-			// Pool saturated with pinned pages: drop the rest.
-			err = ierr
-		}
+		s.mu.Unlock()
 	}
-	if err == nil {
-		p.stats.PrefetchOps++
+	if readOK {
+		p.stats.prefetchOps.Add(1)
 	}
-	p.mu.Unlock()
 }
 
 // WaitPrefetch blocks until outstanding pre-fetch I/O completes.
@@ -395,42 +690,49 @@ func (p *Pool) WaitPrefetch() { p.prefetchWG.Wait() }
 // WriteBehind writes out strings of contiguous dirty blocks that have
 // "aged" — their audit is already durable — using the minimal number of
 // bulk I/Os, and marks them clean. It returns the number of blocks
-// written. The Disk Process calls this during idle time between
-// requests, guided by its Subset Control Block.
+// written. It never forces an audit flush: unaged pages simply wait.
+// The Disk Process's background writer calls this, driven by commit
+// nudges and the dirty ratio.
 func (p *Pool) WriteBehind() (int, error) {
-	p.mu.Lock()
+	type agedPage struct {
+		pg  *Page
+		buf []byte
+	}
 	durable := p.gate.FlushedLSN()
-	var aged []*Page
-	for _, pg := range p.pages {
-		if pg.dirty && !pg.writing && pg.lsn <= durable && pg.pins == 0 {
-			aged = append(aged, pg)
+	var aged []agedPage
+	for _, s := range p.shards {
+		s.lock()
+		for _, pg := range s.pages {
+			if pg.dirty && !pg.writing && pg.lsn <= durable && pg.pins == 0 {
+				// Claim the page and snapshot its buffer under the shard
+				// mutex; the bulk writes run with every mutex dropped so
+				// the I/O never blocks hits or misses on other pages.
+				// Pages re-dirtied during the write keep their dirty bit
+				// (set by MarkDirty) and age again later.
+				pg.writing = true
+				pg.dirty = false
+				aged = append(aged, agedPage{pg, append([]byte(nil), pg.data...)})
+			}
 		}
+		s.mu.Unlock()
 	}
-	sort.Slice(aged, func(i, j int) bool { return aged[i].bn < aged[j].bn })
-
-	// Claim the pages and snapshot their buffers under mu, then issue
-	// the bulk writes with mu dropped so the I/O never blocks hits or
-	// misses on other pages. Pages re-dirtied during the write keep
-	// their dirty bit (set by MarkDirty) and age again later.
-	bufs := make([][]byte, len(aged))
-	for i, pg := range aged {
-		pg.writing = true
-		pg.dirty = false
-		bufs[i] = append([]byte(nil), pg.data...)
-	}
-	p.mu.Unlock()
+	sort.Slice(aged, func(i, j int) bool { return aged[i].pg.bn < aged[j].pg.bn })
 	fault.Inject(fault.CacheWriteBehind)
 
 	written, ops := 0, 0
 	var werr error
 	ok := make([]bool, len(aged))
+	bufs := make([][]byte, len(aged))
+	for i := range aged {
+		bufs[i] = aged[i].buf
+	}
 	for i := 0; i < len(aged); {
 		j := i + 1
-		for j < len(aged) && aged[j].bn == aged[j-1].bn+1 && j-i < disk.MaxBulkBlocks {
+		for j < len(aged) && aged[j].pg.bn == aged[j-1].pg.bn+1 && j-i < disk.MaxBulkBlocks {
 			j++
 		}
 		if werr == nil {
-			if err := p.vol.WriteBulk(aged[i].bn, bufs[i:j]); err != nil {
+			if err := p.vol.WriteBulk(aged[i].pg.bn, bufs[i:j]); err != nil {
 				werr = err
 			} else {
 				for k := i; k < j; k++ {
@@ -443,30 +745,41 @@ func (p *Pool) WriteBehind() (int, error) {
 		i = j
 	}
 
-	p.mu.Lock()
-	for i, pg := range aged {
-		pg.writing = false
+	for i, a := range aged {
+		s := a.pg.sh
+		s.lock()
+		a.pg.writing = false
 		if !ok[i] {
-			pg.dirty = true // failed or skipped: still needs writing
+			a.pg.dirty = true // failed or skipped: still needs writing
 		}
+		s.cond.Broadcast()
+		s.mu.Unlock()
 	}
-	p.stats.WriteBehindOps += uint64(ops)
-	p.stats.WriteBehindBlocks += uint64(written)
-	p.cond.Broadcast()
-	p.mu.Unlock()
+	p.stats.writeBehindOps.Add(uint64(ops))
+	p.stats.writeBehindBlocks.Add(uint64(written))
 	return written, werr
 }
 
 // FlushAll forces every dirty page to disk (WAL-gated). Used at clean
-// shutdown and by checkpoints, on a quiesced pool; it loops until no
-// page is dirty or mid-write, since each clean drops mu for its I/O.
+// shutdown and by checkpoints, on a quiesced pool; each shard loops
+// until none of its pages is dirty or mid-write, since each clean drops
+// the shard mutex for its I/O.
 func (p *Pool) FlushAll() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	for _, s := range p.shards {
+		if err := s.flushAll(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *shard) flushAll() error {
+	s.lock()
+	defer s.mu.Unlock()
 	for {
 		var dirty []*Page
 		busy := false
-		for _, pg := range p.pages {
+		for _, pg := range s.pages {
 			if pg.dirty {
 				dirty = append(dirty, pg)
 			} else if pg.writing {
@@ -477,12 +790,12 @@ func (p *Pool) FlushAll() error {
 			if !busy {
 				return nil
 			}
-			p.cond.Wait() // let in-flight writes land
+			s.cond.Wait() // let in-flight writes land
 			continue
 		}
 		sort.Slice(dirty, func(i, j int) bool { return dirty[i].bn < dirty[j].bn })
 		for _, pg := range dirty {
-			if err := p.cleanPageLocked(pg); err != nil {
+			if err := s.cleanPageLocked(pg); err != nil {
 				return err
 			}
 		}
@@ -493,10 +806,13 @@ func (p *Pool) FlushAll() error {
 // failed and its cache is gone. Dirty updates that never reached disk
 // must be reconstructed from the audit trail.
 func (p *Pool) Crash() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.pages = make(map[disk.BlockNum]*Page)
-	p.head, p.tail = nil, nil
+	for _, s := range p.shards {
+		s.lock()
+		s.pages = make(map[disk.BlockNum]*Page)
+		s.prot = lruList{}
+		s.prob = lruList{}
+		s.mu.Unlock()
+	}
 }
 
 // Discard drops the page for bn (dirty or not) without writing it. Used
@@ -505,10 +821,11 @@ func (p *Pool) Crash() {
 // the page is waited out first: its write landing after the discard
 // would resurrect dead bytes on disk.
 func (p *Pool) Discard(bn disk.BlockNum) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	s := p.shardFor(bn)
+	s.lock()
+	defer s.mu.Unlock()
 	for {
-		pg, ok := p.pages[bn]
+		pg, ok := s.pages[bn]
 		if !ok {
 			return
 		}
@@ -516,60 +833,264 @@ func (p *Pool) Discard(bn disk.BlockNum) {
 			panic("cache: discard of pinned page")
 		}
 		if pg.writing {
-			p.cond.Wait()
+			s.cond.Wait()
 			continue
 		}
-		p.lruRemove(pg)
-		delete(p.pages, bn)
+		s.listFor(pg).remove(pg)
+		delete(s.pages, bn)
 		return
 	}
 }
 
+// IsDirty reports whether bn is cached with unflushed (or mid-flush)
+// updates.
+func (p *Pool) IsDirty(bn disk.BlockNum) bool {
+	s := p.shardFor(bn)
+	s.lock()
+	defer s.mu.Unlock()
+	pg, ok := s.pages[bn]
+	return ok && (pg.dirty || pg.writing)
+}
+
 // DirtyCount returns the number of dirty pages (diagnostics).
 func (p *Pool) DirtyCount() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	n := 0
-	for _, pg := range p.pages {
-		if pg.dirty {
-			n++
+	for _, s := range p.shards {
+		s.lock()
+		for _, pg := range s.pages {
+			if pg.dirty {
+				n++
+			}
 		}
+		s.mu.Unlock()
 	}
 	return n
 }
 
 // Len returns the number of cached pages.
 func (p *Pool) Len() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.pages)
+	n := 0
+	for _, s := range p.shards {
+		s.lock()
+		n += len(s.pages)
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // Stats returns a snapshot of the counters.
 func (p *Pool) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	s := Stats{
+		KeyedHits:         p.stats.keyedHits.Load(),
+		KeyedMisses:       p.stats.keyedMisses.Load(),
+		SeqHits:           p.stats.seqHits.Load(),
+		SeqMisses:         p.stats.seqMisses.Load(),
+		Evictions:         p.stats.evictions.Load(),
+		DirtyEvictions:    p.stats.dirtyEvictions.Load(),
+		Promotions:        p.stats.promotions.Load(),
+		PrefetchOps:       p.stats.prefetchOps.Load(),
+		PrefetchedBlocks:  p.stats.prefetchedBlocks.Load(),
+		PrefetchPeak:      uint64(p.prefetchPeak.Load()),
+		WriteBehindOps:    p.stats.writeBehindOps.Load(),
+		WriteBehindBlocks: p.stats.writeBehindBlocks.Load(),
+		WriterPasses:      p.stats.writerPasses.Load(),
+		WALStalls:         p.stats.walStalls.Load(),
+		Shards:            len(p.shards),
+	}
+	s.Hits = s.KeyedHits + s.SeqHits
+	s.Misses = s.KeyedMisses + s.SeqMisses
+	for _, sh := range p.shards {
+		s.ShardAcquires += sh.acquires.Load()
+		s.ShardWaits += sh.waits.Load()
+		s.ShardWaitNanos += sh.waitNanos.Load()
+	}
+	return s
 }
 
-// ResetStats zeroes the counters.
+// ShardWaitList returns the per-shard contended-acquisition counts.
+func (p *Pool) ShardWaitList() []uint64 {
+	out := make([]uint64, len(p.shards))
+	for i, sh := range p.shards {
+		out[i] = sh.waits.Load()
+	}
+	return out
+}
+
+// ShardAcquireList returns the per-shard total acquisition counts: the
+// arrival distribution the bn&mask hash actually produced, from which
+// expected contention at a given shard count can be modeled.
+func (p *Pool) ShardAcquireList() []uint64 {
+	out := make([]uint64, len(p.shards))
+	for i, sh := range p.shards {
+		out[i] = sh.acquires.Load()
+	}
+	return out
+}
+
+// ResetStats zeroes the counters. Each is cleared atomically: the
+// background writer (and any in-flight request) may be bumping them
+// concurrently, so a plain struct overwrite would race.
 func (p *Pool) ResetStats() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.stats = Stats{}
+	c := &p.stats
+	c.keyedHits.Store(0)
+	c.keyedMisses.Store(0)
+	c.seqHits.Store(0)
+	c.seqMisses.Store(0)
+	c.evictions.Store(0)
+	c.dirtyEvictions.Store(0)
+	c.promotions.Store(0)
+	c.prefetchOps.Store(0)
+	c.prefetchedBlocks.Store(0)
+	c.writeBehindOps.Store(0)
+	c.writeBehindBlocks.Store(0)
+	c.writerPasses.Store(0)
+	c.walStalls.Store(0)
+	p.prefetchPeak.Store(p.prefetchActive.Load())
+	for _, sh := range p.shards {
+		sh.acquires.Store(0)
+		sh.waits.Store(0)
+		sh.waitNanos.Store(0)
+	}
 }
 
 // Contains reports whether bn is cached (diagnostics and tests).
 func (p *Pool) Contains(bn disk.BlockNum) bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	_, ok := p.pages[bn]
+	s := p.shardFor(bn)
+	s.lock()
+	defer s.mu.Unlock()
+	_, ok := s.pages[bn]
 	return ok
 }
 
 // String describes the pool.
 func (p *Pool) String() string {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return fmt.Sprintf("cache(%s: %d/%d pages)", p.vol.Name(), len(p.pages), p.capacity)
+	return fmt.Sprintf("cache(%s: %d/%d pages, %d shards)",
+		p.vol.Name(), p.Len(), p.capacity, len(p.shards))
+}
+
+// --- background writer ---
+
+// writerState is one running background-writer goroutine.
+type writerState struct {
+	stop  chan struct{}
+	done  chan struct{}
+	nudge chan struct{}
+}
+
+// DefaultWriterInterval is the background writer's fallback tick when
+// no commit nudges arrive.
+const DefaultWriterInterval = 5 * time.Millisecond
+
+// StartWriter launches the pool's background writer: an autonomous
+// goroutine that runs WriteBehind passes when the durable LSN has
+// advanced (a commit aged new pages) or the dirty ratio passes 1/8 of
+// capacity. interval <= 0 uses DefaultWriterInterval. Idempotent while
+// a writer is running.
+func (p *Pool) StartWriter(interval time.Duration) {
+	if interval <= 0 {
+		interval = DefaultWriterInterval
+	}
+	p.writerMu.Lock()
+	defer p.writerMu.Unlock()
+	if p.writer != nil {
+		return
+	}
+	w := &writerState{
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+		nudge: make(chan struct{}, 1),
+	}
+	p.writer = w
+	go p.writerLoop(w, interval)
+}
+
+// StopWriter stops the background writer and waits for its current
+// pass, if any, to finish. No-op when none is running.
+func (p *Pool) StopWriter() {
+	p.writerMu.Lock()
+	w := p.writer
+	p.writer = nil
+	p.writerMu.Unlock()
+	if w == nil {
+		return
+	}
+	close(w.stop)
+	<-w.done
+}
+
+// NudgeWriter tells the background writer that the durable LSN may have
+// advanced (e.g. a commit just landed). Non-blocking; nudges coalesce
+// while a pass is running. With no writer running it degrades to a
+// synchronous WriteBehind pass, preserving caller-timed behavior.
+func (p *Pool) NudgeWriter() {
+	p.writerMu.Lock()
+	w := p.writer
+	p.writerMu.Unlock()
+	if w == nil {
+		_, _ = p.WriteBehind()
+		return
+	}
+	select {
+	case w.nudge <- struct{}{}:
+	default:
+	}
+}
+
+// DrainWriter synchronously writes out every aged dirty page and waits
+// for in-flight write-behind I/O to land. Unlike FlushAll it never
+// forces the WAL gate and keeps bulk coalescing: unaged pages stay
+// dirty. Used before reading I/O stats and at DP close.
+func (p *Pool) DrainWriter() {
+	for {
+		n, err := p.WriteBehind()
+		if n == 0 || err != nil {
+			break
+		}
+	}
+	for _, s := range p.shards {
+		s.lock()
+		for {
+			busy := false
+			for _, pg := range s.pages {
+				if pg.writing {
+					busy = true
+					break
+				}
+			}
+			if !busy {
+				break
+			}
+			s.cond.Wait()
+		}
+		s.mu.Unlock()
+	}
+}
+
+// writerLoop is the background writer body: wake on a nudge or the
+// fallback tick, skip the pass unless a commit aged new pages (durable
+// LSN advanced) or dirty pages crossed 1/8 of capacity.
+func (p *Pool) writerLoop(w *writerState, interval time.Duration) {
+	defer close(w.done)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	lastDurable := p.gate.FlushedLSN()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-w.nudge:
+		case <-tick.C:
+		}
+		dirty := p.DirtyCount()
+		if dirty == 0 {
+			continue
+		}
+		durable := p.gate.FlushedLSN()
+		if durable == lastDurable && dirty*8 < p.capacity {
+			continue
+		}
+		lastDurable = durable
+		p.stats.writerPasses.Add(1)
+		_, _ = p.WriteBehind()
+	}
 }

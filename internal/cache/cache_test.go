@@ -236,7 +236,7 @@ func TestPrefetchUsesBulkIO(t *testing.T) {
 	for i := 0; i < 14; i++ {
 		bns = append(bns, start+disk.BlockNum(i))
 	}
-	p.Prefetch(bns)
+	p.Prefetch(bns, Sequential)
 	p.WaitPrefetch()
 	s := v.Stats()
 	// 14 contiguous blocks = 2 bulk reads of 7, not 14 singles.
@@ -267,7 +267,7 @@ func TestLoadRunSynchronous(t *testing.T) {
 	for i := 0; i < 7; i++ {
 		bns = append(bns, start+disk.BlockNum(i))
 	}
-	p.LoadRun(bns)
+	p.LoadRun(bns, Sequential)
 	if v.Stats().Reads != 1 {
 		t.Errorf("LoadRun issued %d reads, want 1 bulk", v.Stats().Reads)
 	}
@@ -283,7 +283,7 @@ func TestPrefetchSkipsCachedBlocks(t *testing.T) {
 	for i := 0; i < 7; i++ {
 		bns = append(bns, start+disk.BlockNum(i))
 	}
-	p.LoadRun(bns)
+	p.LoadRun(bns, Sequential)
 	s := v.Stats()
 	// Block 3 cached → runs are [0..2] and [4..6]: two bulk reads, 6 blocks.
 	if s.Reads != 2 || s.BlocksRead != 6 {
@@ -295,7 +295,7 @@ func TestPrefetchNonContiguous(t *testing.T) {
 	v, start := newVolWithBlocks(t, 10)
 	p := NewPool(v, 32, nil)
 	bns := []disk.BlockNum{start, start + 5, start + 6}
-	p.LoadRun(bns)
+	p.LoadRun(bns, Sequential)
 	s := v.Stats()
 	if s.Reads != 2 {
 		t.Errorf("want 2 runs, got %d reads", s.Reads)

@@ -1,0 +1,125 @@
+package cache
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"nonstopsql/internal/disk"
+	"nonstopsql/internal/wal"
+)
+
+// TestPoolProperty runs randomized concurrent Get / MarkDirty /
+// WriteBehind / Discard traffic against a single-threaded reference
+// model. Each owner goroutine works a disjoint block set, so it knows
+// exactly what value its blocks must hold: the last value it wrote.
+// The gate is nil (everything durable), so any page may be flushed or
+// evicted at any time — a read must still see the latest write whether
+// it comes from cache or disk. Run under -race this also exercises the
+// shard locking.
+func TestPoolProperty(t *testing.T) {
+	const (
+		owners    = 4
+		blocksPer = 64
+		iters     = 800
+	)
+	v := disk.NewVolume("$DATA", false)
+	start := v.AllocateRun(owners * blocksPer)
+	zero := make([]byte, disk.BlockSize)
+	for i := 0; i < owners*blocksPer; i++ {
+		if err := v.Write(start+disk.BlockNum(i), zero); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Capacity below the working set forces constant eviction traffic.
+	p := NewPoolOpts(v, 64, nil, Options{Shards: 4})
+
+	var wg, churnWG sync.WaitGroup
+	stop := make(chan struct{})
+	// Churner: concurrent write-behind passes race the owners.
+	churnWG.Add(1)
+	go func() {
+		defer churnWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := p.WriteBehind(); err != nil {
+				t.Errorf("write-behind: %v", err)
+				return
+			}
+		}
+	}()
+
+	// model[b] is the value owner o last wrote to its block b.
+	finals := make([][]uint64, owners)
+	for o := 0; o < owners; o++ {
+		o := o
+		finals[o] = make([]uint64, blocksPer)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(o) * 7919))
+			model := finals[o]
+			var lsn wal.LSN
+			for it := 0; it < iters; it++ {
+				b := rng.Intn(blocksPer)
+				bn := start + disk.BlockNum(o*blocksPer+b)
+				class := Keyed
+				if rng.Intn(2) == 0 {
+					class = Sequential
+				}
+				pg, err := p.GetClass(bn, class)
+				if err != nil {
+					t.Errorf("owner %d: get %d: %v", o, bn, err)
+					return
+				}
+				got := binary.LittleEndian.Uint64(pg.Data())
+				if got != model[b] {
+					t.Errorf("owner %d block %d: read %d, model %d", o, b, got, model[b])
+					pg.Release()
+					return
+				}
+				switch rng.Intn(3) {
+				case 0: // write
+					model[b]++
+					binary.LittleEndian.PutUint64(pg.Data(), model[b])
+					lsn++
+					pg.MarkDirty(lsn)
+					pg.Release()
+				case 1: // read only
+					pg.Release()
+				case 2: // maybe discard: only safe when nothing unflushed
+					pg.Release()
+					if !p.IsDirty(bn) {
+						p.Discard(bn)
+					}
+				}
+			}
+		}()
+	}
+	// Owners finish, then the churner stops.
+	wg.Wait()
+	close(stop)
+	churnWG.Wait()
+
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Disk must now hold every owner's final value.
+	buf := make([]byte, disk.BlockSize)
+	for o := 0; o < owners; o++ {
+		for b := 0; b < blocksPer; b++ {
+			bn := start + disk.BlockNum(o*blocksPer+b)
+			if err := v.Read(bn, buf); err != nil {
+				t.Fatal(err)
+			}
+			if got := binary.LittleEndian.Uint64(buf); got != finals[o][b] {
+				t.Errorf("owner %d block %d: disk %d, model %d", o, b, got, finals[o][b])
+			}
+		}
+	}
+}

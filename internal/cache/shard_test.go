@@ -1,0 +1,382 @@
+package cache
+
+import (
+	"testing"
+	"time"
+
+	"nonstopsql/internal/disk"
+	"nonstopsql/internal/wal"
+)
+
+func TestShardCountDefaults(t *testing.T) {
+	v, _ := newVolWithBlocks(t, 1)
+	cases := []struct {
+		capacity, want int
+	}{
+		{2, 1}, {8, 1}, {32, 1}, {255, 1},
+		{256, 2}, {1024, 8}, {2048, 16}, {4096, 16},
+	}
+	for _, c := range cases {
+		p := NewPool(v, c.capacity, nil)
+		if got := len(p.shards); got != c.want {
+			t.Errorf("capacity %d: %d shards, want %d", c.capacity, got, c.want)
+		}
+	}
+}
+
+func TestShardCountExplicit(t *testing.T) {
+	v, _ := newVolWithBlocks(t, 1)
+	// Rounded down to a power of two.
+	if p := NewPoolOpts(v, 1024, nil, Options{Shards: 6}); len(p.shards) != 4 {
+		t.Errorf("6 shards rounded to %d, want 4", len(p.shards))
+	}
+	// Clamped so each shard holds at least 2 pages.
+	if p := NewPoolOpts(v, 8, nil, Options{Shards: 16}); len(p.shards) != 4 {
+		t.Errorf("16 shards over capacity 8 gave %d, want 4", len(p.shards))
+	}
+	// Shard capacities sum to the pool capacity.
+	p := NewPoolOpts(v, 1000, nil, Options{Shards: 8})
+	sum := 0
+	for _, s := range p.shards {
+		sum += s.capacity
+	}
+	if sum != 1000 {
+		t.Errorf("shard capacities sum to %d, want 1000", sum)
+	}
+}
+
+func TestShardedPoolBasics(t *testing.T) {
+	v, start := newVolWithBlocks(t, 64)
+	p := NewPoolOpts(v, 32, nil, Options{Shards: 4})
+	// Fill past capacity; every shard must stay within its slice.
+	for i := 0; i < 64; i++ {
+		pg, err := p.Get(start + disk.BlockNum(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg.Release()
+	}
+	if p.Len() > 32 {
+		t.Errorf("pool over capacity: %d", p.Len())
+	}
+	for _, s := range p.shards {
+		s.mu.Lock()
+		if len(s.pages) > s.capacity {
+			t.Errorf("shard over capacity: %d > %d", len(s.pages), s.capacity)
+		}
+		s.mu.Unlock()
+	}
+	if got := p.Stats().Shards; got != 4 {
+		t.Errorf("Stats.Shards = %d", got)
+	}
+	if got := len(p.ShardWaitList()); got != 4 {
+		t.Errorf("ShardWaitList len = %d", got)
+	}
+}
+
+func TestShardWaitCounting(t *testing.T) {
+	v, start := newVolWithBlocks(t, 8)
+	p := NewPoolOpts(v, 8, nil, Options{Shards: 1})
+	s := p.shards[0]
+	s.mu.Lock()
+	done := make(chan struct{})
+	go func() {
+		pg, err := p.Get(start) // must block on the held shard mutex
+		if err == nil {
+			pg.Release()
+		}
+		close(done)
+	}()
+	// Wait until the contended acquisition is recorded, then let it in.
+	deadline := time.Now().Add(2 * time.Second)
+	for s.waits.Load() == 0 {
+		if time.Now().After(deadline) {
+			s.mu.Unlock()
+			t.Fatal("contended lock never counted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.mu.Unlock()
+	<-done
+	if p.Stats().ShardWaits == 0 {
+		t.Error("ShardWaits not aggregated")
+	}
+}
+
+// TestScanResistance is the tentpole behavior in miniature: a keyed hot
+// set stays cached while a much larger sequential stream floods past.
+func TestScanResistance(t *testing.T) {
+	v, start := newVolWithBlocks(t, 128)
+	p := NewPoolOpts(v, 16, nil, Options{Shards: 1})
+	// Establish an 8-block keyed hot set with a second touch so each
+	// page is warm in the protected segment.
+	for round := 0; round < 2; round++ {
+		for i := 0; i < 8; i++ {
+			pg, err := p.GetClass(start+disk.BlockNum(i), Keyed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pg.Release()
+		}
+	}
+	// A 120-block sequential scan: far larger than the pool.
+	for i := 8; i < 128; i++ {
+		pg, err := p.GetClass(start+disk.BlockNum(i), Sequential)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg.Release()
+	}
+	// The hot set must have survived in the protected segment.
+	for i := 0; i < 8; i++ {
+		if !p.Contains(start + disk.BlockNum(i)) {
+			t.Fatalf("hot block %d evicted by sequential flood", i)
+		}
+	}
+}
+
+// TestPlainLRUFloods is the ablation control: with PlainLRU the same
+// flood evicts the hot set.
+func TestPlainLRUFloods(t *testing.T) {
+	v, start := newVolWithBlocks(t, 128)
+	p := NewPoolOpts(v, 16, nil, Options{Shards: 1, PlainLRU: true})
+	for round := 0; round < 2; round++ {
+		for i := 0; i < 8; i++ {
+			pg, err := p.GetClass(start+disk.BlockNum(i), Keyed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pg.Release()
+		}
+	}
+	for i := 8; i < 128; i++ {
+		pg, err := p.GetClass(start+disk.BlockNum(i), Sequential)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg.Release()
+	}
+	for i := 0; i < 8; i++ {
+		if p.Contains(start + disk.BlockNum(i)) {
+			t.Fatalf("plain LRU kept hot block %d through a flood", i)
+		}
+	}
+}
+
+// TestKeyedTouchPromotes checks the probation → protected promotion: a
+// sequentially filled block that a keyed reader touches joins the hot
+// set and survives a later flood.
+func TestKeyedTouchPromotes(t *testing.T) {
+	v, start := newVolWithBlocks(t, 128)
+	p := NewPoolOpts(v, 16, nil, Options{Shards: 1})
+	// Sequential fill, then one keyed touch.
+	pg, err := p.GetClass(start, Sequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg.Release()
+	pg, err = p.GetClass(start, Keyed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg.Release()
+	if p.Stats().Promotions == 0 {
+		t.Fatal("keyed touch of probation page not counted as promotion")
+	}
+	for i := 1; i < 128; i++ {
+		q, err := p.GetClass(start+disk.BlockNum(i), Sequential)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q.Release()
+	}
+	if !p.Contains(start) {
+		t.Error("promoted page evicted by sequential flood")
+	}
+}
+
+func TestAccessClassStats(t *testing.T) {
+	v, start := newVolWithBlocks(t, 4)
+	p := NewPool(v, 8, nil)
+	pg, _ := p.GetClass(start, Keyed)
+	pg.Release()
+	pg, _ = p.GetClass(start, Keyed)
+	pg.Release()
+	pg, _ = p.GetClass(start+1, Sequential)
+	pg.Release()
+	pg, _ = p.GetClass(start+1, Sequential)
+	pg.Release()
+	s := p.Stats()
+	if s.KeyedMisses != 1 || s.KeyedHits != 1 || s.SeqMisses != 1 || s.SeqHits != 1 {
+		t.Errorf("class stats %+v", s)
+	}
+	if s.Hits != 2 || s.Misses != 2 {
+		t.Errorf("totals %+v", s)
+	}
+	if hr := s.HitRate(); hr != 0.5 {
+		t.Errorf("hit rate %f", hr)
+	}
+}
+
+// TestPrefetchFanoutBounded is the satellite: a 10k-block pre-fetch
+// must stay within the PrefetchParallel worker cap instead of spawning
+// one goroutine per run.
+func TestPrefetchFanoutBounded(t *testing.T) {
+	v := disk.NewVolume("$DATA", false)
+	const n = 10000
+	start := v.AllocateRun(n)
+	buf := make([]byte, disk.BlockSize)
+	for i := 0; i < n; i++ {
+		if err := v.Write(start+disk.BlockNum(i), buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := NewPoolOpts(v, 2*n, nil, Options{Shards: 8})
+	bns := make([]disk.BlockNum, n)
+	for i := range bns {
+		bns[i] = start + disk.BlockNum(i)
+	}
+	p.Prefetch(bns, Sequential)
+	p.WaitPrefetch()
+	s := p.Stats()
+	if s.PrefetchPeak == 0 {
+		t.Fatal("no prefetch workers observed")
+	}
+	if s.PrefetchPeak > PrefetchParallel {
+		t.Errorf("prefetch fan-out %d exceeds cap %d", s.PrefetchPeak, PrefetchParallel)
+	}
+	if s.PrefetchedBlocks != n {
+		t.Errorf("prefetched %d blocks, want %d", s.PrefetchedBlocks, n)
+	}
+}
+
+// TestPrefetchOpsCountsPartialRuns is the satellite: a run whose bulk
+// read succeeded counts in PrefetchOps even when installs fail because
+// the pool is saturated with pinned pages.
+func TestPrefetchOpsCountsPartialRuns(t *testing.T) {
+	v, start := newVolWithBlocks(t, 10)
+	p := NewPool(v, 2, nil)
+	// Pin both slots so installs cannot make room.
+	a, err := p.Get(start + 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Get(start + 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		p.LoadRun([]disk.BlockNum{start, start + 1, start + 2}, Sequential)
+		close(done)
+	}()
+	// The loader blocks in makeRoom waiting for a release; the bulk read
+	// itself already succeeded, so once we release it must count.
+	time.Sleep(20 * time.Millisecond)
+	a.Release()
+	b.Release()
+	<-done
+	if ops := p.Stats().PrefetchOps; ops != 1 {
+		t.Errorf("PrefetchOps = %d, want 1 (partial run dropped)", ops)
+	}
+}
+
+func TestBackgroundWriterFlushesOnNudge(t *testing.T) {
+	v, start := newVolWithBlocks(t, 8)
+	g := &fakeGate{flushed: 0}
+	p := NewPool(v, 32, g)
+	p.StartWriter(time.Hour) // tick effectively disabled: nudges only
+	defer p.StopWriter()
+	for i := 0; i < 4; i++ {
+		pg, err := p.Get(start + disk.BlockNum(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg.Data()[3] = 0xAA
+		pg.MarkDirty(wal.LSN(i + 1))
+		pg.Release()
+	}
+	// Nothing durable yet: a nudge must not write anything.
+	p.NudgeWriter()
+	time.Sleep(20 * time.Millisecond)
+	if p.Stats().WriteBehindBlocks != 0 {
+		t.Fatal("writer flushed pages with undurable audit")
+	}
+	// Commit lands: durable LSN advances, nudge triggers a pass.
+	g.FlushTo(4)
+	p.NudgeWriter()
+	deadline := time.Now().Add(2 * time.Second)
+	for p.DirtyCount() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("writer never flushed aged pages")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if p.Stats().WriterPasses == 0 {
+		t.Error("WriterPasses not counted")
+	}
+}
+
+func TestBackgroundWriterDirtyRatio(t *testing.T) {
+	v, start := newVolWithBlocks(t, 8)
+	g := &fakeGate{flushed: 100}
+	p := NewPool(v, 8, g) // 2 dirty pages = 1/4 of capacity ≥ 1/8
+	p.StartWriter(time.Millisecond)
+	defer p.StopWriter()
+	for i := 0; i < 4; i++ {
+		pg, err := p.Get(start + disk.BlockNum(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg.MarkDirty(wal.LSN(i + 1))
+		pg.Release()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for p.DirtyCount() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("dirty-ratio trigger never fired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestStopWriterIdempotent(t *testing.T) {
+	v, _ := newVolWithBlocks(t, 1)
+	p := NewPool(v, 8, nil)
+	p.StopWriter() // no writer: no-op
+	p.StartWriter(0)
+	p.StartWriter(0) // idempotent while running
+	p.StopWriter()
+	p.StopWriter()
+	// NudgeWriter with no writer degrades to a synchronous pass.
+	p.NudgeWriter()
+}
+
+func TestDrainWriter(t *testing.T) {
+	v, start := newVolWithBlocks(t, 14)
+	g := &fakeGate{flushed: 100}
+	p := NewPool(v, 32, g)
+	for i := 0; i < 14; i++ {
+		pg, err := p.Get(start + disk.BlockNum(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg.Data()[1] = 0xD0
+		pg.MarkDirty(wal.LSN(i + 1))
+		pg.Release()
+	}
+	v.ResetStats()
+	p.DrainWriter()
+	if p.DirtyCount() != 0 {
+		t.Error("aged pages survived DrainWriter")
+	}
+	// Drain preserves bulk coalescing (14 contiguous = 2 bulk writes)
+	// and never forces the gate.
+	s := v.Stats()
+	if s.Writes != 2 || s.BulkWrites != 2 {
+		t.Errorf("drain not coalesced: %+v", s)
+	}
+	if g.calls != 0 {
+		t.Error("DrainWriter forced an audit flush")
+	}
+}

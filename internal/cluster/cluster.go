@@ -27,6 +27,8 @@ type Options struct {
 	WriteBehind   bool
 	DPWorkers     int // process-group goroutines per DP (default 16)
 	CacheSlots    int // buffer pool pages per DP
+	CacheShards   int // buffer pool shards per DP (0 = derive from slots)
+	CachePlainLRU bool // disable scan-resistant replacement (ablations)
 	MaxReplyBytes int
 	MaxRowsPerMsg int
 	LockTimeout   time.Duration
@@ -149,6 +151,8 @@ func (c *Cluster) AddVolume(node, cpu int, name string) (*dp.DP, error) {
 		MaxRowsPerMsg: c.opts.MaxRowsPerMsg,
 		Prefetch:      c.opts.Prefetch,
 		WriteBehind:   c.opts.WriteBehind,
+		CacheShards:   c.opts.CacheShards,
+		CachePlainLRU: c.opts.CachePlainLRU,
 	}
 	entry := &dpEntry{node: node, cpu: cpu, vol: vol, backupCPU: -1}
 	if c.opts.ProcessPairs {
@@ -259,8 +263,14 @@ func (c *Cluster) RestartDP(name string, cpu int) error {
 	return err
 }
 
-// Close flushes trails and stops all servers.
+// Close stops each DP's background writer, then flushes trails and
+// stops all servers. DPs close first: their writers must not race a
+// closing trail, and DP.Close never forces the trail, so the order is
+// safe even with unaged dirty pages outstanding.
 func (c *Cluster) Close() {
+	for _, e := range c.dps {
+		_ = e.dp.Close()
+	}
 	for _, n := range c.Nodes {
 		n.Trail.Close()
 	}

@@ -57,7 +57,13 @@ type Config struct {
 	TimeLimit time.Duration
 
 	Prefetch    bool // asynchronous pre-fetch over subset key spans
-	WriteBehind bool // asynchronous write-behind after set updates
+	WriteBehind bool // background write-behind of aged dirty block strings
+
+	// CacheShards overrides the buffer pool's shard count (0 = derive
+	// from CacheSlots). CachePlainLRU disables scan-resistant
+	// replacement — the E15 ablation.
+	CacheShards   int
+	CachePlainLRU bool
 
 	// Checkpoint, when set, is invoked with the byte size of every state
 	// change (audit record) so the hot-standby backup of the process
@@ -103,6 +109,28 @@ type Stats struct {
 	LatchWaits     uint64 // latch grants that had to block
 	MaxTreeOps     int64  // high-water mark of concurrent tree operations
 	MaxInFlight    int    // high-water mark of requests in service at once
+
+	// Buffer pool: hit rates by access class, WAL stalls, and shard
+	// mutex contention (see cache.Stats).
+	CacheHits        uint64
+	CacheMisses      uint64
+	CacheKeyedHits   uint64
+	CacheKeyedMisses uint64
+	CacheSeqHits     uint64
+	CacheSeqMisses   uint64
+	CachePromotions  uint64
+	CacheWALStalls      uint64
+	CacheShardWaits     uint64
+	CacheShardWaitNanos uint64
+	CacheShards         int
+}
+
+// CacheHitRate returns CacheHits/(CacheHits+CacheMisses), or 0.
+func (s Stats) CacheHitRate() float64 {
+	if s.CacheHits+s.CacheMisses == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(s.CacheHits+s.CacheMisses)
 }
 
 // counters is the internal atomic form of Stats: the serve hot path
@@ -138,6 +166,28 @@ type scb struct {
 	pred    expr.Expr
 	proj    []int
 	assigns []expr.Assignment
+	// class is the cache access class derived once at ^FIRST time and
+	// reused by every re-drive: a re-drive's range always has Low set
+	// (the continuation key), so re-deriving from the range would
+	// misclassify every full scan after its first message.
+	class cache.AccessClass
+}
+
+// classFor derives a subset's cache access class at ^FIRST time: an
+// explicit File System hint wins; otherwise an unbounded key range is a
+// full scan (Sequential) and anything bounded is treated as keyed
+// working-set access.
+func classFor(req *fsdp.Request) cache.AccessClass {
+	switch req.Hint {
+	case fsdp.HintSequential:
+		return cache.Sequential
+	case fsdp.HintKeyed:
+		return cache.Keyed
+	}
+	if req.Range.Low == nil && req.Range.High == nil {
+		return cache.Sequential
+	}
+	return cache.Keyed
 }
 
 // A DP is one Disk Process (group).
@@ -180,11 +230,28 @@ func New(cfg Config) (*DP, error) {
 		txs:   make(map[uint64]*txState),
 	}
 	d.locks.DefaultTimeout = cfg.LockTimeout
-	d.pool = cache.NewPool(cfg.Volume, cfg.CacheSlots, cfg.Audit.Trail())
+	d.pool = cache.NewPoolOpts(cfg.Volume, cfg.CacheSlots, cfg.Audit.Trail(),
+		cache.Options{Shards: cfg.CacheShards, PlainLRU: cfg.CachePlainLRU})
 	// The meter is the latch Waiter: time a handler spends blocked on a
 	// page latch is subtracted from the measured effective concurrency.
 	d.latches = btree.NewLatches(&d.meter)
+	if cfg.WriteBehind {
+		// Write-behind is no longer caller-timed: the pool's background
+		// writer runs passes when commits age new pages or the dirty
+		// ratio climbs. Commits nudge it (see idleWork).
+		d.pool.StartWriter(0)
+	}
 	return d, nil
+}
+
+// Close stops the DP's background machinery and writes out every aged
+// dirty page. It never forces the audit trail (unaged pages are left
+// for recovery), so it is safe to call while — or after — the trail
+// shuts down.
+func (d *DP) Close() error {
+	d.pool.StopWriter()
+	d.pool.DrainWriter()
+	return nil
 }
 
 // Name returns the DP's process name.
@@ -205,6 +272,7 @@ func (d *DP) Locks() *lock.Manager { return d.locks }
 // Stats returns a snapshot of the counters.
 func (d *DP) Stats() Stats {
 	ls := d.latches.Stats()
+	cs := d.pool.Stats()
 	_, maxIn := d.meter.snapshot()
 	return Stats{
 		Requests:       d.stats.requests.Load(),
@@ -223,6 +291,18 @@ func (d *DP) Stats() Stats {
 		LatchWaits:     ls.Waits,
 		MaxTreeOps:     ls.MaxOps,
 		MaxInFlight:    maxIn,
+
+		CacheHits:        cs.Hits,
+		CacheMisses:      cs.Misses,
+		CacheKeyedHits:   cs.KeyedHits,
+		CacheKeyedMisses: cs.KeyedMisses,
+		CacheSeqHits:     cs.SeqHits,
+		CacheSeqMisses:   cs.SeqMisses,
+		CachePromotions:  cs.Promotions,
+		CacheWALStalls:      cs.WALStalls,
+		CacheShardWaits:     cs.ShardWaits,
+		CacheShardWaitNanos: cs.ShardWaitNanos,
+		CacheShards:      cs.Shards,
 	}
 }
 
@@ -241,6 +321,7 @@ func (d *DP) ResetStats() {
 	d.stats.predicateEvals.Store(0)
 	d.stats.checkEvals.Store(0)
 	d.latches.ResetStats()
+	d.pool.ResetStats()
 	d.meter.reset()
 }
 

@@ -56,7 +56,15 @@ func (d *DP) Recover(records []*wal.Record) error {
 		case wal.RecAbort:
 			// The abort's compensation records are in the log ahead of
 			// this marker; replaying them plus skipping undo is correct.
-			aborted[r.TxID] = true
+			// But abort records are written per participant: only THIS
+			// volume's marker proves this volume's compensations all
+			// made the durable log. A 2PC peer's abort record can be
+			// durable while the crash caught our own undo before (or
+			// mid-) compensation — then the txn is still a loser here
+			// and must be undone from before-images.
+			if r.Volume == vol {
+				aborted[r.TxID] = true
+			}
 		case wal.RecInsert, wal.RecUpdate, wal.RecDelete:
 			if r.Volume == vol {
 				mine = append(mine, r)

@@ -155,6 +155,45 @@ func TestRecoverAbortedStaysAborted(t *testing.T) {
 	}
 }
 
+func TestRecoverPeerAbortDoesNotSkipUndo(t *testing.T) {
+	// Abort records are per-participant. In a 2PC abort the peer volume
+	// can get its compensations and abort record onto the shared trail
+	// while the crash catches THIS volume before its own undo ran: the
+	// trail then holds our forward update, no local compensations, and
+	// only the peer's abort marker. Recovery must still treat the txn as
+	// a loser here and undo from before-images — honoring the foreign
+	// marker left the dirty update in place.
+	r := newCrashRig(t)
+	tx := tmf.NewTxID()
+	insertEmp(t, r.d, r.schema, tx, empRow(1, "original", 100))
+	commitTx(t, r.d, tx)
+
+	tx2 := tmf.NewTxID()
+	assigns := expr.EncodeAssignments([]expr.Assignment{{Field: 1, E: expr.CString("dirty")}})
+	reply := r.d.Serve(&fsdp.Request{Kind: fsdp.KUpdateSubsetFirst, Tx: tx2, File: "EMP",
+		Range: keys.Point(key1(1)), Assign: assigns})
+	if !reply.OK() || reply.Count != 1 {
+		t.Fatalf("%+v", reply)
+	}
+	r.trail.Flush()
+
+	r.d.Crash()
+	r.d.AttachFile("EMP", r.schema, nil, r.root, true)
+	recs, err := wal.Scan(r.auditVol, r.trail.FirstBlock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The peer's abort record, as it appears on the shared audit trail.
+	recs = append(recs, &wal.Record{Type: wal.RecAbort, TxID: tx2, Volume: "$PEER"})
+	if err := r.d.Recover(recs); err != nil {
+		t.Fatal(err)
+	}
+	row, ok := r.read(t, 1)
+	if !ok || row[1].S != "original" {
+		t.Fatalf("peer abort record suppressed local undo: %v %v", row, ok)
+	}
+}
+
 func TestRecoverMixedWorkload(t *testing.T) {
 	r := newCrashRig(t)
 	// Committed base data.

@@ -101,9 +101,9 @@ func (d *DP) getSubset(req *fsdp.Request) *fsdp.Reply {
 		if err != nil {
 			return errReply(err)
 		}
-		s = &scb{tx: req.Tx, file: req.File, pred: pred, proj: req.Proj}
+		s = &scb{tx: req.Tx, file: req.File, pred: pred, proj: req.Proj, class: classFor(req)}
 		// The SCB is created at GET^FIRST time; re-drives do not re-send
-		// the predicate or projection.
+		// the predicate, projection, or access class.
 	} else {
 		if s, err = d.lookupSCB(req.SCB); err != nil {
 			return errReply(err)
@@ -116,7 +116,7 @@ func (d *DP) getSubset(req *fsdp.Request) *fsdp.Reply {
 	batch := d.newBatch(req.RowLimit)
 	reply := &fsdp.Reply{Done: true}
 	var firstKey []byte
-	scanErr := f.tree.Scan(req.Range, d.cfg.Prefetch, func(key, val []byte) (bool, error) {
+	scanErr := f.tree.ScanClass(req.Range, d.cfg.Prefetch, s.class, func(key, val []byte) (bool, error) {
 		if batch.full() {
 			// Budget exhausted and more records remain: request a
 			// continuation re-drive.
@@ -219,7 +219,7 @@ func (d *DP) countSubset(req *fsdp.Request) *fsdp.Reply {
 		if err != nil {
 			return errReply(err)
 		}
-		s = &scb{tx: req.Tx, file: req.File, pred: pred}
+		s = &scb{tx: req.Tx, file: req.File, pred: pred, class: classFor(req)}
 	} else {
 		if s, err = d.lookupSCB(req.SCB); err != nil {
 			return errReply(err)
@@ -233,7 +233,7 @@ func (d *DP) countSubset(req *fsdp.Request) *fsdp.Reply {
 	reply := &fsdp.Reply{Done: true}
 	var firstKey []byte
 	counted := uint32(0)
-	scanErr := f.tree.Scan(req.Range, d.cfg.Prefetch, func(key, val []byte) (bool, error) {
+	scanErr := f.tree.ScanClass(req.Range, d.cfg.Prefetch, s.class, func(key, val []byte) (bool, error) {
 		if batch.full() {
 			reply.Done = false
 			return false, nil
@@ -326,7 +326,7 @@ func (d *DP) mutateSubset(req *fsdp.Request, isFirst, isUpdate bool) *fsdp.Reply
 		if err != nil {
 			return errReply(err)
 		}
-		s = &scb{tx: req.Tx, file: req.File, pred: pred, assigns: assigns}
+		s = &scb{tx: req.Tx, file: req.File, pred: pred, assigns: assigns, class: classFor(req)}
 	} else {
 		if s, err = d.lookupSCB(req.SCB); err != nil {
 			return errReply(err)
@@ -341,7 +341,7 @@ func (d *DP) mutateSubset(req *fsdp.Request, isFirst, isUpdate bool) *fsdp.Reply
 	type hit struct{ key []byte }
 	var hits []hit
 	reply := &fsdp.Reply{Done: true}
-	scanErr := f.tree.Scan(req.Range, d.cfg.Prefetch, func(key, val []byte) (bool, error) {
+	scanErr := f.tree.ScanClass(req.Range, d.cfg.Prefetch, s.class, func(key, val []byte) (bool, error) {
 		if batch.full() {
 			reply.Done = false
 			return false, nil

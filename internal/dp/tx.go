@@ -183,11 +183,13 @@ func (d *DP) finishTx(tx uint64) {
 	d.locks.ReleaseTx(tx)
 }
 
-// idleWork is the "idle time between Disk Process requests": write out
-// aged dirty block strings with bulk I/O.
+// idleWork marks the "idle time between Disk Process requests": tell
+// the background writer that a commit or a finished subset may have
+// aged dirty block strings. The nudge is non-blocking; the writer
+// coalesces nudges while a pass is running.
 func (d *DP) idleWork() {
 	if d.cfg.WriteBehind {
-		_, _ = d.pool.WriteBehind()
+		d.pool.NudgeWriter()
 	}
 }
 

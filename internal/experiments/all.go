@@ -92,6 +92,10 @@ func All(s Sizes) ([]*Table, error) {
 	if err := add(t14, err); err != nil {
 		return nil, fmt.Errorf("E14: %w", err)
 	}
+	_, _, t15, err := E15(s.TxnsPerCli)
+	if err := add(t15, err); err != nil {
+		return nil, fmt.Errorf("E15: %w", err)
+	}
 	_, tf1, err := F1()
 	if err := add(tf1, err); err != nil {
 		return nil, fmt.Errorf("F1: %w", err)

@@ -30,6 +30,11 @@ type E13Result struct {
 	Modeled     time.Duration
 	TPS         float64
 	Speedup     float64 // TPS / TPS(Workers=1)
+
+	// Buffer pool health during the run (see cache.Stats).
+	CacheHitRate    float64
+	CacheWALStalls  uint64
+	CacheShardWaits uint64
 }
 
 // E13 measures what per-page latching buys the Disk Process's process
@@ -124,6 +129,10 @@ func E13(txnsPerClient int) ([]E13Result, *Table, error) {
 			Checksum:    sum,
 			Modeled:     modeled,
 			TPS:         float64(txns) / modeled.Seconds(),
+
+			CacheHitRate:    st.CacheHitRate(),
+			CacheWALStalls:  st.CacheWALStalls,
+			CacheShardWaits: st.CacheShardWaits,
 		}
 		results = append(results, res)
 		r.close()

@@ -196,7 +196,12 @@ func E6(n int) ([]E6Result, *Table, error) {
 		if err := r.fs.Commit(tx); err != nil {
 			return err
 		}
-		if !on {
+		if on {
+			// The background writer is asynchronous: drain its aged pages
+			// (bulk-coalesced, never forcing the gate) before reading the
+			// I/O counters.
+			d1.Pool().DrainWriter()
+		} else {
 			// Without write-behind the dirty pages flush one by one.
 			if err := flushSingly(r); err != nil {
 				return err

@@ -286,3 +286,30 @@ func TestE13IntraDPConcurrency(t *testing.T) {
 		}
 	}
 }
+
+func TestE15ScanResistantCache(t *testing.T) {
+	results, sweep, _, err := E15(Quick().TxnsPerCli)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 || len(sweep) != 5 {
+		t.Fatalf("%d results, %d sweep rows", len(results), len(sweep))
+	}
+	// E15 itself asserts the policy contrast and the sweep trend;
+	// re-assert the headline invariants here.
+	srMixed, plMixed := results[1], results[3]
+	if srMixed.RelTPS < 0.9 {
+		t.Errorf("scan-resistant mixed TPS %.2fx of baseline, want >= 0.9x", srMixed.RelTPS)
+	}
+	if plMixed.RelTPS >= 0.9 {
+		t.Errorf("plain LRU mixed TPS %.2fx of baseline, want < 0.9x", plMixed.RelTPS)
+	}
+	if plMixed.KeyedHitRate >= srMixed.KeyedHitRate {
+		t.Errorf("plain LRU keyed hit rate %.3f not below scan-resistant %.3f",
+			plMixed.KeyedHitRate, srMixed.KeyedHitRate)
+	}
+	if sweep[len(sweep)-1].ExpectedWaitsPerM >= sweep[0].ExpectedWaitsPerM {
+		t.Errorf("expected shard waits did not fall: %.0f/M at 1 shard, %.0f/M at 16",
+			sweep[0].ExpectedWaitsPerM, sweep[len(sweep)-1].ExpectedWaitsPerM)
+	}
+}

@@ -353,7 +353,11 @@ func (p *parScan) nextBatch() (rows [][]byte, keys [][]byte, ok bool) {
 // firstScanRequest builds the GET^FIRST message opening one partition's
 // conversation.
 func firstScanRequest(def *FileDef, spec SelectSpec, tx *tmf.Tx, span partSpan) *fsdp.Request {
-	req := &fsdp.Request{File: def.Name, Range: span.r, RowLimit: spec.RowLimit}
+	// The hint comes from the ORIGINAL spec range, not the clipped
+	// per-partition span: partition clipping bounds the span even when
+	// the query is a full-table scan.
+	req := &fsdp.Request{File: def.Name, Range: span.r, RowLimit: spec.RowLimit,
+		Hint: hintFor(spec.Range)}
 	if tx != nil {
 		req.Tx = tx.ID
 	}

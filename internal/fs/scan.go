@@ -341,7 +341,7 @@ func (f *FS) CountParallel(tx *tmf.Tx, def *FileDef, rng keys.Range, pred expr.E
 	if dop <= 1 {
 		total := 0
 		for _, span := range spans {
-			n, err := f.countSpan(tx, def, span, pred, nil)
+			n, err := f.countSpan(tx, def, span, rng, pred, nil)
 			total += n
 			if err != nil {
 				return total, err
@@ -369,7 +369,7 @@ func (f *FS) CountParallel(tx *tmf.Tx, def *FileDef, rng keys.Range, pred expr.E
 				if idx >= len(spans) {
 					return
 				}
-				n, err := f.countSpan(tx, def, spans[idx], pred, &stop)
+				n, err := f.countSpan(tx, def, spans[idx], rng, pred, &stop)
 				mu.Lock()
 				total += n
 				if err != nil && firstErr == nil {
@@ -384,11 +384,26 @@ func (f *FS) CountParallel(tx *tmf.Tx, def *FileDef, rng keys.Range, pred expr.E
 	return total, firstErr
 }
 
+// hintFor classifies a subset's cache access for the DP: an unbounded
+// range is a full-table scan — one-pass, recycle through probation —
+// while a bounded range is left for the DP to judge (HintAuto). The FS
+// computes this from the requester's original range because partition
+// clipping bounds every per-partition span.
+func hintFor(r keys.Range) uint8 {
+	if r.Low == nil && r.High == nil {
+		return fsdp.HintSequential
+	}
+	return fsdp.HintAuto
+}
+
 // countSpan drives one partition's COUNT^FIRST/NEXT conversation to
 // exhaustion, abandoning early (and retiring the SCB) when a sibling
 // conversation failed.
-func (f *FS) countSpan(tx *tmf.Tx, def *FileDef, span partSpan, pred expr.Expr, stop *atomic.Bool) (int, error) {
-	req := &fsdp.Request{Kind: fsdp.KCountFirst, File: def.Name, Range: span.r, Pred: expr.Encode(pred)}
+func (f *FS) countSpan(tx *tmf.Tx, def *FileDef, span partSpan, rng keys.Range, pred expr.Expr, stop *atomic.Bool) (int, error) {
+	// Hint derived from the caller's unclipped range, not the partition
+	// span (see firstScanRequest).
+	req := &fsdp.Request{Kind: fsdp.KCountFirst, File: def.Name, Range: span.r,
+		Pred: expr.Encode(pred), Hint: hintFor(rng)}
 	if tx != nil {
 		req.Tx = tx.ID
 	}

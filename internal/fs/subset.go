@@ -34,6 +34,7 @@ func (f *FS) UpdateSubset(tx *tmf.Tx, def *FileDef, rng keys.Range, pred expr.Ex
 			Range:  span.r,
 			Pred:   expr.Encode(pred),
 			Assign: expr.EncodeAssignments(assigns),
+			Hint:   hintFor(rng),
 		}
 	}, fsdp.KUpdateSubsetNext)
 }
@@ -188,6 +189,7 @@ func (f *FS) DeleteSubset(tx *tmf.Tx, def *FileDef, rng keys.Range, pred expr.Ex
 			Kind: fsdp.KDeleteSubsetFirst, Tx: tx.ID, File: def.Name,
 			Range: span.r,
 			Pred:  expr.Encode(pred),
+			Hint:  hintFor(rng),
 		}
 	}, fsdp.KDeleteSubsetNext)
 }

@@ -139,7 +139,21 @@ type Request struct {
 
 	CommitLSN uint64 // KCommit: durable commit record LSN
 	RowLimit  uint32 // optional per-message row budget override (re-drive)
+
+	// Hint tells the DP what cache access class the request's subset
+	// implies. HintAuto lets the DP derive it from the request's key
+	// range; the FS sets an explicit hint on ^FIRST set-oriented
+	// requests because partition clipping can make a full-table scan's
+	// per-partition span look bounded at the DP.
+	Hint uint8
 }
+
+// Access-class hints for Request.Hint.
+const (
+	HintAuto       = 0 // DP derives the class from the key range
+	HintKeyed      = 1 // random / reuse-likely access
+	HintSequential = 2 // one-pass scan: recycle, don't cache
+)
 
 // A Reply is one FS-DP reply message.
 type Reply struct {
@@ -285,6 +299,7 @@ func EncodeRequest(q *Request) []byte {
 	}
 	b = binary.AppendUvarint(b, q.CommitLSN)
 	b = binary.AppendUvarint(b, uint64(q.RowLimit))
+	b = append(b, q.Hint)
 	return b
 }
 
@@ -382,6 +397,11 @@ func DecodeRequest(b []byte) (*Request, error) {
 	}
 	q.RowLimit = uint32(u)
 	b = b[n:]
+	if len(b) == 0 {
+		return nil, fmt.Errorf("fsdp: truncated hint")
+	}
+	q.Hint = b[0]
+	b = b[1:]
 	if len(b) != 0 {
 		return nil, fmt.Errorf("fsdp: %d trailing request bytes", len(b))
 	}

@@ -1,0 +1,16 @@
+#!/bin/sh
+# Compare two benchjson reports metric-by-metric:
+#
+#   scripts/benchdiff.sh BENCH_old.json BENCH_new.json
+#
+# Prints every numeric leaf (dotted path) with old value, new value,
+# and relative delta. Wrapped by `make benchcmp`.
+set -eu
+cd "$(dirname "$0")/.."
+
+if [ $# -ne 2 ]; then
+    echo "usage: scripts/benchdiff.sh OLD.json NEW.json" >&2
+    exit 2
+fi
+
+go run ./cmd/benchdiff "$1" "$2"
