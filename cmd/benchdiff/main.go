@@ -19,6 +19,8 @@ import (
 	"math"
 	"os"
 	"sort"
+
+	"nonstopsql/internal/obs"
 )
 
 func main() {
@@ -87,7 +89,7 @@ func load(path string) (map[string]float64, error) {
 // keyFields name, in order of preference, the element field that makes
 // an array row addressable by content rather than by position, so a
 // reordered or lengthened section still lines up across revisions.
-var keyFields = []string{"system", "policy", "dop", "workers", "shards"}
+var keyFields = []string{"system", "policy", "dop", "workers", "shards", "query"}
 
 func flatten(prefix string, v any, out map[string]float64) {
 	switch x := v.(type) {
@@ -96,6 +98,18 @@ func flatten(prefix string, v any, out map[string]float64) {
 			p := k
 			if prefix != "" {
 				p = prefix + "." + k
+			}
+			// A power-of-two bucket-count array is a latency histogram
+			// (benchjson's histJSON). Raw per-bucket counts would diff as
+			// dozens of noisy metrics, so derive stable percentiles from
+			// the full distribution instead and skip the buckets.
+			if k == "pow2_ns" {
+				if counts, ok := bucketCounts(child); ok {
+					out[prefix+".hist_p50_ns"] = float64(obs.QuantileCounts(counts, 0.50))
+					out[prefix+".hist_p95_ns"] = float64(obs.QuantileCounts(counts, 0.95))
+					out[prefix+".hist_p99_ns"] = float64(obs.QuantileCounts(counts, 0.99))
+					continue
+				}
 			}
 			flatten(p, child, out)
 		}
@@ -119,6 +133,24 @@ func flatten(prefix string, v any, out map[string]float64) {
 		}
 	}
 	// Strings and nulls are labels, not metrics; skipped.
+}
+
+// bucketCounts converts a JSON numeric array into histogram bucket
+// counts, rejecting anything with non-numeric or negative elements.
+func bucketCounts(v any) ([]uint64, bool) {
+	arr, ok := v.([]any)
+	if !ok {
+		return nil, false
+	}
+	counts := make([]uint64, len(arr))
+	for i, e := range arr {
+		f, ok := e.(float64)
+		if !ok || f < 0 || f != math.Trunc(f) {
+			return nil, false
+		}
+		counts[i] = uint64(f)
+	}
+	return counts, true
 }
 
 // rowKey builds a content-based identifier for an array element.

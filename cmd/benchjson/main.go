@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"nonstopsql/internal/experiments"
+	"nonstopsql/internal/obs"
 )
 
 type e7JSON struct {
@@ -69,6 +70,46 @@ type e15ShardJSON struct {
 	ExpectedWaitsPerM float64 `json:"expected_waits_per_m"`
 }
 
+// histJSON exports a latency histogram: headline percentiles plus the
+// raw power-of-two bucket counts (trailing zero buckets trimmed), which
+// benchdiff re-derives percentiles from when diffing two reports.
+type histJSON struct {
+	P50Us  float64  `json:"p50_us"`
+	P95Us  float64  `json:"p95_us"`
+	P99Us  float64  `json:"p99_us"`
+	Count  uint64   `json:"count"`
+	Pow2NS []uint64 `json:"pow2_ns"`
+}
+
+func hist(s obs.Snapshot) histJSON {
+	last := -1
+	for i, c := range s.Counts {
+		if c != 0 {
+			last = i
+		}
+	}
+	h := histJSON{
+		P50Us: us(s.Quantile(0.50)),
+		P95Us: us(s.Quantile(0.95)),
+		P99Us: us(s.Quantile(0.99)),
+		Count: s.Count(),
+	}
+	if last >= 0 {
+		h.Pow2NS = append(h.Pow2NS, s.Counts[:last+1]...)
+	}
+	return h
+}
+
+type e16JSON struct {
+	Query        string   `json:"query"`
+	Rows         uint64   `json:"rows"`
+	Msgs         uint64   `json:"msgs"`
+	Redrives     uint64   `json:"redrives"`
+	Examined     uint64   `json:"examined"`
+	CacheHitRate float64  `json:"cache_hit_rate"`
+	Latency      histJSON `json:"latency"`
+}
+
 type report struct {
 	Tag   string `json:"tag"`
 	Quick bool   `json:"quick"`
@@ -82,9 +123,11 @@ type report struct {
 	E13      []e13JSON      `json:"e13_intra_dp_concurrency"`
 	E15      []e15JSON      `json:"e15_scan_resistant_cache"`
 	E15Sweep []e15ShardJSON `json:"e15_shard_sweep"`
+	E16      []e16JSON      `json:"e16_observability"`
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+func us(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
 
 func main() {
 	quick := flag.Bool("quick", false, "run with test-sized workloads")
@@ -160,6 +203,19 @@ func main() {
 		r.E15Sweep = append(r.E15Sweep, e15ShardJSON{
 			Shards: x.Shards, Acquires: x.Acquires,
 			ExpectedWaitsPerM: x.ExpectedWaitsPerM,
+		})
+	}
+
+	e16, _, err := experiments.E16(sizes.Rows)
+	if err != nil {
+		fail("E16", err)
+	}
+	for _, x := range e16 {
+		r.E16 = append(r.E16, e16JSON{
+			Query: x.Query, Rows: x.Rows, Msgs: x.Messages,
+			Redrives: x.Redrives, Examined: x.Examined,
+			CacheHitRate: x.CacheHitRate,
+			Latency:      hist(x.Lat),
 		})
 	}
 

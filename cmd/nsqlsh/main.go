@@ -64,8 +64,14 @@ func main() {
 		if strings.HasSuffix(trimmed, ";") {
 			stmt := buf.String()
 			buf.Reset()
-			if rest, ok := stripExplain(stmt); ok {
-				plan, err := sess.Explain(rest)
+			if rest, analyze, ok := stripExplain(stmt); ok {
+				var plan string
+				var err error
+				if analyze {
+					plan, err = sess.ExplainAnalyze(rest)
+				} else {
+					plan, err = sess.Explain(rest)
+				}
 				if err != nil {
 					fmt.Printf("error: %v\n", err)
 				} else {
@@ -87,13 +93,18 @@ func main() {
 	}
 }
 
-// stripExplain detects a leading EXPLAIN keyword and returns the rest.
-func stripExplain(stmt string) (string, bool) {
+// stripExplain detects a leading EXPLAIN (optionally EXPLAIN ANALYZE)
+// keyword and returns the rest of the statement.
+func stripExplain(stmt string) (rest string, analyze, ok bool) {
 	s := strings.TrimSpace(stmt)
-	if len(s) >= 8 && strings.EqualFold(s[:8], "EXPLAIN ") {
-		return s[8:], true
+	if len(s) < 8 || !strings.EqualFold(s[:8], "EXPLAIN ") {
+		return "", false, false
 	}
-	return "", false
+	s = strings.TrimSpace(s[8:])
+	if len(s) >= 8 && strings.EqualFold(s[:8], "ANALYZE ") {
+		return s[8:], true, true
+	}
+	return s, false, true
 }
 
 func meta(db *nonstopsql.Database, cmd string) bool {

@@ -175,9 +175,14 @@ func (c *Cluster) AddVolume(node, cpu int, name string) (*dp.DP, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, err := c.Net.StartServer(name, proc, c.opts.DPWorkers, d.Handler); err != nil {
+	srv, err := c.Net.StartServer(name, proc, c.opts.DPWorkers, d.Handler)
+	if err != nil {
 		return nil, err
 	}
+	// Queue wait lives at the msg server (only it sees the input
+	// queue); wire it into dp.Stats so service time and queue wait can
+	// be compared side by side.
+	d.SetQueueWait(srv.QueueWait)
 	c.servers = append(c.servers, name)
 	entry.dp = d
 	c.dps[name] = entry
@@ -199,10 +204,11 @@ func (c *Cluster) Takeover(name string) error {
 	c.Net.StopServer(name)
 	// The backup's state is the checkpointed state: the DP's in-memory
 	// structures survive (that is what the checkpoint stream bought).
-	_, err := c.Net.StartServer(name, msg.ProcessorID{Node: e.node, CPU: e.backupCPU}, c.opts.DPWorkers, e.dp.Handler)
+	srv, err := c.Net.StartServer(name, msg.ProcessorID{Node: e.node, CPU: e.backupCPU}, c.opts.DPWorkers, e.dp.Handler)
 	if err != nil {
 		return err
 	}
+	e.dp.SetQueueWait(srv.QueueWait)
 	e.cpu = e.backupCPU
 	e.backupCPU = (e.cpu + 1) % c.opts.CPUsPerNode
 	return nil
@@ -259,8 +265,12 @@ func (c *Cluster) RestartDP(name string, cpu int) error {
 	if cpu >= 0 {
 		e.cpu = cpu
 	}
-	_, err = c.Net.StartServer(name, msg.ProcessorID{Node: e.node, CPU: e.cpu}, c.opts.DPWorkers, e.dp.Handler)
-	return err
+	srv, err := c.Net.StartServer(name, msg.ProcessorID{Node: e.node, CPU: e.cpu}, c.opts.DPWorkers, e.dp.Handler)
+	if err != nil {
+		return err
+	}
+	e.dp.SetQueueWait(srv.QueueWait)
+	return nil
 }
 
 // Close stops each DP's background writer, then flushes trails and

@@ -29,6 +29,7 @@ import (
 	"nonstopsql/internal/fault"
 	"nonstopsql/internal/fsdp"
 	"nonstopsql/internal/lock"
+	"nonstopsql/internal/obs"
 	"nonstopsql/internal/record"
 	"nonstopsql/internal/tmf"
 	"nonstopsql/internal/wal"
@@ -123,6 +124,15 @@ type Stats struct {
 	CacheShardWaits     uint64
 	CacheShardWaitNanos uint64
 	CacheShards         int
+
+	// Service time vs. queue wait: how long handlers spent doing the
+	// work, and how long requests sat in the process group's shared
+	// input queue first. Queue wait is measured by the msg server and
+	// wired in via SetQueueWait (the DP never sees the queue itself).
+	ServiceOps     uint64
+	ServiceNanos   uint64
+	QueueWaitOps   uint64
+	QueueWaitNanos uint64
 }
 
 // CacheHitRate returns CacheHits/(CacheHits+CacheMisses), or 0.
@@ -211,6 +221,16 @@ type DP struct {
 
 	stats counters
 	meter concMeter
+
+	serviceOps   atomic.Uint64
+	serviceNanos atomic.Uint64
+	svcLat       obs.Histogram // per-request service-time distribution
+
+	// queueWait reports the msg server's input-queue wait counters for
+	// this DP's process group (ops, nanos). Wired by the cluster after
+	// StartServer; guarded by qwMu because takeover/restart rewires it.
+	qwMu      sync.Mutex
+	queueWait func() (uint64, uint64)
 }
 
 // New creates a Disk Process over its volume.
@@ -274,6 +294,12 @@ func (d *DP) Stats() Stats {
 	ls := d.latches.Stats()
 	cs := d.pool.Stats()
 	_, maxIn := d.meter.snapshot()
+	var qwOps, qwNanos uint64
+	d.qwMu.Lock()
+	if d.queueWait != nil {
+		qwOps, qwNanos = d.queueWait()
+	}
+	d.qwMu.Unlock()
 	return Stats{
 		Requests:       d.stats.requests.Load(),
 		SetRequests:    d.stats.setRequests.Load(),
@@ -303,8 +329,26 @@ func (d *DP) Stats() Stats {
 		CacheShardWaits:     cs.ShardWaits,
 		CacheShardWaitNanos: cs.ShardWaitNanos,
 		CacheShards:      cs.Shards,
+
+		ServiceOps:     d.serviceOps.Load(),
+		ServiceNanos:   d.serviceNanos.Load(),
+		QueueWaitOps:   qwOps,
+		QueueWaitNanos: qwNanos,
 	}
 }
+
+// SetQueueWait wires the msg server's input-queue wait counters into
+// Stats. The cluster calls it after StartServer (and again after
+// takeover/restart, when the process group moves).
+func (d *DP) SetQueueWait(fn func() (ops, nanos uint64)) {
+	d.qwMu.Lock()
+	d.queueWait = fn
+	d.qwMu.Unlock()
+}
+
+// ServiceLatency returns the per-request service-time distribution
+// (handler time only, excluding queue wait).
+func (d *DP) ServiceLatency() obs.Snapshot { return d.svcLat.Snapshot() }
 
 // ResetStats zeroes the counters, including the latch table's and the
 // concurrency meter's.
@@ -323,6 +367,9 @@ func (d *DP) ResetStats() {
 	d.latches.ResetStats()
 	d.pool.ResetStats()
 	d.meter.reset()
+	d.serviceOps.Store(0)
+	d.serviceNanos.Store(0)
+	d.svcLat.Reset()
 }
 
 // Concurrency returns the measured effective concurrency of request
@@ -352,6 +399,20 @@ func (d *DP) serve(req *fsdp.Request) *fsdp.Reply {
 	d.stats.requests.Add(1)
 	d.meter.enter()
 	defer d.meter.exit()
+
+	// Sample the pool around the dispatch so the reply can carry the
+	// physical-read / cache-hit cost of serving it. Under concurrent
+	// workers the deltas interleave (a neighbor's hit may land on this
+	// reply), but in aggregate they still sum to the pool totals, and a
+	// single-conversation measurement — EXPLAIN ANALYZE — is exact.
+	cs0 := d.pool.Stats()
+	t0 := time.Now()
+	defer func() {
+		ns := time.Since(t0).Nanoseconds()
+		d.serviceOps.Add(1)
+		d.serviceNanos.Add(uint64(ns))
+		d.svcLat.RecordNanos(ns)
+	}()
 
 	var reply *fsdp.Reply
 	switch req.Kind {
@@ -394,6 +455,9 @@ func (d *DP) serve(req *fsdp.Request) *fsdp.Reply {
 	default:
 		reply = &fsdp.Reply{Code: fsdp.ErrBadRequest, Err: fmt.Sprintf("dp: unknown request kind %d", req.Kind)}
 	}
+	cs1 := d.pool.Stats()
+	reply.CacheHits = uint32(cs1.Hits - cs0.Hits)
+	reply.BlocksRead = uint32(cs1.Misses - cs0.Misses)
 	return reply
 }
 
@@ -506,7 +570,7 @@ func (d *DP) readRecord(req *fsdp.Request) *fsdp.Reply {
 	if err != nil {
 		return errReply(err)
 	}
-	return &fsdp.Reply{Rows: [][]byte{val}, RowKeys: [][]byte{req.Key}}
+	return &fsdp.Reply{Rows: [][]byte{val}, RowKeys: [][]byte{req.Key}, Examined: 1}
 }
 
 // insertRecord serves WRITE: insert one record.

@@ -197,6 +197,7 @@ func (d *DP) getSubset(req *fsdp.Request) *fsdp.Reply {
 		delete(d.scbs, req.SCB)
 		d.mu.Unlock()
 	}
+	reply.Examined = uint32(batch.processed)
 	return reply
 }
 
@@ -291,6 +292,7 @@ func (d *DP) countSubset(req *fsdp.Request) *fsdp.Reply {
 		delete(d.scbs, req.SCB)
 		d.mu.Unlock()
 	}
+	reply.Examined = uint32(batch.processed)
 	return reply
 }
 
@@ -405,6 +407,7 @@ func (d *DP) mutateSubset(req *fsdp.Request, isFirst, isUpdate bool) *fsdp.Reply
 		}
 		d.idleWork() // write-behind of the strings this subset dirtied
 	}
+	reply.Examined = uint32(batch.processed)
 	return reply
 }
 

@@ -96,6 +96,10 @@ func All(s Sizes) ([]*Table, error) {
 	if err := add(t15, err); err != nil {
 		return nil, fmt.Errorf("E15: %w", err)
 	}
+	_, t16, err := E16(s.Rows)
+	if err := add(t16, err); err != nil {
+		return nil, fmt.Errorf("E16: %w", err)
+	}
 	_, tf1, err := F1()
 	if err := add(tf1, err); err != nil {
 		return nil, fmt.Errorf("F1: %w", err)

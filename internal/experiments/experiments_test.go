@@ -313,3 +313,30 @@ func TestE15ScanResistantCache(t *testing.T) {
 			sweep[0].ExpectedWaitsPerM, sweep[len(sweep)-1].ExpectedWaitsPerM)
 	}
 }
+
+func TestE16Observability(t *testing.T) {
+	results, table, err := E16(Quick().Rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 || len(table.Rows) != 4 {
+		t.Fatalf("%d results, %d table rows", len(results), len(table.Rows))
+	}
+	// E16 itself asserts message/latency reconciliation; re-assert the
+	// headline shape here.
+	for _, r := range results {
+		if r.Messages == 0 || r.Rows == 0 {
+			t.Errorf("%s: messages=%d rows=%d", r.Query, r.Messages, r.Rows)
+		}
+		if r.P50 <= 0 || r.P50 > r.P95 || r.P95 > r.P99 {
+			t.Errorf("%s: percentiles not ordered: p50=%v p95=%v p99=%v", r.Query, r.P50, r.P95, r.P99)
+		}
+		if r.Lat.Count() != r.Messages {
+			t.Errorf("%s: %d latency samples for %d messages", r.Query, r.Lat.Count(), r.Messages)
+		}
+	}
+	keyed := results[0]
+	if keyed.Examined < keyed.Rows {
+		t.Errorf("keyed 1%%: examined %d < returned %d", keyed.Examined, keyed.Rows)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"nonstopsql/internal/fsdp"
 	"nonstopsql/internal/keys"
 	"nonstopsql/internal/msg"
+	"nonstopsql/internal/obs"
 	"nonstopsql/internal/record"
 	"nonstopsql/internal/tmf"
 )
@@ -120,6 +121,11 @@ type FS struct {
 	// SelectSpec leaves Parallel at zero. Zero keeps the classic
 	// synchronous one-partition-at-a-time scan.
 	scanDOP int
+
+	// obsRec, when set, receives one trace per partition conversation
+	// of every set-oriented operation (scans, counts, subset
+	// updates/deletes). Set it before issuing requests.
+	obsRec *obs.Recorder
 }
 
 // New creates a File System bound to a requester processor and the
@@ -145,6 +151,17 @@ func (f *FS) SetScanParallel(dop int) {
 // ScanParallel returns the default scan degree of parallelism.
 func (f *FS) ScanParallel() int { return f.scanDOP }
 
+// SetObserver attaches a trace recorder; nil detaches. Not safe to call
+// concurrently with operations in flight.
+func (f *FS) SetObserver(rec *obs.Recorder) { f.obsRec = rec }
+
+// Observer returns the attached trace recorder (nil when none).
+func (f *FS) Observer() *obs.Recorder { return f.obsRec }
+
+// Network exposes the message network this FS sends through, for
+// traffic-counter reconciliation (EXPLAIN ANALYZE, experiments).
+func (f *FS) Network() *msg.Network { return f.client.Network() }
+
 // send ships one request to a Disk Process and decodes the reply.
 func (f *FS) send(server string, req *fsdp.Request) (*fsdp.Reply, error) {
 	raw, err := f.client.Send(server, fsdp.EncodeRequest(req))
@@ -169,6 +186,19 @@ func (f *FS) sendMeasured(server string, req *fsdp.Request) (reply *fsdp.Reply, 
 		return nil, 0, 0, err
 	}
 	return reply, len(raw), len(replyRaw), nil
+}
+
+// sendTxMeasured is sendMeasured plus transaction enlistment: the
+// server joins tx even when the reply carries an application error (it
+// may hold locks or audit that only commit/abort releases).
+func (f *FS) sendTxMeasured(tx *tmf.Tx, server string, req *fsdp.Request) (reply *fsdp.Reply, reqBytes, replyBytes int, err error) {
+	reply, reqBytes, replyBytes, err = f.sendMeasured(server, req)
+	if err == nil && tx != nil && req.Tx != 0 {
+		if jerr := tx.Join(server); jerr != nil {
+			return reply, reqBytes, replyBytes, jerr
+		}
+	}
+	return reply, reqBytes, replyBytes, err
 }
 
 // SendRaw ships one FS-DP request and returns the undecorated reply. The

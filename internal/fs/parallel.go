@@ -8,6 +8,7 @@ import (
 	"nonstopsql/internal/expr"
 	"nonstopsql/internal/fsdp"
 	"nonstopsql/internal/msg"
+	"nonstopsql/internal/obs"
 	"nonstopsql/internal/tmf"
 )
 
@@ -33,6 +34,31 @@ type SpanStats struct {
 	Rows    uint64        // rows delivered by this partition
 	Batches uint64        // replies that carried rows
 	Busy    time.Duration // wall time this conversation spent waiting on the DP
+
+	// Server-reported work, summed from the reply statistics the DP
+	// ships with every answer (see fsdp.Reply).
+	Redrives   uint64 // continuation messages beyond the ^FIRST
+	Examined   uint64 // records the DP visited for this conversation
+	BlocksRead uint64 // physical reads serving it
+	CacheHits  uint64 // buffer-pool hits serving it
+}
+
+// observe folds one message pair into the span's accounting. reply may
+// be nil (transport error); the pair still counts as traffic. A request
+// carrying an SCB is by construction a continuation re-drive — only
+// ^NEXT messages reference a Subset Control Block.
+func (sp *SpanStats) observe(req *fsdp.Request, reply *fsdp.Reply, reqB, repB int, wait time.Duration) {
+	sp.Msgs++
+	sp.Bytes += uint64(reqB + repB)
+	sp.Busy += wait
+	if req.SCB != 0 {
+		sp.Redrives++
+	}
+	if reply != nil {
+		sp.Examined += uint64(reply.Examined)
+		sp.BlocksRead += uint64(reply.BlocksRead)
+		sp.CacheHits += uint64(reply.CacheHits)
+	}
 }
 
 // Modeled returns the conversation's cost under the message cost model:
@@ -56,6 +82,45 @@ type ScanStats struct {
 	Wall       time.Duration // start of scan to exhaustion/close
 	Busy       time.Duration // summed per-conversation message wait time
 	Spans      []SpanStats
+
+	// Totals of the per-span server-reported work.
+	Redrives   uint64
+	Examined   uint64
+	BlocksRead uint64
+	CacheHits  uint64
+
+	// Lat is the per-message round-trip latency distribution of the
+	// whole operation (every partition conversation merged).
+	Lat obs.Snapshot
+}
+
+// recompute refreshes the totals from the per-span accounting.
+func (s *ScanStats) recompute() {
+	s.Partitions, s.Messages, s.Batches, s.Rows, s.Bytes, s.Busy = 0, 0, 0, 0, 0, 0
+	s.Redrives, s.Examined, s.BlocksRead, s.CacheHits = 0, 0, 0, 0
+	for _, sp := range s.Spans {
+		if sp.Msgs > 0 {
+			s.Partitions++
+		}
+		s.Messages += sp.Msgs
+		s.Batches += sp.Batches
+		s.Rows += sp.Rows
+		s.Bytes += sp.Bytes
+		s.Busy += sp.Busy
+		s.Redrives += sp.Redrives
+		s.Examined += sp.Examined
+		s.BlocksRead += sp.BlocksRead
+		s.CacheHits += sp.CacheHits
+	}
+}
+
+// CacheHitRate returns the operation's buffer-pool hit rate at the
+// serving Disk Processes, or 0 when no block was touched.
+func (s ScanStats) CacheHitRate() float64 {
+	if s.CacheHits+s.BlocksRead == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(s.CacheHits+s.BlocksRead)
 }
 
 // Overlap reports how much conversation time ran concurrently: the
@@ -136,11 +201,12 @@ type parScan struct {
 	mu       sync.Mutex
 	firstErr error
 	stats    *ScanStats
+	lat      *obs.Histogram // shared per-message latency (lock-free)
 }
 
 // startParScan launches the scanner pool. dop is clamped to the span
 // count; spans must be non-empty.
-func startParScan(f *FS, tx *tmf.Tx, def *FileDef, spec SelectSpec, spans []partSpan, dop int, stats *ScanStats) *parScan {
+func startParScan(f *FS, tx *tmf.Tx, def *FileDef, spec SelectSpec, spans []partSpan, dop int, stats *ScanStats, lat *obs.Histogram) *parScan {
 	if dop < 1 {
 		dop = 1
 	}
@@ -150,7 +216,7 @@ func startParScan(f *FS, tx *tmf.Tx, def *FileDef, spec SelectSpec, spans []part
 	p := &parScan{
 		fs: f, tx: tx, def: def, spec: spec, spans: spans,
 		done: make(chan struct{}), finished: make(chan struct{}),
-		stats: stats,
+		stats: stats, lat: lat,
 	}
 	stats.Spans = make([]SpanStats, len(spans))
 	for i, span := range spans {
@@ -226,11 +292,10 @@ func (p *parScan) scanSpan(idx int) bool {
 				err = replyErr(reply)
 			}
 		}
+		p.lat.Record(wait)
 		p.mu.Lock()
 		sp := &p.stats.Spans[idx]
-		sp.Msgs++
-		sp.Bytes += uint64(reqB + repB)
-		sp.Busy += wait
+		sp.observe(req, reply, reqB, repB, wait)
 		if err == nil && len(reply.Rows) > 0 {
 			sp.Rows += uint64(len(reply.Rows))
 			sp.Batches++

@@ -9,6 +9,7 @@ import (
 	"nonstopsql/internal/expr"
 	"nonstopsql/internal/fsdp"
 	"nonstopsql/internal/keys"
+	"nonstopsql/internal/obs"
 	"nonstopsql/internal/record"
 	"nonstopsql/internal/tmf"
 )
@@ -106,6 +107,7 @@ type Rows struct {
 	par    *parScan // non-nil when the parallel engine drives the scan
 	start  time.Time
 	stats  ScanStats
+	lat    obs.Histogram // per-message round-trip latency
 	closed bool
 
 	err error
@@ -127,7 +129,7 @@ func (f *FS) Select(tx *tmf.Tx, def *FileDef, spec SelectSpec) *Rows {
 		dop = f.scanDOP
 	}
 	if dop > 0 && len(r.spans) > 0 {
-		r.par = startParScan(f, tx, def, spec, r.spans, dop, &r.stats)
+		r.par = startParScan(f, tx, def, spec, r.spans, dop, &r.stats, &r.lat)
 		return r
 	}
 	r.stats.Spans = make([]SpanStats, len(r.spans))
@@ -202,14 +204,31 @@ func (r *Rows) Close() {
 	r.finish()
 }
 
-// finish stamps the scan's wall time, once.
+// finish stamps the scan's wall time, once, and emits one trace per
+// partition conversation to the FS observer (when one is attached).
 func (r *Rows) finish() {
 	if r.par != nil {
 		r.par.mu.Lock()
 		defer r.par.mu.Unlock()
 	}
-	if r.stats.Wall == 0 {
-		r.stats.Wall = time.Since(r.start)
+	if r.stats.Wall != 0 {
+		return
+	}
+	r.stats.Wall = time.Since(r.start)
+	if rec := r.fs.obsRec; rec != nil {
+		op := "GET^FIRST/NEXT^" + r.spec.Mode.String()
+		for _, sp := range r.stats.Spans {
+			if sp.Msgs == 0 {
+				continue
+			}
+			rec.RecordTrace(obs.Trace{
+				Op: op, Server: sp.Server,
+				Redrives: sp.Redrives, Examined: sp.Examined,
+				Selected: sp.Rows, Returned: sp.Rows,
+				Blocks: sp.BlocksRead, Hits: sp.CacheHits,
+				Dist: int(sp.Dist), Wall: sp.Busy,
+			})
+		}
 	}
 }
 
@@ -223,17 +242,8 @@ func (r *Rows) Stats() ScanStats {
 	}
 	s := r.stats
 	s.Spans = append([]SpanStats(nil), r.stats.Spans...)
-	s.Partitions, s.Messages, s.Batches, s.Rows, s.Bytes, s.Busy = 0, 0, 0, 0, 0, 0
-	for _, sp := range s.Spans {
-		if sp.Msgs > 0 {
-			s.Partitions++
-		}
-		s.Messages += sp.Msgs
-		s.Batches += sp.Batches
-		s.Rows += sp.Rows
-		s.Bytes += sp.Bytes
-		s.Busy += sp.Busy
-	}
+	s.recompute()
+	s.Lat = r.lat.Snapshot()
 	if s.Wall == 0 {
 		s.Wall = time.Since(r.start)
 	}
@@ -288,10 +298,10 @@ func (r *Rows) sendScan(server string, req *fsdp.Request) (*fsdp.Reply, error) {
 			return nil, err
 		}
 	}
+	wait := time.Since(t0)
+	r.lat.Record(wait)
 	sp := &r.stats.Spans[r.spanIdx]
-	sp.Msgs++
-	sp.Bytes += uint64(reqB + repB)
-	sp.Busy += time.Since(t0)
+	sp.observe(req, reply, reqB, repB, wait)
 	if err := replyErr(reply); err != nil {
 		return nil, err
 	}
@@ -331,57 +341,97 @@ func (f *FS) Count(tx *tmf.Tx, def *FileDef, rng keys.Range, pred expr.Expr) (in
 // CountParallel is Count with an explicit degree of parallelism for the
 // per-partition conversations (<=1 = one partition at a time).
 func (f *FS) CountParallel(tx *tmf.Tx, def *FileDef, rng keys.Range, pred expr.Expr, dop int) (int, error) {
+	n, _, err := f.countParallel(tx, def, rng, pred, dop)
+	return n, err
+}
+
+// CountTraced is Count plus the operation's ScanStats: per-partition
+// messages, re-drives, server-reported work, and latency distribution.
+func (f *FS) CountTraced(tx *tmf.Tx, def *FileDef, rng keys.Range, pred expr.Expr) (int, ScanStats, error) {
+	return f.countParallel(tx, def, rng, pred, f.scanDOP)
+}
+
+func (f *FS) countParallel(tx *tmf.Tx, def *FileDef, rng keys.Range, pred expr.Expr, dop int) (int, ScanStats, error) {
+	start := time.Now()
 	spans := partitionsFor(def.Partitions, rng)
-	if len(spans) == 0 {
-		return 0, nil
+	var stats ScanStats
+	stats.Spans = make([]SpanStats, len(spans))
+	for i, span := range spans {
+		stats.Spans[i].Server = span.server
+		stats.Spans[i].Dist = f.client.DistanceTo(span.server)
 	}
+	if len(spans) == 0 {
+		return 0, stats, nil
+	}
+	var lat obs.Histogram
 	if dop > len(spans) {
 		dop = len(spans)
 	}
-	if dop <= 1 {
-		total := 0
-		for _, span := range spans {
-			n, err := f.countSpan(tx, def, span, rng, pred, nil)
-			total += n
-			if err != nil {
-				return total, err
-			}
-		}
-		return total, nil
-	}
 	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		next     atomic.Int64
-		stop     atomic.Bool
 		total    int
 		firstErr error
 	)
-	for w := 0; w < dop; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				if stop.Load() {
-					return
-				}
-				idx := int(next.Add(1)) - 1
-				if idx >= len(spans) {
-					return
-				}
-				n, err := f.countSpan(tx, def, spans[idx], rng, pred, &stop)
-				mu.Lock()
-				total += n
-				if err != nil && firstErr == nil {
-					firstErr = err
-					stop.Store(true)
-				}
-				mu.Unlock()
+	if dop <= 1 {
+		for i, span := range spans {
+			n, err := f.countSpan(tx, def, span, rng, pred, nil, &stats.Spans[i], &lat)
+			total += n
+			if err != nil {
+				firstErr = err
+				break
 			}
-		}()
+		}
+	} else {
+		var (
+			wg   sync.WaitGroup
+			mu   sync.Mutex
+			next atomic.Int64
+			stop atomic.Bool
+		)
+		for w := 0; w < dop; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					if stop.Load() {
+						return
+					}
+					idx := int(next.Add(1)) - 1
+					if idx >= len(spans) {
+						return
+					}
+					// Each span's stats slot is written only by the claiming
+					// goroutine; totals are assembled after the wait.
+					n, err := f.countSpan(tx, def, spans[idx], rng, pred, &stop, &stats.Spans[idx], &lat)
+					mu.Lock()
+					total += n
+					if err != nil && firstErr == nil {
+						firstErr = err
+						stop.Store(true)
+					}
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
-	return total, firstErr
+	stats.recompute()
+	stats.Lat = lat.Snapshot()
+	stats.Wall = time.Since(start)
+	if rec := f.obsRec; rec != nil {
+		for _, sp := range stats.Spans {
+			if sp.Msgs == 0 {
+				continue
+			}
+			rec.RecordTrace(obs.Trace{
+				Op: "COUNT^FIRST/NEXT", Server: sp.Server,
+				Redrives: sp.Redrives, Examined: sp.Examined,
+				Selected: sp.Rows,
+				Blocks:   sp.BlocksRead, Hits: sp.CacheHits,
+				Dist: int(sp.Dist), Wall: sp.Busy,
+			})
+		}
+	}
+	return total, stats, firstErr
 }
 
 // hintFor classifies a subset's cache access for the DP: an unbounded
@@ -398,8 +448,10 @@ func hintFor(r keys.Range) uint8 {
 
 // countSpan drives one partition's COUNT^FIRST/NEXT conversation to
 // exhaustion, abandoning early (and retiring the SCB) when a sibling
-// conversation failed.
-func (f *FS) countSpan(tx *tmf.Tx, def *FileDef, span partSpan, rng keys.Range, pred expr.Expr, stop *atomic.Bool) (int, error) {
+// conversation failed. sp is this span's accounting slot (written only
+// by the driving goroutine); lat is the operation's shared latency
+// histogram (lock-free).
+func (f *FS) countSpan(tx *tmf.Tx, def *FileDef, span partSpan, rng keys.Range, pred expr.Expr, stop *atomic.Bool, sp *SpanStats, lat *obs.Histogram) (int, error) {
 	// Hint derived from the caller's unclipped range, not the partition
 	// span (see firstScanRequest).
 	req := &fsdp.Request{Kind: fsdp.KCountFirst, File: def.Name, Range: span.r,
@@ -409,7 +461,11 @@ func (f *FS) countSpan(tx *tmf.Tx, def *FileDef, span partSpan, rng keys.Range, 
 	}
 	n := 0
 	for {
-		reply, err := f.sendTx(tx, span.server, req)
+		t0 := time.Now()
+		reply, reqB, repB, err := f.sendTxMeasured(tx, span.server, req)
+		wait := time.Since(t0)
+		lat.Record(wait)
+		sp.observe(req, reply, reqB, repB, wait)
 		if err != nil {
 			return n, err
 		}
@@ -417,6 +473,7 @@ func (f *FS) countSpan(tx *tmf.Tx, def *FileDef, span partSpan, rng keys.Range, 
 			return n, err
 		}
 		n += int(reply.Count)
+		sp.Rows += uint64(reply.Count)
 		if reply.Done {
 			return n, nil
 		}

@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"nonstopsql/internal/expr"
 	"nonstopsql/internal/fsdp"
 	"nonstopsql/internal/keys"
+	"nonstopsql/internal/obs"
 	"nonstopsql/internal/record"
 	"nonstopsql/internal/tmf"
 )
@@ -25,10 +27,20 @@ import (
 // (scan + per-record update with index maintenance), since index
 // fragments live on other Disk Processes that this one cannot reach.
 func (f *FS) UpdateSubset(tx *tmf.Tx, def *FileDef, rng keys.Range, pred expr.Expr, assigns []expr.Assignment) (int, error) {
+	n, _, err := f.UpdateSubsetTraced(tx, def, rng, pred, assigns)
+	return n, err
+}
+
+// UpdateSubsetTraced is UpdateSubset plus the operation's ScanStats.
+// On the requester-side fallback path the stats cover the qualifying
+// scan only (the per-record updates are point operations accounted in
+// the network's global counters).
+func (f *FS) UpdateSubsetTraced(tx *tmf.Tx, def *FileDef, rng keys.Range, pred expr.Expr, assigns []expr.Assignment) (int, ScanStats, error) {
 	if def.AssignsTouchIndexes(assigns) {
-		return f.updateSubsetRequesterSide(tx, def, rng, pred, assigns)
+		n, err := f.updateSubsetRequesterSide(tx, def, rng, pred, assigns)
+		return n, ScanStats{}, err
 	}
-	return f.fanoutSubset(tx, def, rng, func(span partSpan) *fsdp.Request {
+	return f.fanoutSubset(tx, def, rng, "UPDATE^SUBSET^FIRST/NEXT", func(span partSpan) *fsdp.Request {
 		return &fsdp.Request{
 			Kind: fsdp.KUpdateSubsetFirst, Tx: tx.ID, File: def.Name,
 			Range:  span.r,
@@ -46,69 +58,100 @@ func (f *FS) UpdateSubset(tx *tmf.Tx, def *FileDef, rng keys.Range, pred expr.Ex
 // re-drive semantics are exactly those of the sequential path). Reply
 // counts are summed; the first error wins and cancels the siblings at
 // their next message boundary.
-func (f *FS) fanoutSubset(tx *tmf.Tx, def *FileDef, rng keys.Range, first func(partSpan) *fsdp.Request, nextKind fsdp.Kind) (int, error) {
+func (f *FS) fanoutSubset(tx *tmf.Tx, def *FileDef, rng keys.Range, op string, first func(partSpan) *fsdp.Request, nextKind fsdp.Kind) (int, ScanStats, error) {
+	start := time.Now()
 	spans := partitionsFor(def.Partitions, rng)
-	if len(spans) == 0 {
-		return 0, nil
+	var stats ScanStats
+	stats.Spans = make([]SpanStats, len(spans))
+	for i, span := range spans {
+		stats.Spans[i].Server = span.server
+		stats.Spans[i].Dist = f.client.DistanceTo(span.server)
 	}
+	if len(spans) == 0 {
+		return 0, stats, nil
+	}
+	var lat obs.Histogram
 	dop := f.scanDOP
 	if dop < 1 || dop > len(spans) {
 		dop = len(spans)
 	}
-	if dop == 1 || len(spans) == 1 {
-		total := 0
-		for _, span := range spans {
-			n, err := f.subsetSpan(tx, span, first(span), nextKind, nil)
-			total += n
-			if err != nil {
-				return total, err
-			}
-		}
-		return total, nil
-	}
 	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		next     atomic.Int64
-		stop     atomic.Bool
 		total    int
 		firstErr error
 	)
-	for w := 0; w < dop; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				if stop.Load() {
-					return
-				}
-				idx := int(next.Add(1)) - 1
-				if idx >= len(spans) {
-					return
-				}
-				span := spans[idx]
-				n, err := f.subsetSpan(tx, span, first(span), nextKind, &stop)
-				mu.Lock()
-				total += n
-				if err != nil && firstErr == nil {
-					firstErr = err
-					stop.Store(true)
-				}
-				mu.Unlock()
+	if dop == 1 || len(spans) == 1 {
+		for i, span := range spans {
+			n, err := f.subsetSpan(tx, span, first(span), nextKind, nil, &stats.Spans[i], &lat)
+			total += n
+			if err != nil {
+				firstErr = err
+				break
 			}
-		}()
+		}
+	} else {
+		var (
+			wg   sync.WaitGroup
+			mu   sync.Mutex
+			next atomic.Int64
+			stop atomic.Bool
+		)
+		for w := 0; w < dop; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					if stop.Load() {
+						return
+					}
+					idx := int(next.Add(1)) - 1
+					if idx >= len(spans) {
+						return
+					}
+					span := spans[idx]
+					n, err := f.subsetSpan(tx, span, first(span), nextKind, &stop, &stats.Spans[idx], &lat)
+					mu.Lock()
+					total += n
+					if err != nil && firstErr == nil {
+						firstErr = err
+						stop.Store(true)
+					}
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
-	return total, firstErr
+	stats.recompute()
+	stats.Lat = lat.Snapshot()
+	stats.Wall = time.Since(start)
+	if rec := f.obsRec; rec != nil {
+		for _, sp := range stats.Spans {
+			if sp.Msgs == 0 {
+				continue
+			}
+			rec.RecordTrace(obs.Trace{
+				Op: op, Server: sp.Server,
+				Redrives: sp.Redrives, Examined: sp.Examined,
+				Selected: sp.Rows,
+				Blocks:   sp.BlocksRead, Hits: sp.CacheHits,
+				Dist: int(sp.Dist), Wall: sp.Busy,
+			})
+		}
+	}
+	return total, stats, firstErr
 }
 
 // subsetSpan drives one partition's subset conversation (update or
 // delete) to exhaustion, abandoning between re-drives when a sibling
 // failed.
-func (f *FS) subsetSpan(tx *tmf.Tx, span partSpan, req *fsdp.Request, nextKind fsdp.Kind, stop *atomic.Bool) (int, error) {
+func (f *FS) subsetSpan(tx *tmf.Tx, span partSpan, req *fsdp.Request, nextKind fsdp.Kind, stop *atomic.Bool, sp *SpanStats, lat *obs.Histogram) (int, error) {
 	n := 0
 	for {
-		reply, err := f.sendTx(tx, span.server, req)
+		t0 := time.Now()
+		reply, reqB, repB, err := f.sendTxMeasured(tx, span.server, req)
+		wait := time.Since(t0)
+		lat.Record(wait)
+		sp.observe(req, reply, reqB, repB, wait)
 		if err != nil {
 			return n, err
 		}
@@ -116,6 +159,7 @@ func (f *FS) subsetSpan(tx *tmf.Tx, span partSpan, req *fsdp.Request, nextKind f
 			return n, err
 		}
 		n += int(reply.Count)
+		sp.Rows += uint64(reply.Count)
 		if reply.Done {
 			return n, nil
 		}
@@ -181,10 +225,18 @@ func (f *FS) updateSubsetRequesterSide(tx *tmf.Tx, def *FileDef, rng keys.Range,
 // the same pushdown/fallback split as UpdateSubset: files without
 // secondary indexes delete entirely at the Disk Process.
 func (f *FS) DeleteSubset(tx *tmf.Tx, def *FileDef, rng keys.Range, pred expr.Expr) (int, error) {
+	n, _, err := f.DeleteSubsetTraced(tx, def, rng, pred)
+	return n, err
+}
+
+// DeleteSubsetTraced is DeleteSubset plus the operation's ScanStats
+// (empty on the requester-side fallback, as for UpdateSubsetTraced).
+func (f *FS) DeleteSubsetTraced(tx *tmf.Tx, def *FileDef, rng keys.Range, pred expr.Expr) (int, ScanStats, error) {
 	if len(def.Indexes) > 0 {
-		return f.deleteSubsetRequesterSide(tx, def, rng, pred)
+		n, err := f.deleteSubsetRequesterSide(tx, def, rng, pred)
+		return n, ScanStats{}, err
 	}
-	return f.fanoutSubset(tx, def, rng, func(span partSpan) *fsdp.Request {
+	return f.fanoutSubset(tx, def, rng, "DELETE^SUBSET^FIRST/NEXT", func(span partSpan) *fsdp.Request {
 		return &fsdp.Request{
 			Kind: fsdp.KDeleteSubsetFirst, Tx: tx.ID, File: def.Name,
 			Range: span.r,

@@ -167,6 +167,14 @@ type Reply struct {
 	Count   uint32   // records affected (set updates/deletes)
 	SCB     uint32   // Subset Control Block id (GET^FIRST replies)
 	Root    uint32   // file root block (KCreateFile reply)
+
+	// Per-message service statistics. The DP does the filtering, so
+	// only it knows how many records a conversation touched; shipping
+	// the counts in the reply is what lets the requester (and EXPLAIN
+	// ANALYZE) account per-operation work without extra messages.
+	Examined   uint32 // records the DP visited serving this message
+	BlocksRead uint32 // cache misses (physical reads) serving it
+	CacheHits  uint32 // cache hits serving it
 }
 
 // OK reports whether the reply carries no error.
@@ -423,6 +431,9 @@ func EncodeReply(r *Reply) []byte {
 	b = binary.AppendUvarint(b, uint64(r.Count))
 	b = binary.AppendUvarint(b, uint64(r.SCB))
 	b = binary.AppendUvarint(b, uint64(r.Root))
+	b = binary.AppendUvarint(b, uint64(r.Examined))
+	b = binary.AppendUvarint(b, uint64(r.BlocksRead))
+	b = binary.AppendUvarint(b, uint64(r.CacheHits))
 	return b
 }
 
@@ -472,6 +483,24 @@ func DecodeReply(b []byte) (*Reply, error) {
 		return nil, fmt.Errorf("fsdp: bad root")
 	}
 	r.Root = uint32(u)
+	b = b[n:]
+	u, n = binary.Uvarint(b)
+	if n <= 0 {
+		return nil, fmt.Errorf("fsdp: bad examined count")
+	}
+	r.Examined = uint32(u)
+	b = b[n:]
+	u, n = binary.Uvarint(b)
+	if n <= 0 {
+		return nil, fmt.Errorf("fsdp: bad blocks-read count")
+	}
+	r.BlocksRead = uint32(u)
+	b = b[n:]
+	u, n = binary.Uvarint(b)
+	if n <= 0 {
+		return nil, fmt.Errorf("fsdp: bad cache-hit count")
+	}
+	r.CacheHits = uint32(u)
 	b = b[n:]
 	if len(b) != 0 {
 		return nil, fmt.Errorf("fsdp: %d trailing reply bytes", len(b))

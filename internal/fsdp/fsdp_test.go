@@ -64,6 +64,10 @@ func TestReplyRoundTrip(t *testing.T) {
 		Count:   12,
 		SCB:     5,
 		Root:    99,
+
+		Examined:   640,
+		BlocksRead: 7,
+		CacheHits:  31,
 	}
 	got, err := DecodeReply(EncodeReply(r))
 	if err != nil {

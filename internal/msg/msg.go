@@ -9,12 +9,26 @@
 // node via the inter-processor bus, or remote node via the network).
 // The paper's central performance claims are message-traffic claims;
 // these counters are the measurement instrument that reproduces them.
+//
+// The instrument keeps two invariants the accounting depends on:
+//
+//   - request counters are charged only once the request is actually
+//     enqueued at the server, and reply counters are charged by the
+//     worker when it answers — so Requests == Replies whenever every
+//     accepted request was answered, even when sends were rejected by a
+//     closed server or abandoned by a timed-out requester;
+//   - a handler that panics still produces a reply (an error), so a
+//     requester never blocks forever on a dead worker.
 package msg
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"nonstopsql/internal/obs"
 )
 
 // A ProcessorID locates a processor: node within the network, CPU
@@ -36,6 +50,9 @@ type Stats struct {
 	Local        uint64 // request landed on the sender's own processor
 	Bus          uint64 // crossed the inter-processor bus (same node)
 	Network      uint64 // crossed node boundaries
+
+	Timeouts uint64 // sends abandoned at the reply deadline
+	Panics   uint64 // handler panics converted into error replies
 }
 
 // Messages returns the total message count (requests + replies).
@@ -53,23 +70,39 @@ func (s *Stats) Add(o Stats) {
 	s.Local += o.Local
 	s.Bus += o.Bus
 	s.Network += o.Network
+	s.Timeouts += o.Timeouts
+	s.Panics += o.Panics
 }
+
+// ErrReplyTimeout marks a Send abandoned at its reply deadline. The
+// request may still be served — the deadline bounds the requester's
+// wait, not the server's work.
+var ErrReplyTimeout = errors.New("reply timeout")
 
 // A Handler serves one request and returns the reply payload. Handlers
 // run on the server's goroutine pool; application-level errors travel
 // inside the reply encoding, not as Go errors.
 type Handler func(req []byte) []byte
 
+// outcome is what travels back on a request's reply channel: the reply
+// payload, or the transport-level error (handler panic).
+type outcome struct {
+	data []byte
+	err  error
+}
+
 type request struct {
-	payload []byte
-	reply   chan []byte
+	payload  []byte
+	reply    chan outcome
+	enqueued time.Time
 }
 
 // A Server is a named process group with a shared input queue.
 type Server struct {
-	name string
-	proc ProcessorID
-	net  *Network
+	name    string
+	proc    ProcessorID
+	net     *Network
+	handler Handler
 
 	mu     sync.RWMutex // guards closed vs. in-flight queue sends
 	queue  chan request
@@ -77,6 +110,13 @@ type Server struct {
 	wg     sync.WaitGroup
 
 	received atomic.Uint64
+
+	// Queue wait: time requests sat in the shared input queue before a
+	// worker picked them up — the server-side complement of the
+	// requester's conversation wait.
+	queueWaitOps   atomic.Uint64
+	queueWaitNanos atomic.Uint64
+	queueWaitHist  obs.Histogram
 }
 
 // Name returns the server's process name (e.g. "$DATA1").
@@ -85,10 +125,20 @@ func (s *Server) Name() string { return s.name }
 // Processor returns where the server runs.
 func (s *Server) Processor() ProcessorID { return s.proc }
 
-// Received returns how many requests this server has handled.
+// Received returns how many requests this server has accepted.
 func (s *Server) Received() uint64 { return s.received.Load() }
 
+// QueueWait returns how many requests have been picked up by workers
+// and their summed input-queue wait in nanoseconds.
+func (s *Server) QueueWait() (ops, nanos uint64) {
+	return s.queueWaitOps.Load(), s.queueWaitNanos.Load()
+}
+
+// QueueWaitLatency returns the input-queue wait distribution.
+func (s *Server) QueueWaitLatency() obs.Snapshot { return s.queueWaitHist.Snapshot() }
+
 // Close stops the server's goroutine pool after draining the queue.
+// Every request accepted before Close gets its reply.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -101,12 +151,50 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
+// serve drains the shared input queue; one goroutine per pool worker.
+func (s *Server) serve() {
+	defer s.wg.Done()
+	for req := range s.queue {
+		wait := time.Since(req.enqueued)
+		s.queueWaitOps.Add(1)
+		s.queueWaitNanos.Add(uint64(wait))
+		s.queueWaitHist.Record(wait)
+		data, err := s.invoke(req.payload)
+		// Reply accounting happens here, at the worker, not at the
+		// requester: a requester that abandoned the conversation at its
+		// deadline must not skew Requests != Replies for a request that
+		// was in fact served.
+		s.net.chargeReply(len(data), err)
+		req.reply <- outcome{data: data, err: err}
+	}
+}
+
+// invoke runs the handler, converting a panic into an error so the
+// worker survives and the requester gets a reply instead of a hang.
+func (s *Server) invoke(payload []byte) (data []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("msg: server %q: handler panic: %v", s.name, r)
+		}
+	}()
+	return s.handler(payload), nil
+}
+
 // A Network is the interconnect and process registry for one simulated
 // Tandem network (one or more nodes of up to 16 processors).
 type Network struct {
 	mu      sync.Mutex
 	servers map[string]*Server
 	stats   Stats
+
+	// ReplyTimeout is the default reply deadline applied to clients
+	// created after it is set (0 = wait forever). Set it before creating
+	// clients; per-client SetReplyTimeout overrides.
+	ReplyTimeout time.Duration
+
+	// lat histograms record request/reply round-trip latency by hop
+	// distance. Lock-free; reset with ResetStats.
+	lat [3]obs.Histogram
 }
 
 // NewNetwork creates an empty network.
@@ -126,16 +214,11 @@ func (n *Network) StartServer(name string, proc ProcessorID, workers int, handle
 	if _, dup := n.servers[name]; dup {
 		return nil, fmt.Errorf("msg: server %q already registered", name)
 	}
-	s := &Server{name: name, proc: proc, net: n, queue: make(chan request, 64)}
+	s := &Server{name: name, proc: proc, net: n, handler: handler, queue: make(chan request, 64)}
 	n.servers[name] = s
 	for i := 0; i < workers; i++ {
 		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			for req := range s.queue {
-				req.reply <- handler(req.payload)
-			}
-		}()
+		go s.serve()
 	}
 	return s, nil
 }
@@ -149,6 +232,13 @@ func (n *Network) StopServer(name string) {
 	if s != nil {
 		s.Close()
 	}
+}
+
+// Server returns the named server's handle (nil when not registered).
+func (n *Network) Server(name string) *Server {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.servers[name]
 }
 
 // Lookup returns the processor a server runs on.
@@ -169,27 +259,87 @@ func (n *Network) Stats() Stats {
 	return n.stats
 }
 
-// ResetStats zeroes the traffic counters.
+// ResetStats zeroes the traffic counters and latency histograms.
 func (n *Network) ResetStats() {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	n.stats = Stats{}
+	n.mu.Unlock()
+	for i := range n.lat {
+		n.lat[i].Reset()
+	}
+}
+
+// Latency returns the round-trip latency distribution for one hop
+// distance class.
+func (n *Network) Latency(d Distance) obs.Snapshot {
+	if d < DistLocal || d > DistNetwork {
+		return obs.Snapshot{}
+	}
+	return n.lat[d].Snapshot()
+}
+
+// LatencyAll returns the round-trip latency distribution across every
+// hop distance class.
+func (n *Network) LatencyAll() obs.Snapshot {
+	s := n.lat[DistLocal].Snapshot()
+	s.Add(n.lat[DistBus].Snapshot())
+	s.Add(n.lat[DistNetwork].Snapshot())
+	return s
+}
+
+// chargeRequest records one accepted (enqueued) request.
+func (n *Network) chargeRequest(payloadLen int, d Distance) {
+	n.mu.Lock()
+	n.stats.Requests++
+	n.stats.RequestBytes += uint64(payloadLen)
+	switch d {
+	case DistLocal:
+		n.stats.Local++
+	case DistBus:
+		n.stats.Bus++
+	default:
+		n.stats.Network++
+	}
+	n.mu.Unlock()
+}
+
+// chargeReply records one reply at the serving worker.
+func (n *Network) chargeReply(replyLen int, err error) {
+	n.mu.Lock()
+	n.stats.Replies++
+	n.stats.ReplyBytes += uint64(replyLen)
+	if err != nil {
+		n.stats.Panics++
+	}
+	n.mu.Unlock()
 }
 
 // A Client is a requester context: library code (the File System) that
 // runs in an application process on a particular processor.
 type Client struct {
-	net  *Network
-	proc ProcessorID
+	net     *Network
+	proc    ProcessorID
+	timeout time.Duration // reply deadline (0 = wait forever)
 }
 
-// NewClient creates a requester on the given processor.
+// NewClient creates a requester on the given processor. It inherits the
+// network's default reply deadline.
 func (n *Network) NewClient(proc ProcessorID) *Client {
-	return &Client{net: n, proc: proc}
+	return &Client{net: n, proc: proc, timeout: n.ReplyTimeout}
 }
 
 // Processor returns where the client runs.
 func (c *Client) Processor() ProcessorID { return c.proc }
+
+// Network returns the interconnect this client sends through.
+func (c *Client) Network() *Network { return c.net }
+
+// SetReplyTimeout bounds how long Send waits for a reply (0 = forever).
+// Not safe to call concurrently with Send.
+func (c *Client) SetReplyTimeout(d time.Duration) { c.timeout = d }
+
+// ReplyTimeout returns the client's reply deadline.
+func (c *Client) ReplyTimeout() time.Duration { return c.timeout }
 
 // Distance classifies one request/reply hop by how far it travels —
 // the same classification Send charges to the Local/Bus/Network
@@ -207,6 +357,18 @@ const (
 	DistNetwork
 )
 
+// classify returns the hop distance between two processors.
+func classify(from, to ProcessorID) Distance {
+	switch {
+	case from == to:
+		return DistLocal
+	case from.Node == to.Node:
+		return DistBus
+	default:
+		return DistNetwork
+	}
+}
+
 // DistanceTo classifies the hop from this client to the named server.
 // An unknown server classifies as DistNetwork: locating it would itself
 // cross the network.
@@ -215,52 +377,57 @@ func (c *Client) DistanceTo(server string) Distance {
 	if !ok {
 		return DistNetwork
 	}
-	switch {
-	case proc == c.proc:
-		return DistLocal
-	case proc.Node == c.proc.Node:
-		return DistBus
-	default:
-		return DistNetwork
-	}
+	return classify(c.proc, proc)
 }
 
 // Send delivers one request message to the named server and waits for
 // the reply, charging both directions to the traffic counters.
+//
+// Counters are charged only once the request is actually enqueued: a
+// send rejected because the server is unknown or closed charges
+// nothing, so Requests == Replies stays true across server stops. The
+// reply side is charged by the worker (see Server.serve), so it also
+// stays true when this requester gives up at its reply deadline but the
+// server finishes the work anyway.
 func (c *Client) Send(server string, payload []byte) ([]byte, error) {
 	c.net.mu.Lock()
 	s, ok := c.net.servers[server]
+	c.net.mu.Unlock()
 	if !ok {
-		c.net.mu.Unlock()
 		return nil, fmt.Errorf("msg: no server %q", server)
 	}
-	c.net.stats.Requests++
-	c.net.stats.RequestBytes += uint64(len(payload))
-	switch {
-	case s.proc == c.proc:
-		c.net.stats.Local++
-	case s.proc.Node == c.proc.Node:
-		c.net.stats.Bus++
-	default:
-		c.net.stats.Network++
-	}
-	c.net.mu.Unlock()
 
+	req := request{payload: payload, reply: make(chan outcome, 1), enqueued: time.Now()}
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
 		return nil, fmt.Errorf("msg: server %q is down", server)
 	}
 	s.received.Add(1)
-	req := request{payload: payload, reply: make(chan []byte, 1)}
 	s.queue <- req
 	s.mu.RUnlock()
 
-	reply := <-req.reply
+	dist := classify(c.proc, s.proc)
+	c.net.chargeRequest(len(payload), dist)
 
-	c.net.mu.Lock()
-	c.net.stats.Replies++
-	c.net.stats.ReplyBytes += uint64(len(reply))
-	c.net.mu.Unlock()
-	return reply, nil
+	var out outcome
+	if c.timeout <= 0 {
+		out = <-req.reply
+	} else {
+		timer := time.NewTimer(c.timeout)
+		select {
+		case out = <-req.reply:
+			timer.Stop()
+		case <-timer.C:
+			c.net.mu.Lock()
+			c.net.stats.Timeouts++
+			c.net.mu.Unlock()
+			return nil, fmt.Errorf("msg: server %q: %w after %v", server, ErrReplyTimeout, c.timeout)
+		}
+	}
+	if out.err != nil {
+		return nil, out.err
+	}
+	c.net.lat[dist].Record(time.Since(req.enqueued))
+	return out.data, nil
 }

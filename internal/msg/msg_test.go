@@ -2,9 +2,12 @@ package msg
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 func echo(req []byte) []byte { return append([]byte("echo:"), req...) }
@@ -199,5 +202,207 @@ func TestCostModel(t *testing.T) {
 	// Bytes matter.
 	if m.Estimate(Stats{Local: 1, RequestBytes: 1 << 20}) <= m.Estimate(Stats{Local: 1}) {
 		t.Error("byte cost ignored")
+	}
+}
+
+// TestHandlerPanicReplies pins the hang bugfix: a panicking handler
+// used to kill its worker goroutine without replying, blocking the
+// requester on <-req.reply forever. Now the panic converts into an
+// error reply and the worker survives.
+func TestHandlerPanicReplies(t *testing.T) {
+	n := NewNetwork()
+	n.StartServer("$D", ProcessorID{0, 1}, 1, func(req []byte) []byte {
+		if bytes.Equal(req, []byte("boom")) {
+			panic("injected")
+		}
+		return echo(req)
+	})
+	defer n.StopServer("$D")
+	c := n.NewClient(ProcessorID{0, 0})
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Send("$D", []byte("boom"))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("panicking handler returned success")
+		}
+		if !strings.Contains(err.Error(), "panic") {
+			t.Errorf("error %v does not mention the panic", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Send hung on a panicking handler")
+	}
+
+	// With a single worker, the server only answers this if the worker
+	// survived the panic.
+	if _, err := c.Send("$D", []byte("ok")); err != nil {
+		t.Fatalf("worker did not survive the panic: %v", err)
+	}
+	s := n.Stats()
+	if s.Requests != s.Replies {
+		t.Errorf("Requests %d != Replies %d after panic", s.Requests, s.Replies)
+	}
+	if s.Panics != 1 {
+		t.Errorf("Panics = %d, want 1", s.Panics)
+	}
+}
+
+// TestReplyTimeout pins the stall bugfix: a handler that never returns
+// used to hang the requester; with a reply deadline Send returns
+// ErrReplyTimeout instead.
+func TestReplyTimeout(t *testing.T) {
+	n := NewNetwork()
+	release := make(chan struct{})
+	n.StartServer("$D", ProcessorID{0, 1}, 1, func(req []byte) []byte {
+		<-release
+		return req
+	})
+	c := n.NewClient(ProcessorID{0, 0})
+	c.SetReplyTimeout(20 * time.Millisecond)
+
+	start := time.Now()
+	_, err := c.Send("$D", []byte("stall"))
+	if err == nil {
+		t.Fatal("Send against a stalled handler returned success")
+	}
+	if !errors.Is(err, ErrReplyTimeout) {
+		t.Fatalf("error %v is not ErrReplyTimeout", err)
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Errorf("timeout took %v", waited)
+	}
+	if got := n.Stats().Timeouts; got != 1 {
+		t.Errorf("Timeouts = %d, want 1", got)
+	}
+
+	// Release the handler: the server still answers the abandoned
+	// request (charging its reply), so the books balance eventually.
+	close(release)
+	n.StopServer("$D") // Close drains the queue and waits for workers
+	s := n.Stats()
+	if s.Requests != s.Replies {
+		t.Errorf("Requests %d != Replies %d after handler release", s.Requests, s.Replies)
+	}
+}
+
+// TestClosedServerAccounting pins the accounting-skew bugfix: Send used
+// to charge Requests/RequestBytes/distance before discovering the
+// server closed, permanently skewing Requests != Replies.
+func TestClosedServerAccounting(t *testing.T) {
+	n := NewNetwork()
+	n.StartServer("$D", ProcessorID{0, 1}, 1, echo)
+	c := n.NewClient(ProcessorID{0, 0})
+	if _, err := c.Send("$D", []byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+	n.StopServer("$D")
+	for i := 0; i < 10; i++ {
+		if _, err := c.Send("$D", []byte("rejected")); err == nil {
+			t.Fatal("send to stopped server accepted")
+		}
+	}
+	s := n.Stats()
+	if s.Requests != s.Replies {
+		t.Errorf("Requests %d != Replies %d after closed-server sends", s.Requests, s.Replies)
+	}
+	if s.Requests != 1 {
+		t.Errorf("Requests = %d, want 1 (rejected sends must charge nothing)", s.Requests)
+	}
+	if s.RequestBytes != 4 {
+		t.Errorf("RequestBytes = %d, want 4", s.RequestBytes)
+	}
+}
+
+// TestStopSendRace hammers StopServer/Send concurrently under -race to
+// pin the close-vs-enqueue window: every Send must either complete or
+// fail cleanly, never panic on a closed channel, and the traffic
+// counters must balance once the dust settles.
+func TestStopSendRace(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		n := NewNetwork()
+		n.StartServer("$D", ProcessorID{0, 1}, 2, echo)
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				c := n.NewClient(ProcessorID{0, id % 4})
+				for i := 0; i < 50; i++ {
+					reply, err := c.Send("$D", []byte("x"))
+					if err == nil && !bytes.Equal(reply, []byte("echo:x")) {
+						t.Error("reply corrupted")
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n.StopServer("$D")
+		}()
+		wg.Wait()
+		s := n.Stats()
+		if s.Requests != s.Replies {
+			t.Fatalf("round %d: Requests %d != Replies %d", round, s.Requests, s.Replies)
+		}
+	}
+}
+
+// TestQueueWaitMeasured verifies the server records input-queue wait
+// for every request a worker picks up.
+func TestQueueWaitMeasured(t *testing.T) {
+	n := NewNetwork()
+	srv, err := n.StartServer("$D", ProcessorID{0, 1}, 1, echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.StopServer("$D")
+	c := n.NewClient(ProcessorID{0, 0})
+	for i := 0; i < 5; i++ {
+		c.Send("$D", []byte("q"))
+	}
+	ops, _ := srv.QueueWait()
+	if ops != 5 {
+		t.Errorf("queue-wait ops = %d, want 5", ops)
+	}
+	if srv.QueueWaitLatency().Count() != 5 {
+		t.Errorf("queue-wait histogram count = %d, want 5", srv.QueueWaitLatency().Count())
+	}
+}
+
+// TestLatencyHistogram verifies Send records round-trip latency by
+// distance class and ResetStats clears it.
+func TestLatencyHistogram(t *testing.T) {
+	n := NewNetwork()
+	n.StartServer("$LOCAL", ProcessorID{0, 0}, 1, echo)
+	n.StartServer("$REMOTE", ProcessorID{1, 0}, 1, echo)
+	defer n.StopServer("$LOCAL")
+	defer n.StopServer("$REMOTE")
+	c := n.NewClient(ProcessorID{0, 0})
+	for i := 0; i < 3; i++ {
+		c.Send("$LOCAL", nil)
+	}
+	c.Send("$REMOTE", nil)
+	if got := n.Latency(DistLocal).Count(); got != 3 {
+		t.Errorf("local latency count = %d, want 3", got)
+	}
+	if got := n.Latency(DistNetwork).Count(); got != 1 {
+		t.Errorf("network latency count = %d, want 1", got)
+	}
+	all := n.LatencyAll()
+	if all.Count() != 4 {
+		t.Errorf("total latency count = %d, want 4", all.Count())
+	}
+	if all.Quantile(0.5) <= 0 {
+		t.Error("p50 latency is zero")
+	}
+	n.ResetStats()
+	if n.LatencyAll().Count() != 0 {
+		t.Error("ResetStats did not clear latency histograms")
 	}
 }

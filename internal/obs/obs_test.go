@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11}, {1 << 40, 41}, {1 << 62, NumBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.ns); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+	for i := 1; i < NumBuckets-1; i++ {
+		lo, hi := bucketBounds(i)
+		if bucketOf(lo) != i || bucketOf(hi) != i {
+			t.Errorf("bucket %d bounds [%d,%d] do not map back", i, lo, hi)
+		}
+		if bucketOf(hi+1) != i+1 {
+			t.Errorf("bucket %d high bound+1 maps to %d", i, bucketOf(hi+1))
+		}
+	}
+}
+
+func TestQuantileBasics(t *testing.T) {
+	var h Histogram
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram p50 = %v, want 0", got)
+	}
+	// 100 observations at ~1µs, 1 at ~1ms: p50 must sit in the µs
+	// bucket, p99+ may reach toward the ms outlier.
+	for i := 0; i < 100; i++ {
+		h.RecordNanos(1000)
+	}
+	h.RecordNanos(1_000_000)
+	s := h.Snapshot()
+	if n := s.Count(); n != 101 {
+		t.Fatalf("count = %d, want 101", n)
+	}
+	p50 := s.Quantile(0.50)
+	if p50 < 512*time.Nanosecond || p50 > 2*time.Microsecond {
+		t.Errorf("p50 = %v, want ~1µs", p50)
+	}
+	// Quantiles must be monotone in q.
+	prev := time.Duration(-1)
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.9, 0.95, 0.99, 1} {
+		v := s.Quantile(q)
+		if v < prev {
+			t.Errorf("Quantile(%v) = %v < previous %v", q, v, prev)
+		}
+		prev = v
+	}
+	if s.Mean() <= 0 {
+		t.Errorf("mean = %v, want > 0", s.Mean())
+	}
+}
+
+func TestSnapshotSub(t *testing.T) {
+	var h Histogram
+	h.RecordNanos(100)
+	before := h.Snapshot()
+	h.RecordNanos(200)
+	h.RecordNanos(300)
+	after := h.Snapshot()
+	after.Sub(before)
+	if after.Count() != 2 {
+		t.Errorf("delta count = %d, want 2", after.Count())
+	}
+	if after.Sum != 500 {
+		t.Errorf("delta sum = %d, want 500", after.Sum)
+	}
+}
+
+// TestMergePropertyConcurrent is the satellite property test: G
+// goroutines record the same observations into per-goroutine histograms
+// and one shared histogram concurrently; the merge of the per-goroutine
+// snapshots must equal the shared snapshot bucket for bucket.
+func TestMergePropertyConcurrent(t *testing.T) {
+	const goroutines = 8
+	const perG = 5000
+	var shared Histogram
+	parts := make([]Histogram, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g) + 1))
+			for i := 0; i < perG; i++ {
+				ns := rng.Int63n(int64(10 * time.Millisecond))
+				parts[g].RecordNanos(ns)
+				shared.RecordNanos(ns)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	var merged Snapshot
+	for g := range parts {
+		merged.Add(parts[g].Snapshot())
+	}
+	got := shared.Snapshot()
+	if merged != got {
+		t.Fatalf("merged per-goroutine snapshots != shared snapshot:\nmerged: counts=%v sum=%d\nshared: counts=%v sum=%d",
+			merged.Counts, merged.Sum, got.Counts, got.Sum)
+	}
+	if n := merged.Count(); n != goroutines*perG {
+		t.Fatalf("merged count = %d, want %d", n, goroutines*perG)
+	}
+}
+
+func TestQuantileCountsHelper(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.RecordNanos(int64(i) * 1000)
+	}
+	s := h.Snapshot()
+	// Truncated slice form must agree with the Snapshot method.
+	counts := make([]uint64, 0, NumBuckets)
+	last := 0
+	for i, c := range s.Counts {
+		if c > 0 {
+			last = i
+		}
+	}
+	counts = append(counts, s.Counts[:last+1]...)
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if got, want := QuantileCounts(counts, q), s.Quantile(q); got != want {
+			t.Errorf("QuantileCounts(%v) = %v, want %v", q, got, want)
+		}
+	}
+}
+
+func TestRecorderRing(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 6; i++ {
+		r.RecordTrace(Trace{Op: "READ", SCB: uint32(i), Wall: time.Duration(i+1) * time.Microsecond})
+	}
+	if got := r.TraceCount(); got != 6 {
+		t.Errorf("TraceCount = %d, want 6", got)
+	}
+	ts := r.Traces()
+	if len(ts) != 4 {
+		t.Fatalf("retained %d traces, want 4", len(ts))
+	}
+	for i, tr := range ts {
+		if want := uint32(i + 2); tr.SCB != want {
+			t.Errorf("trace %d SCB = %d, want %d (oldest-first order)", i, tr.SCB, want)
+		}
+	}
+	if h := r.Hist("READ").Snapshot(); h.Count() != 6 {
+		t.Errorf("per-op histogram count = %d, want 6", h.Count())
+	}
+	if s := r.Summary(); s == "" {
+		t.Error("Summary is empty")
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			op := []string{"A", "B"}[g%2]
+			for i := 0; i < 1000; i++ {
+				r.RecordTrace(Trace{Op: op, Wall: time.Duration(i) * time.Nanosecond})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.TraceCount(); got != 8000 {
+		t.Errorf("TraceCount = %d, want 8000", got)
+	}
+	snaps := r.Snapshots()
+	if snaps["A"].Count()+snaps["B"].Count() != 8000 {
+		t.Errorf("histogram counts = %d + %d, want 8000 total", snaps["A"].Count(), snaps["B"].Count())
+	}
+}

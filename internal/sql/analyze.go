@@ -1,0 +1,223 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"nonstopsql/internal/fs"
+	"nonstopsql/internal/msg"
+	"nonstopsql/internal/obs"
+	"nonstopsql/internal/tmf"
+)
+
+// NodeActuals is the measured execution of one plan node: the message
+// traffic it cost, the work the Disk Processes reported back, and the
+// per-message latency distribution. For scan/count/subset nodes the
+// numbers come from the operation's own ScanStats (per-conversation
+// accounting, exact even with other requesters on the network); for
+// requester-side nodes they are network-counter deltas.
+type NodeActuals struct {
+	Label      string
+	Partitions int    // partition conversations that exchanged messages
+	Messages   uint64 // request/reply pairs
+	Redrives   uint64 // continuation messages beyond each ^FIRST
+	Bytes      uint64 // encoded request + reply bytes
+
+	RowsReturned uint64 // rows delivered to the requester
+	RowsExamined uint64 // records the DPs visited (server-reported)
+	BlocksRead   uint64 // physical reads at the DPs
+	CacheHits    uint64 // buffer-pool hits at the DPs
+	Affected     int    // records changed (update/delete nodes)
+
+	Wall time.Duration // node wall time
+	Lat  obs.Snapshot  // per-message round-trip latency
+}
+
+// P50 returns the node's median message latency.
+func (n NodeActuals) P50() time.Duration { return n.Lat.Quantile(0.50) }
+
+// P95 returns the node's 95th-percentile message latency.
+func (n NodeActuals) P95() time.Duration { return n.Lat.Quantile(0.95) }
+
+// P99 returns the node's 99th-percentile message latency.
+func (n NodeActuals) P99() time.Duration { return n.Lat.Quantile(0.99) }
+
+// CacheHitRate returns hits/(hits+misses) at the serving DPs, or 0.
+func (n NodeActuals) CacheHitRate() float64 {
+	if n.CacheHits+n.BlocksRead == 0 {
+		return 0
+	}
+	return float64(n.CacheHits) / float64(n.CacheHits+n.BlocksRead)
+}
+
+// Analyze is one EXPLAIN ANALYZE execution: the annotated plan text,
+// the per-node actuals behind it, and the statement's result.
+type Analyze struct {
+	Plan   string // static plan + per-node "actual:" annotations
+	Nodes  []NodeActuals
+	Result *Result
+	Wall   time.Duration
+}
+
+// analyzeState collects per-node actuals while a statement executes.
+// A nil *analyzeState disables collection (the normal execution path).
+type analyzeState struct {
+	nodes []NodeActuals
+}
+
+// scanNode records a node measured by its own ScanStats.
+func (az *analyzeState) scanNode(label string, st fs.ScanStats) {
+	if az == nil {
+		return
+	}
+	az.nodes = append(az.nodes, NodeActuals{
+		Label:      label,
+		Partitions: st.Partitions,
+		Messages:   st.Messages,
+		Redrives:   st.Redrives,
+		Bytes:      st.Bytes,
+
+		RowsReturned: st.Rows,
+		RowsExamined: st.Examined,
+		BlocksRead:   st.BlocksRead,
+		CacheHits:    st.CacheHits,
+
+		Wall: st.Wall,
+		Lat:  st.Lat,
+	})
+}
+
+// deltaNode records a requester-side node from network-counter deltas
+// taken around it. Exact only when this session is the network's sole
+// requester during the node (true in tests and the interactive shell).
+func (az *analyzeState) deltaNode(label string, before, after msg.Stats, latBefore, latAfter obs.Snapshot, rows int, wall time.Duration) {
+	if az == nil {
+		return
+	}
+	latAfter.Sub(latBefore)
+	az.nodes = append(az.nodes, NodeActuals{
+		Label:        label,
+		Messages:     after.Requests - before.Requests,
+		Bytes:        after.Bytes() - before.Bytes(),
+		RowsReturned: uint64(rows),
+		Wall:         wall,
+		Lat:          latAfter,
+	})
+}
+
+// localNode records a requester-only node (sort, aggregate): no
+// messages, just rows in and wall time.
+func (az *analyzeState) localNode(label string, rowsIn int, wall time.Duration) {
+	if az == nil {
+		return
+	}
+	az.nodes = append(az.nodes, NodeActuals{
+		Label:        label,
+		RowsReturned: uint64(rowsIn),
+		Wall:         wall,
+	})
+}
+
+// ExplainAnalyze executes the statement and returns the plan annotated
+// with per-node actuals.
+func (s *Session) ExplainAnalyze(src string) (string, error) {
+	a, err := s.ExplainAnalyzeStmt(src)
+	if err != nil {
+		return "", err
+	}
+	return a.Plan, nil
+}
+
+// ExplainAnalyzeStmt executes the statement, collecting per-plan-node
+// actuals: messages, re-drives, rows examined/returned, blocks read,
+// cache hit rate, and p50/p95/p99 message latency. SELECT honors the
+// session's transaction state exactly as Exec would (browse access when
+// none is open); UPDATE/DELETE autocommit when none is open.
+func (s *Session) ExplainAnalyzeStmt(src string) (*Analyze, error) {
+	stmt, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	var sb strings.Builder
+	az := &analyzeState{}
+	start := time.Now()
+	var res *Result
+	switch st := stmt.(type) {
+	case Select:
+		if err := s.explainSelect(&sb, st); err != nil {
+			return nil, err
+		}
+		tx := s.tx
+		if st.Browse {
+			tx = nil
+		}
+		if len(st.From) == 1 {
+			res, err = s.singleTableSelect(tx, st, az)
+		} else {
+			// Joins run un-instrumented per node; account the whole
+			// statement as one delta node.
+			d0, l0 := s.fs.Network().Stats(), s.fs.Network().LatencyAll()
+			t0 := time.Now()
+			res, err = s.joinSelect(tx, st)
+			if err == nil {
+				az.deltaNode("join (all single-variable queries)",
+					d0, s.fs.Network().Stats(), l0, s.fs.Network().LatencyAll(),
+					len(res.Rows), time.Since(t0))
+			}
+		}
+	case Update:
+		if err := s.explainUpdate(&sb, st); err != nil {
+			return nil, err
+		}
+		res, err = s.autocommit(func(tx *tmf.Tx) (*Result, error) {
+			return s.execUpdate(tx, st, az)
+		})
+	case Delete:
+		if err := s.explainDelete(&sb, st); err != nil {
+			return nil, err
+		}
+		res, err = s.autocommit(func(tx *tmf.Tx) (*Result, error) {
+			return s.execDelete(tx, st, az)
+		})
+	default:
+		return nil, fmt.Errorf("sql: EXPLAIN ANALYZE supports SELECT, UPDATE, DELETE (got %T)", stmt)
+	}
+	if err != nil {
+		return nil, err
+	}
+	a := &Analyze{Nodes: az.nodes, Result: res, Wall: time.Since(start)}
+	renderActuals(&sb, a)
+	a.Plan = sb.String()
+	return a, nil
+}
+
+func renderActuals(sb *strings.Builder, a *Analyze) {
+	for _, n := range a.Nodes {
+		fmt.Fprintf(sb, "actual %s:\n", n.Label)
+		if n.Messages > 0 {
+			fmt.Fprintf(sb, "  messages=%d re-drives=%d bytes=%d", n.Messages, n.Redrives, n.Bytes)
+			if n.Partitions > 0 {
+				fmt.Fprintf(sb, " partitions=%d", n.Partitions)
+			}
+			sb.WriteByte('\n')
+		}
+		fmt.Fprintf(sb, "  rows returned=%d", n.RowsReturned)
+		if n.RowsExamined > 0 {
+			fmt.Fprintf(sb, " examined=%d", n.RowsExamined)
+		}
+		if n.Affected > 0 {
+			fmt.Fprintf(sb, " affected=%d", n.Affected)
+		}
+		if n.BlocksRead+n.CacheHits > 0 {
+			fmt.Fprintf(sb, " blocks read=%d cache hit rate=%.2f", n.BlocksRead, n.CacheHitRate())
+		}
+		sb.WriteByte('\n')
+		if n.Lat.Count() > 0 {
+			fmt.Fprintf(sb, "  p50=%v p95=%v p99=%v wall=%v\n", n.P50(), n.P95(), n.P99(), n.Wall)
+		} else {
+			fmt.Fprintf(sb, "  wall=%v\n", n.Wall)
+		}
+	}
+	fmt.Fprintf(sb, "total wall=%v\n", a.Wall)
+}

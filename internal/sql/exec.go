@@ -3,9 +3,12 @@ package sql
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"nonstopsql/internal/expr"
 	"nonstopsql/internal/fs"
+	"nonstopsql/internal/msg"
+	"nonstopsql/internal/obs"
 	"nonstopsql/internal/record"
 	"nonstopsql/internal/tmf"
 )
@@ -85,9 +88,9 @@ func (s *Session) ExecStmt(stmt Statement) (*Result, error) {
 	case Insert:
 		return s.autocommit(func(tx *tmf.Tx) (*Result, error) { return s.execInsert(tx, st) })
 	case Update:
-		return s.autocommit(func(tx *tmf.Tx) (*Result, error) { return s.execUpdate(tx, st) })
+		return s.autocommit(func(tx *tmf.Tx) (*Result, error) { return s.execUpdate(tx, st, nil) })
 	case Delete:
-		return s.autocommit(func(tx *tmf.Tx) (*Result, error) { return s.execDelete(tx, st) })
+		return s.autocommit(func(tx *tmf.Tx) (*Result, error) { return s.execDelete(tx, st, nil) })
 	case Select:
 		return s.execSelect(st)
 	}
@@ -164,7 +167,7 @@ func (s *Session) execInsert(tx *tmf.Tx, ins Insert) (*Result, error) {
 	return &Result{Affected: n}, nil
 }
 
-func (s *Session) execUpdate(tx *tmf.Tx, upd Update) (*Result, error) {
+func (s *Session) execUpdate(tx *tmf.Tx, upd Update, az *analyzeState) (*Result, error) {
 	def, err := s.cat.Table(upd.Table)
 	if err != nil {
 		return nil, err
@@ -195,9 +198,10 @@ func (s *Session) execUpdate(tx *tmf.Tx, upd Update) (*Result, error) {
 	// targets) and an index probe matches the predicate, fetch the
 	// qualifying rows through the index instead of scanning.
 	if def.AssignsTouchIndexes(assigns) && rng.Low == nil && rng.High == nil {
-		if rows, ok, err := s.probeRows(tx, def, residual); err != nil {
+		if rows, ok, err := s.probeRows(tx, def, residual, az); err != nil {
 			return nil, err
 		} else if ok {
+			t0 := time.Now()
 			n := 0
 			for _, row := range rows {
 				key := def.Schema.Key(row)
@@ -211,12 +215,30 @@ func (s *Session) execUpdate(tx *tmf.Tx, upd Update) (*Result, error) {
 				}
 				n++
 			}
+			if az != nil {
+				az.nodes = append(az.nodes, NodeActuals{
+					Label: "update requester-side (index maintenance)",
+					Affected: n, Wall: time.Since(t0),
+				})
+			}
 			return &Result{Affected: n}, nil
 		}
 	}
-	n, err := s.fs.UpdateSubset(tx, def, rng, residual, assigns)
+	n, st, err := s.fs.UpdateSubsetTraced(tx, def, rng, residual, assigns)
 	if err != nil {
 		return nil, err
+	}
+	if az != nil {
+		if st.Messages > 0 {
+			az.scanNode("UPDATE^SUBSET^FIRST/NEXT pushdown", st)
+			az.nodes[len(az.nodes)-1].Affected = n
+		} else {
+			// Requester-side fallback (indexed SET targets without a
+			// usable probe): the qualifying scan ran un-traced.
+			az.nodes = append(az.nodes, NodeActuals{
+				Label: "update requester-side (scan + index maintenance)", Affected: n,
+			})
+		}
 	}
 	return &Result{Affected: n}, nil
 }
@@ -224,10 +246,17 @@ func (s *Session) execUpdate(tx *tmf.Tx, upd Update) (*Result, error) {
 // probeRows fetches the rows satisfying pred through a secondary-index
 // probe when one applies (ok=false otherwise), post-filtering the full
 // predicate requester-side.
-func (s *Session) probeRows(tx *tmf.Tx, def *fs.FileDef, pred expr.Expr) ([]record.Row, bool, error) {
+func (s *Session) probeRows(tx *tmf.Tx, def *fs.FileDef, pred expr.Expr, az *analyzeState) ([]record.Row, bool, error) {
 	idx, val, ok := indexProbe(def, pred)
 	if !ok {
 		return nil, false, nil
+	}
+	var d0 msg.Stats
+	var l0 obs.Snapshot
+	var t0 time.Time
+	if az != nil {
+		d0, l0 = s.fs.Network().Stats(), s.fs.Network().LatencyAll()
+		t0 = time.Now()
 	}
 	rows, err := s.fs.ReadByIndex(tx, def, idx, val)
 	if err != nil {
@@ -243,10 +272,15 @@ func (s *Session) probeRows(tx *tmf.Tx, def *fs.FileDef, pred expr.Expr) ([]reco
 			out = append(out, row)
 		}
 	}
+	if az != nil {
+		az.deltaNode(fmt.Sprintf("index probe %s.%s", def.Name, idx.Name),
+			d0, s.fs.Network().Stats(), l0, s.fs.Network().LatencyAll(),
+			len(out), time.Since(t0))
+	}
 	return out, true, nil
 }
 
-func (s *Session) execDelete(tx *tmf.Tx, del Delete) (*Result, error) {
+func (s *Session) execDelete(tx *tmf.Tx, del Delete, az *analyzeState) (*Result, error) {
 	def, err := s.cat.Table(del.Table)
 	if err != nil {
 		return nil, err
@@ -262,9 +296,10 @@ func (s *Session) execDelete(tx *tmf.Tx, del Delete) (*Result, error) {
 	// Indexed tables delete requester-side; prefer an index probe over a
 	// scan when the predicate allows it.
 	if len(def.Indexes) > 0 && rng.Low == nil && rng.High == nil {
-		if rows, ok, err := s.probeRows(tx, def, residual); err != nil {
+		if rows, ok, err := s.probeRows(tx, def, residual, az); err != nil {
 			return nil, err
 		} else if ok {
+			t0 := time.Now()
 			n := 0
 			for _, row := range rows {
 				if err := s.fs.Delete(tx, def, def.Schema.Key(row)); err != nil {
@@ -272,12 +307,28 @@ func (s *Session) execDelete(tx *tmf.Tx, del Delete) (*Result, error) {
 				}
 				n++
 			}
+			if az != nil {
+				az.nodes = append(az.nodes, NodeActuals{
+					Label: "delete requester-side (index maintenance)",
+					Affected: n, Wall: time.Since(t0),
+				})
+			}
 			return &Result{Affected: n}, nil
 		}
 	}
-	n, err := s.fs.DeleteSubset(tx, def, rng, residual)
+	n, st, err := s.fs.DeleteSubsetTraced(tx, def, rng, residual)
 	if err != nil {
 		return nil, err
+	}
+	if az != nil {
+		if st.Messages > 0 {
+			az.scanNode("DELETE^SUBSET^FIRST/NEXT pushdown", st)
+			az.nodes[len(az.nodes)-1].Affected = n
+		} else {
+			az.nodes = append(az.nodes, NodeActuals{
+				Label: "delete requester-side (scan + index maintenance)", Affected: n,
+			})
+		}
 	}
 	return &Result{Affected: n}, nil
 }

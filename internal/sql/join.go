@@ -69,7 +69,7 @@ func (s *Session) joinSelect(tx *tmf.Tx, sel Select) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	outerRows, err := s.tableAccess(tx, outerDef, outerPred, nil, -1, false)
+	outerRows, err := s.tableAccess(tx, outerDef, outerPred, nil, -1, false, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -109,7 +109,7 @@ func (s *Session) joinSelect(tx *tmf.Tx, sel Select) (*Result, error) {
 				post = append(post, bound)
 			}
 		}
-		innerRows, err := s.tableAccess(tx, innerDef, innerPred, nil, -1, false)
+		innerRows, err := s.tableAccess(tx, innerDef, innerPred, nil, -1, false, nil)
 		if err != nil {
 			return nil, err
 		}

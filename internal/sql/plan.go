@@ -5,10 +5,13 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"nonstopsql/internal/expr"
 	"nonstopsql/internal/fastsort"
 	"nonstopsql/internal/fs"
+	"nonstopsql/internal/msg"
+	"nonstopsql/internal/obs"
 	"nonstopsql/internal/record"
 	"nonstopsql/internal/tmf"
 )
@@ -23,7 +26,7 @@ func (s *Session) execSelect(sel Select) (*Result, error) {
 		tx = nil // browse access: no locks, read through
 	}
 	if len(sel.From) == 1 {
-		return s.singleTableSelect(tx, sel)
+		return s.singleTableSelect(tx, sel, nil)
 	}
 	return s.joinSelect(tx, sel)
 }
@@ -61,7 +64,7 @@ func neededColumns(schema *record.Schema, alias string, exprs []aExpr) map[int]b
 // SetScanParallel) deliver partitions' batches as they arrive instead
 // of merging back into key order — set only when the consumer is
 // order-insensitive (e.g. feeds a single-group aggregate).
-func (s *Session) tableAccess(tx *tmf.Tx, def *fs.FileDef, pred expr.Expr, needed map[int]bool, stopAfter int, unordered bool) ([]record.Row, error) {
+func (s *Session) tableAccess(tx *tmf.Tx, def *fs.FileDef, pred expr.Expr, needed map[int]bool, stopAfter int, unordered bool, az *analyzeState) ([]record.Row, error) {
 	schema := def.Schema
 	rng, residual := expr.ExtractKeyRange(pred, schema)
 
@@ -69,6 +72,13 @@ func (s *Session) tableAccess(tx *tmf.Tx, def *fs.FileDef, pred expr.Expr, neede
 	// range does not already bound the scan.
 	if rng.Low == nil && rng.High == nil {
 		if idx, val, ok := indexProbe(def, residual); ok {
+			var d0 msg.Stats
+			var l0 obs.Snapshot
+			var t0 time.Time
+			if az != nil {
+				d0, l0 = s.fs.Network().Stats(), s.fs.Network().LatencyAll()
+				t0 = time.Now()
+			}
 			rows, err := s.fs.ReadByIndex(tx, def, idx, val)
 			if err != nil {
 				return nil, err
@@ -85,6 +95,11 @@ func (s *Session) tableAccess(tx *tmf.Tx, def *fs.FileDef, pred expr.Expr, neede
 						break
 					}
 				}
+			}
+			if az != nil {
+				az.deltaNode(fmt.Sprintf("index probe %s.%s", def.Name, idx.Name),
+					d0, s.fs.Network().Stats(), l0, s.fs.Network().LatencyAll(),
+					len(out), time.Since(t0))
 			}
 			return out, nil
 		}
@@ -133,7 +148,16 @@ func (s *Session) tableAccess(tx *tmf.Tx, def *fs.FileDef, pred expr.Expr, neede
 			break
 		}
 	}
-	return out, rows.Err()
+	err := rows.Err()
+	if az != nil && err == nil {
+		rows.Close() // settle the parallel engine before reading stats
+		mode := "RSBB"
+		if spec.Mode == fs.ModeVSBB {
+			mode = "VSBB"
+		}
+		az.scanNode(fmt.Sprintf("scan %s (%s)", def.Name, mode), rows.Stats())
+	}
+	return out, err
 }
 
 // indexProbe finds an equality conjunct on an indexed column.
@@ -170,8 +194,9 @@ func indexProbe(def *fs.FileDef, pred expr.Expr) (*fs.IndexDef, record.Value, bo
 }
 
 // singleTableSelect runs a one-table SELECT including aggregates, GROUP
-// BY, ORDER BY, and LIMIT.
-func (s *Session) singleTableSelect(tx *tmf.Tx, sel Select) (*Result, error) {
+// BY, ORDER BY, and LIMIT. az, when non-nil, collects per-node actuals
+// for EXPLAIN ANALYZE.
+func (s *Session) singleTableSelect(tx *tmf.Tx, sel Select, az *analyzeState) (*Result, error) {
 	ref := sel.From[0]
 	def, err := s.cat.Table(ref.Table)
 	if err != nil {
@@ -221,7 +246,7 @@ func (s *Session) singleTableSelect(tx *tmf.Tx, sel Select) (*Result, error) {
 	// COUNT(*) pushdown: a bare single-table COUNT(*) needs no rows at
 	// all — the Disk Processes count qualifying records and each
 	// re-drive returns a constant-size reply (COUNT^FIRST/NEXT).
-	if res, ok, err := s.countStarPushdown(tx, sel, def, pred); ok || err != nil {
+	if res, ok, err := s.countStarPushdown(tx, sel, def, pred, az); ok || err != nil {
 		return res, err
 	}
 
@@ -232,27 +257,49 @@ func (s *Session) singleTableSelect(tx *tmf.Tx, sel Select) (*Result, error) {
 	// A single-group aggregate folds every row commutatively, so a
 	// parallel scan may deliver partitions' batches in arrival order.
 	unordered := aggregate && len(sel.GroupBy) == 0
-	rows, err := s.tableAccess(tx, def, pred, needed, stopAfter, unordered)
+	rows, err := s.tableAccess(tx, def, pred, needed, stopAfter, unordered, az)
 	if err != nil {
 		return nil, err
 	}
 
+	t0 := time.Now()
 	if aggregate {
-		return s.aggregateResult(sel, sc, rows)
+		res, err := s.aggregateResult(sel, sc, rows)
+		if err == nil {
+			az.localNode("aggregate", len(rows), time.Since(t0))
+		}
+		return res, err
 	}
-	return s.projectResult(sel, sc, def.Schema, rows)
+	res, err := s.projectResult(sel, sc, def.Schema, rows)
+	if err == nil && az != nil && len(sel.OrderBy) > 0 {
+		az.localNode("sort+project", len(rows), time.Since(t0))
+	}
+	return res, err
 }
 
 // countStarPushdown recognizes SELECT COUNT(*) FROM t [WHERE ...] — a
 // single COUNT(*) item, no GROUP BY/HAVING/ORDER BY — and answers it
 // with fs.Count so only counts cross the FS-DP interface. ok reports
 // whether the query matched.
-func (s *Session) countStarPushdown(tx *tmf.Tx, sel Select, def *fs.FileDef, pred expr.Expr) (*Result, bool, error) {
+func (s *Session) countStarPushdown(tx *tmf.Tx, sel Select, def *fs.FileDef, pred expr.Expr, az *analyzeState) (*Result, bool, error) {
 	if !isCountStarQuery(sel) {
 		return nil, false, nil
 	}
 	rng, residual := expr.ExtractKeyRange(pred, def.Schema)
-	n, err := s.fs.Count(tx, def, rng, residual)
+	var (
+		n   int
+		err error
+	)
+	if az != nil {
+		var st fs.ScanStats
+		n, st, err = s.fs.CountTraced(tx, def, rng, residual)
+		if err == nil {
+			st.Rows = uint64(n) // counts delivered, not records moved
+			az.scanNode(fmt.Sprintf("count %s (COUNT^FIRST/NEXT)", def.Name), st)
+		}
+	} else {
+		n, err = s.fs.Count(tx, def, rng, residual)
+	}
 	if err != nil {
 		return nil, true, err
 	}

@@ -6,6 +6,11 @@ set -eux
 cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
+# Message-system and observability races first: StopServer/Send hammers,
+# panic recovery, reply timeouts, and the concurrent histogram-merge
+# property. The full suite runs them again, but a regression in the
+# layers everything else talks through should fail alone, fast.
+go test -race -count=1 ./internal/msg ./internal/obs
 # Deterministic short crash-point sweep first: every named fault point
 # fired, recovery invariants checked per point. Runs again inside the
 # full suite, but a recovery regression should fail here, fast and
