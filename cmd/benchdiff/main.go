@@ -89,7 +89,7 @@ func load(path string) (map[string]float64, error) {
 // keyFields name, in order of preference, the element field that makes
 // an array row addressable by content rather than by position, so a
 // reordered or lengthened section still lines up across revisions.
-var keyFields = []string{"system", "policy", "dop", "workers", "shards", "query"}
+var keyFields = []string{"system", "policy", "dop", "workers", "shards", "query", "case", "node"}
 
 func flatten(prefix string, v any, out map[string]float64) {
 	switch x := v.(type) {

@@ -110,6 +110,24 @@ type e16JSON struct {
 	Latency      histJSON `json:"latency"`
 }
 
+type e17JSON struct {
+	Case      string  `json:"case"`
+	Rows      int     `json:"rows"`
+	RowMsgs   uint64  `json:"row_path_msgs"`
+	PushMsgs  uint64  `json:"pushdown_msgs"`
+	RowBytes  uint64  `json:"row_path_bytes"`
+	PushBytes uint64  `json:"pushdown_bytes"`
+	MsgRatio  float64 `json:"msg_reduction"`
+	ByteRatio float64 `json:"byte_reduction"`
+}
+
+type e17NodeJSON struct {
+	Node  string `json:"node"`
+	Msgs  uint64 `json:"msgs"`
+	Bytes uint64 `json:"bytes"`
+	Rows  uint64 `json:"rows"`
+}
+
 type report struct {
 	Tag   string `json:"tag"`
 	Quick bool   `json:"quick"`
@@ -124,6 +142,8 @@ type report struct {
 	E15      []e15JSON      `json:"e15_scan_resistant_cache"`
 	E15Sweep []e15ShardJSON `json:"e15_shard_sweep"`
 	E16      []e16JSON      `json:"e16_observability"`
+	E17      []e17JSON      `json:"e17_near_data_pushdown"`
+	E17Nodes []e17NodeJSON  `json:"e17_groupby_plan_nodes"`
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
@@ -216,6 +236,24 @@ func main() {
 			Redrives: x.Redrives, Examined: x.Examined,
 			CacheHitRate: x.CacheHitRate,
 			Latency:      hist(x.Lat),
+		})
+	}
+
+	e17, nodes, _, err := experiments.E17(sizes.Rows)
+	if err != nil {
+		fail("E17", err)
+	}
+	for _, x := range e17 {
+		r.E17 = append(r.E17, e17JSON{
+			Case: x.Case, Rows: x.Rows,
+			RowMsgs: x.RowMsgs, PushMsgs: x.PushMsgs,
+			RowBytes: x.RowBytes, PushBytes: x.PushBytes,
+			MsgRatio: x.MsgRatio, ByteRatio: x.ByteRatio,
+		})
+	}
+	for _, x := range nodes {
+		r.E17Nodes = append(r.E17Nodes, e17NodeJSON{
+			Node: x.Node, Msgs: x.Messages, Bytes: x.Bytes, Rows: x.Rows,
 		})
 	}
 

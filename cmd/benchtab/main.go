@@ -4,12 +4,13 @@
 //
 // Usage:
 //
-//	benchtab [-quick] [-only E2]
+//	benchtab [-quick] [-only E2] [-out PATH]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -19,6 +20,7 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "run with test-sized workloads")
 	only := flag.String("only", "", "run a single experiment by ID (e.g. E2, F1, ABL-PUSHDOWN)")
+	out := flag.String("out", "", "write tables to this file instead of stdout")
 	flag.Parse()
 
 	sizes := experiments.Full()
@@ -31,10 +33,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
 		os.Exit(1)
 	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
 	for _, t := range tables {
 		if *only != "" && !strings.EqualFold(t.ID, *only) {
 			continue
 		}
-		fmt.Println(t.Render())
+		fmt.Fprintln(w, t.Render())
 	}
 }

@@ -176,11 +176,17 @@ type scb struct {
 	pred    expr.Expr
 	proj    []int
 	assigns []expr.Assignment
+	agg     *fsdp.AggSpec // partial-aggregate program (AGG^FIRST/NEXT)
 	// class is the cache access class derived once at ^FIRST time and
 	// reused by every re-drive: a re-drive's range always has Low set
 	// (the continuation key), so re-deriving from the range would
 	// misclassify every full scan after its first message.
 	class cache.AccessClass
+	// limit/delivered implement the conversation-wide qualifying-row
+	// budget (Request.ScanLimit): once delivered reaches limit the
+	// subset ends early with Done=true, whatever remains in the range.
+	limit     uint32
+	delivered uint32
 }
 
 // classFor derives a subset's cache access class at ^FIRST time: an
@@ -288,6 +294,14 @@ func (d *DP) ResetVolumeStats() { d.cfg.Volume.ResetStats() }
 
 // Locks exposes the lock manager (stats, tests).
 func (d *DP) Locks() *lock.Manager { return d.locks }
+
+// OpenSCBs returns the number of live Subset Control Blocks — abandoned
+// conversations that were never retired show up here (leak tests).
+func (d *DP) OpenSCBs() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.scbs)
+}
 
 // Stats returns a snapshot of the counters.
 func (d *DP) Stats() Stats {
@@ -434,6 +448,10 @@ func (d *DP) serve(req *fsdp.Request) *fsdp.Reply {
 		reply = d.getSubset(req)
 	case fsdp.KCountFirst, fsdp.KCountNext:
 		reply = d.countSubset(req)
+	case fsdp.KAggFirst, fsdp.KAggNext:
+		reply = d.aggSubset(req)
+	case fsdp.KProbeBlock:
+		reply = d.probeBlock(req)
 	case fsdp.KUpdateSubsetFirst, fsdp.KUpdateSubsetNext:
 		reply = d.updateSubset(req)
 	case fsdp.KDeleteSubsetFirst, fsdp.KDeleteSubsetNext:

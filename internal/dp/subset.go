@@ -101,9 +101,10 @@ func (d *DP) getSubset(req *fsdp.Request) *fsdp.Reply {
 		if err != nil {
 			return errReply(err)
 		}
-		s = &scb{tx: req.Tx, file: req.File, pred: pred, proj: req.Proj, class: classFor(req)}
+		s = &scb{tx: req.Tx, file: req.File, pred: pred, proj: req.Proj,
+			class: classFor(req), limit: req.ScanLimit}
 		// The SCB is created at GET^FIRST time; re-drives do not re-send
-		// the predicate, projection, or access class.
+		// the predicate, projection, access class, or row budget.
 	} else {
 		if s, err = d.lookupSCB(req.SCB); err != nil {
 			return errReply(err)
@@ -161,6 +162,15 @@ func (d *DP) getSubset(req *fsdp.Request) *fsdp.Reply {
 			reply.RowKeys = append(reply.RowKeys, append([]byte(nil), key...))
 			batch.bytes += len(out)
 			d.stats.rowsReturned.Add(1)
+			if s.limit > 0 {
+				s.delivered++
+				if s.delivered >= s.limit {
+					// Conversation-wide row budget filled (Top-N /
+					// LIMIT pushdown): end the subset early. Done stays
+					// true — no re-drive wanted.
+					return false, nil
+				}
+			}
 		} else {
 			d.stats.rowsFiltered.Add(1)
 		}

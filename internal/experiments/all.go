@@ -100,6 +100,10 @@ func All(s Sizes) ([]*Table, error) {
 	if err := add(t16, err); err != nil {
 		return nil, fmt.Errorf("E16: %w", err)
 	}
+	_, _, t17, err := E17(s.Rows)
+	if err := add(t17, err); err != nil {
+		return nil, fmt.Errorf("E17: %w", err)
+	}
 	_, tf1, err := F1()
 	if err := add(tf1, err); err != nil {
 		return nil, fmt.Errorf("F1: %w", err)

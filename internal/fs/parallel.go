@@ -421,8 +421,10 @@ func firstScanRequest(def *FileDef, spec SelectSpec, tx *tmf.Tx, span partSpan) 
 	// The hint comes from the ORIGINAL spec range, not the clipped
 	// per-partition span: partition clipping bounds the span even when
 	// the query is a full-table scan.
+	// The whole-conversation row budget (ScanLimit) travels only on the
+	// ^FIRST — it lives in the Subset Control Block thereafter.
 	req := &fsdp.Request{File: def.Name, Range: span.r, RowLimit: spec.RowLimit,
-		Hint: hintFor(spec.Range)}
+		ScanLimit: spec.ScanLimit, Hint: hintFor(spec.Range)}
 	if tx != nil {
 		req.Tx = tx.ID
 	}

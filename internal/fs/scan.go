@@ -68,6 +68,12 @@ type SelectSpec struct {
 	// RowLimit optionally narrows the DP's per-message row budget
 	// (tests, ablations).
 	RowLimit uint32
+	// ScanLimit is a whole-conversation qualifying-row budget pushed
+	// into each partition's Subset Control Block (Top-N / LIMIT
+	// pushdown): the Disk Process ends the subset — across re-drives —
+	// once it has returned this many rows. 0 = unlimited. The budget is
+	// per partition; the File System still trims the merged result.
+	ScanLimit uint32
 	// Exclusive requests X virtual-block locks (read for update).
 	Exclusive bool
 }

@@ -1,0 +1,245 @@
+package fsdp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"nonstopsql/internal/record"
+)
+
+// This file defines the AGG^FIRST/NEXT payloads: the aggregate
+// specification the File System ships once per conversation, and the
+// per-group partial states the Disk Process ships back. Only
+// decomposable aggregates travel here — functions whose per-partition
+// partial states merge commutatively at the File System (COUNT, SUM,
+// MIN, MAX; AVG decomposes into SUM+COUNT at the planner). DISTINCT and
+// expression arguments are not decomposable and stay on the row path.
+
+// AggFn identifies one decomposable aggregate function.
+type AggFn uint8
+
+const (
+	AggCount AggFn = iota + 1 // COUNT(*) / COUNT(col)
+	AggSum                    // SUM(col)
+	AggMin                    // MIN(col)
+	AggMax                    // MAX(col)
+)
+
+// String returns the function's SQL name.
+func (f AggFn) String() string {
+	switch f {
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	}
+	return fmt.Sprintf("AggFn(%d)", uint8(f))
+}
+
+// AggCol is one aggregate output: a function over a field ordinal (or
+// over whole records, for COUNT(*)).
+type AggCol struct {
+	Fn   AggFn
+	Star bool // COUNT(*): count records, ignore Col
+	Col  int  // field ordinal of the argument (Star=false)
+}
+
+// AggSpec is the partial-aggregation program the Disk Process runs per
+// qualifying record: extract the GROUP BY key fields, then fold the
+// record into each aggregate column's partial state for that group.
+type AggSpec struct {
+	GroupBy []int // field ordinals of the GROUP BY keys (may be empty)
+	Cols    []AggCol
+}
+
+// EncodeAggSpec serializes an aggregate specification.
+func EncodeAggSpec(s *AggSpec) []byte {
+	var b []byte
+	b = binary.AppendUvarint(b, uint64(len(s.GroupBy)))
+	for _, g := range s.GroupBy {
+		b = binary.AppendUvarint(b, uint64(g))
+	}
+	b = binary.AppendUvarint(b, uint64(len(s.Cols)))
+	for _, c := range s.Cols {
+		b = append(b, byte(c.Fn))
+		if c.Star {
+			b = append(b, 1)
+			b = binary.AppendUvarint(b, 0)
+		} else {
+			b = append(b, 0)
+			b = binary.AppendUvarint(b, uint64(c.Col))
+		}
+	}
+	return b
+}
+
+// DecodeAggSpec parses an aggregate specification.
+func DecodeAggSpec(b []byte) (*AggSpec, error) {
+	s := &AggSpec{}
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return nil, fmt.Errorf("fsdp: bad agg group-by count")
+	}
+	b = b[sz:]
+	for i := uint64(0); i < n; i++ {
+		g, sz := binary.Uvarint(b)
+		if sz <= 0 {
+			return nil, fmt.Errorf("fsdp: bad agg group-by ordinal")
+		}
+		s.GroupBy = append(s.GroupBy, int(g))
+		b = b[sz:]
+	}
+	n, sz = binary.Uvarint(b)
+	if sz <= 0 {
+		return nil, fmt.Errorf("fsdp: bad agg column count")
+	}
+	b = b[sz:]
+	for i := uint64(0); i < n; i++ {
+		if len(b) < 2 {
+			return nil, fmt.Errorf("fsdp: truncated agg column")
+		}
+		c := AggCol{Fn: AggFn(b[0]), Star: b[1] == 1}
+		b = b[2:]
+		col, sz := binary.Uvarint(b)
+		if sz <= 0 {
+			return nil, fmt.Errorf("fsdp: bad agg column ordinal")
+		}
+		c.Col = int(col)
+		b = b[sz:]
+		s.Cols = append(s.Cols, c)
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("fsdp: %d trailing agg spec bytes", len(b))
+	}
+	return s, nil
+}
+
+// AggPartial is one aggregate column's partial state for one group. The
+// same shape serves every function: COUNT uses Count; SUM uses
+// Count+SumI/SumF (Float reports whether any input was non-integer);
+// MIN/MAX use Count (non-null inputs seen) + Val.
+type AggPartial struct {
+	Count int64
+	SumI  int64
+	SumF  float64
+	Float bool
+	Val   record.Value
+}
+
+// Feed folds one argument value into the partial. NULLs are skipped by
+// the caller (SQL aggregates ignore NULLs); COUNT(*) calls Feed with a
+// non-null dummy.
+func (p *AggPartial) Feed(fn AggFn, v record.Value) {
+	switch fn {
+	case AggSum:
+		if v.Kind == record.TypeInt {
+			p.SumI += v.I
+		} else {
+			p.Float = true
+		}
+		p.SumF += v.AsFloat()
+	case AggMin:
+		if p.Count == 0 || v.Compare(p.Val) < 0 {
+			p.Val = v
+		}
+	case AggMax:
+		if p.Count == 0 || v.Compare(p.Val) > 0 {
+			p.Val = v
+		}
+	}
+	p.Count++
+}
+
+// Merge folds another partition's partial state into p. Merging is
+// commutative and associative, which is what makes these functions
+// decomposable in the first place.
+func (p *AggPartial) Merge(fn AggFn, o AggPartial) {
+	if o.Count > 0 {
+		switch fn {
+		case AggMin:
+			if p.Count == 0 || o.Val.Compare(p.Val) < 0 {
+				p.Val = o.Val
+			}
+		case AggMax:
+			if p.Count == 0 || o.Val.Compare(p.Val) > 0 {
+				p.Val = o.Val
+			}
+		}
+	}
+	p.Count += o.Count
+	p.SumI += o.SumI
+	p.SumF += o.SumF
+	p.Float = p.Float || o.Float
+}
+
+// EncodeGroup serializes one group's reply entry: the GROUP BY key
+// values followed by one partial per AggSpec column.
+func EncodeGroup(keyVals record.Row, partials []AggPartial) []byte {
+	var b []byte
+	b = binary.AppendUvarint(b, uint64(len(keyVals)))
+	for _, v := range keyVals {
+		b = record.AppendValue(b, v)
+	}
+	for _, p := range partials {
+		b = binary.AppendVarint(b, p.Count)
+		b = binary.AppendVarint(b, p.SumI)
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(p.SumF))
+		if p.Float {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		b = record.AppendValue(b, p.Val)
+	}
+	return b
+}
+
+// DecodeGroup parses one group entry produced by EncodeGroup. ncols is
+// the AggSpec's column count (the group carries no count of its own).
+func DecodeGroup(b []byte, ncols int) (record.Row, []AggPartial, error) {
+	nk, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return nil, nil, fmt.Errorf("fsdp: bad group key count")
+	}
+	b = b[sz:]
+	keyVals := make(record.Row, nk)
+	var err error
+	for i := range keyVals {
+		if keyVals[i], b, err = record.DecodeValue(b); err != nil {
+			return nil, nil, err
+		}
+	}
+	partials := make([]AggPartial, ncols)
+	for i := range partials {
+		p := &partials[i]
+		var n int
+		p.Count, n = binary.Varint(b)
+		if n <= 0 {
+			return nil, nil, fmt.Errorf("fsdp: bad partial count")
+		}
+		b = b[n:]
+		p.SumI, n = binary.Varint(b)
+		if n <= 0 {
+			return nil, nil, fmt.Errorf("fsdp: bad partial sum")
+		}
+		b = b[n:]
+		if len(b) < 9 {
+			return nil, nil, fmt.Errorf("fsdp: truncated partial")
+		}
+		p.SumF = math.Float64frombits(binary.LittleEndian.Uint64(b))
+		p.Float = b[8] == 1
+		b = b[9:]
+		if p.Val, b, err = record.DecodeValue(b); err != nil {
+			return nil, nil, err
+		}
+	}
+	if len(b) != 0 {
+		return nil, nil, fmt.Errorf("fsdp: %d trailing group bytes", len(b))
+	}
+	return keyVals, partials, nil
+}

@@ -1,0 +1,108 @@
+package fsdp
+
+import (
+	"reflect"
+	"testing"
+
+	"nonstopsql/internal/record"
+)
+
+func TestAggSpecRoundTrip(t *testing.T) {
+	cases := []*AggSpec{
+		{Cols: []AggCol{{Fn: AggCount, Star: true}}},
+		{GroupBy: []int{2}, Cols: []AggCol{
+			{Fn: AggCount, Star: true},
+			{Fn: AggSum, Col: 3},
+			{Fn: AggMin, Col: 1},
+			{Fn: AggMax, Col: 7},
+		}},
+		{GroupBy: []int{0, 5}, Cols: []AggCol{{Fn: AggCount, Col: 4}}},
+	}
+	for _, spec := range cases {
+		got, err := DecodeAggSpec(EncodeAggSpec(spec))
+		if err != nil {
+			t.Fatalf("%+v: %v", spec, err)
+		}
+		if !reflect.DeepEqual(spec, got) {
+			t.Errorf("got %+v\nwant %+v", got, spec)
+		}
+	}
+}
+
+func TestAggSpecDecodeErrors(t *testing.T) {
+	good := EncodeAggSpec(&AggSpec{GroupBy: []int{1}, Cols: []AggCol{{Fn: AggSum, Col: 2}}})
+	for cut := 0; cut < len(good); cut++ {
+		if _, err := DecodeAggSpec(good[:cut]); err == nil {
+			t.Errorf("truncated spec at %d accepted", cut)
+		}
+	}
+	if _, err := DecodeAggSpec(append(good, 0)); err == nil {
+		t.Error("trailing spec bytes accepted")
+	}
+}
+
+func TestGroupRoundTrip(t *testing.T) {
+	keyVals := record.Row{record.Int(7), record.String("ENG")}
+	partials := []AggPartial{
+		{Count: 3},
+		{Count: 3, SumI: 42, SumF: 42},
+		{Count: 2, SumF: 1.5, Float: true},
+		{Count: 5, Val: record.String("abc")},
+		{}, // empty partial (all inputs NULL)
+	}
+	kv, ps, err := DecodeGroup(EncodeGroup(keyVals, partials), len(partials))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(keyVals, kv) {
+		t.Errorf("keys: got %+v want %+v", kv, keyVals)
+	}
+	if !reflect.DeepEqual(partials, ps) {
+		t.Errorf("partials: got %+v want %+v", ps, partials)
+	}
+	if _, _, err := DecodeGroup(append(EncodeGroup(keyVals, partials), 9), len(partials)); err == nil {
+		t.Error("trailing group bytes accepted")
+	}
+}
+
+// TestPartialFeedMerge checks that feeding rows through two partials and
+// merging equals feeding them all through one — the decomposability
+// property AGG^FIRST/NEXT rests on.
+func TestPartialFeedMerge(t *testing.T) {
+	vals := []record.Value{
+		record.Int(4), record.Int(-2), record.Int(9), record.Int(0), record.Int(7),
+	}
+	for _, fn := range []AggFn{AggCount, AggSum, AggMin, AggMax} {
+		var whole AggPartial
+		for _, v := range vals {
+			whole.Feed(fn, v)
+		}
+		var a, b AggPartial
+		for i, v := range vals {
+			if i < 2 {
+				a.Feed(fn, v)
+			} else {
+				b.Feed(fn, v)
+			}
+		}
+		a.Merge(fn, b)
+		if !reflect.DeepEqual(whole, a) {
+			t.Errorf("%v: split-merge %+v != whole %+v", fn, a, whole)
+		}
+		// Merging an empty partial (a partition with no qualifying rows)
+		// is the identity.
+		id := whole
+		id.Merge(fn, AggPartial{})
+		if !reflect.DeepEqual(whole, id) {
+			t.Errorf("%v: merge with empty changed %+v -> %+v", fn, whole, id)
+		}
+	}
+	// Mixed int/float SUM marks the Float flag through a merge.
+	var f1, f2 AggPartial
+	f1.Feed(AggSum, record.Int(1))
+	f2.Feed(AggSum, record.Float(2.5))
+	f1.Merge(AggSum, f2)
+	if !f1.Float || f1.SumF != 3.5 || f1.Count != 2 {
+		t.Errorf("mixed sum merge: %+v", f1)
+	}
+}

@@ -74,6 +74,20 @@ const (
 	// a projected key column, crosses the interface.
 	KCountFirst
 	KCountNext
+
+	// Partial aggregation: the Disk Process folds the subset's records
+	// through decomposable aggregate functions (COUNT/SUM/MIN/MAX, with
+	// optional GROUP BY key extraction) and replies with compact
+	// per-group partial states instead of rows. The File System merges
+	// partials across partitions and re-drives.
+	KAggFirst
+	KAggNext
+
+	// Batched probes: one message carries a block of probe key prefixes;
+	// the Disk Process answers with every matching record for the whole
+	// block. Stateless — a partially-served block is simply re-sent from
+	// the first unserved probe (Reply.Count = probes completed).
+	KProbeBlock
 )
 
 var kindNames = map[Kind]string{
@@ -89,6 +103,8 @@ var kindNames = map[Kind]string{
 	KPrepare: "PREPARE", KCommit: "COMMIT", KAbort: "ABORT",
 	KCloseSubset: "CLOSE^SUBSET",
 	KCountFirst:  "COUNT^FIRST", KCountNext: "COUNT^NEXT",
+	KAggFirst: "AGG^FIRST", KAggNext: "AGG^NEXT",
+	KProbeBlock: "PROBE^BLOCK",
 }
 
 // String returns the message type's protocol name.
@@ -139,6 +155,15 @@ type Request struct {
 
 	CommitLSN uint64 // KCommit: durable commit record LSN
 	RowLimit  uint32 // optional per-message row budget override (re-drive)
+
+	// Agg is the encoded partial-aggregate specification (EncodeAggSpec)
+	// carried by AGG^FIRST; like Pred, it is stored in the Subset Control
+	// Block so re-drives need not re-send it.
+	Agg []byte
+	// ScanLimit is a whole-conversation qualifying-row budget (Top-N /
+	// LIMIT pushdown): the Disk Process stops the subset early — across
+	// re-drives — once this many rows have been returned. 0 = unlimited.
+	ScanLimit uint32
 
 	// Hint tells the DP what cache access class the request's subset
 	// implies. HintAuto lets the DP derive it from the request's key
@@ -308,6 +333,8 @@ func EncodeRequest(q *Request) []byte {
 	b = binary.AppendUvarint(b, q.CommitLSN)
 	b = binary.AppendUvarint(b, uint64(q.RowLimit))
 	b = append(b, q.Hint)
+	b = appendBytes(b, q.Agg)
+	b = binary.AppendUvarint(b, uint64(q.ScanLimit))
 	return b
 }
 
@@ -410,6 +437,15 @@ func DecodeRequest(b []byte) (*Request, error) {
 	}
 	q.Hint = b[0]
 	b = b[1:]
+	if q.Agg, b, err = takeBytes(b); err != nil {
+		return nil, err
+	}
+	u, n = binary.Uvarint(b)
+	if n <= 0 {
+		return nil, fmt.Errorf("fsdp: bad scan limit")
+	}
+	q.ScanLimit = uint32(u)
+	b = b[n:]
 	if len(b) != 0 {
 		return nil, fmt.Errorf("fsdp: %d trailing request bytes", len(b))
 	}

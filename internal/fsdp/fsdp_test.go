@@ -32,6 +32,8 @@ func TestRequestRoundTrip(t *testing.T) {
 		Audit:     true,
 		CommitLSN: 77,
 		RowLimit:  100,
+		Agg:       []byte{11, 12},
+		ScanLimit: 250,
 	}
 	got, err := DecodeRequest(EncodeRequest(q))
 	if err != nil {
@@ -161,6 +163,10 @@ func TestRequestRoundTripProperty(t *testing.T) {
 		}
 		for i := 0; i < rng.Intn(4); i++ {
 			q.Rows = append(q.Rows, append(rb(), 3))
+		}
+		if rng.Intn(2) == 0 {
+			q.Agg = append(rb(), 4)
+			q.ScanLimit = rng.Uint32() >> 1
 		}
 		got, err := DecodeRequest(EncodeRequest(q))
 		if err != nil {

@@ -155,16 +155,7 @@ func (s *Session) ExplainAnalyzeStmt(src string) (*Analyze, error) {
 		if len(st.From) == 1 {
 			res, err = s.singleTableSelect(tx, st, az)
 		} else {
-			// Joins run un-instrumented per node; account the whole
-			// statement as one delta node.
-			d0, l0 := s.fs.Network().Stats(), s.fs.Network().LatencyAll()
-			t0 := time.Now()
-			res, err = s.joinSelect(tx, st)
-			if err == nil {
-				az.deltaNode("join (all single-variable queries)",
-					d0, s.fs.Network().Stats(), l0, s.fs.Network().LatencyAll(),
-					len(res.Rows), time.Since(t0))
-			}
+			res, err = s.joinSelect(tx, st, az)
 		}
 	case Update:
 		if err := s.explainUpdate(&sb, st); err != nil {

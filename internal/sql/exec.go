@@ -20,13 +20,26 @@ type Session struct {
 	cat *Catalog
 	fs  *fs.FS
 	tx  *tmf.Tx
+
+	// pushdown enables the near-data execution strategies beyond plain
+	// predicate/projection shipping: partial aggregation at the Disk
+	// Processes (AGG^FIRST/NEXT), Top-N/LIMIT row budgets in the Subset
+	// Control Block, and batched join probes (PROBE^BLOCK). On by
+	// default; SetPushdown(false) forces the row-at-a-time plans
+	// (ablations, differential tests).
+	pushdown bool
 }
 
 // NewSession creates a session over a shared catalog and one requester's
 // File System.
 func NewSession(cat *Catalog, f *fs.FS) *Session {
-	return &Session{cat: cat, fs: f}
+	return &Session{cat: cat, fs: f, pushdown: true}
 }
+
+// SetPushdown toggles the session's near-data execution strategies
+// (partial aggregation, Top-N budgets, batched join probes). The row
+// paths always remain available as the semantic ground truth.
+func (s *Session) SetPushdown(on bool) { s.pushdown = on }
 
 // Result is one statement's outcome.
 type Result struct {

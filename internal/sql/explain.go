@@ -169,13 +169,40 @@ func (s *Session) explainSelect(sb *strings.Builder, sel Select) error {
 		}
 		return nil
 	}
-	planAccess(def, pred, needed).describe(sb, "  ")
-	aggregate := len(sel.GroupBy) > 0
+	aggregate := len(sel.GroupBy) > 0 || sel.Having != nil
 	for _, item := range sel.Items {
 		if !item.Star && hasAggregate(item.Expr) {
 			aggregate = true
 		}
 	}
+	// Decomposable aggregates evaluate at the Disk Processes.
+	if aggregate && s.pushdown {
+		if _, ok := planAggPushdown(sel, sc); ok {
+			rng, residual := expr.ExtractKeyRange(pred, def.Schema)
+			fmt.Fprintf(sb, "  access %s: partial aggregation at Disk Processes via AGG^FIRST/NEXT (per-group partial states)\n", def.Name)
+			if residual != nil {
+				fmt.Fprintf(sb, "  predicate at Disk Process: %s\n", residual)
+			}
+			if rng.Low != nil || rng.High != nil {
+				fmt.Fprintf(sb, "  primary-key range %s\n", rng.String())
+			}
+			if parts := len(def.Partitions); parts > 1 {
+				fmt.Fprintf(sb, "  %d partitions, aggregated concurrently\n", parts)
+			}
+			sb.WriteString("  merge partial states per group at File System\n")
+			if sel.Having != nil {
+				sb.WriteString("  HAVING filter in requester\n")
+			}
+			if len(sel.OrderBy) > 0 {
+				sb.WriteString("  sort in requester (FastSort for large results)\n")
+			}
+			if sel.Limit >= 0 {
+				fmt.Fprintf(sb, "  limit %d\n", sel.Limit)
+			}
+			return nil
+		}
+	}
+	planAccess(def, pred, needed).describe(sb, "  ")
 	if aggregate {
 		sb.WriteString("  aggregate in requester (executor)\n")
 	}
@@ -187,6 +214,12 @@ func (s *Session) explainSelect(sb *strings.Builder, sel Select) error {
 		fmt.Fprintf(sb, "  limit %d", sel.Limit)
 		if len(sel.OrderBy) == 0 && !aggregate {
 			sb.WriteString(" (scan stops early)")
+			if s.pushdown {
+				sb.WriteString(" — row budget at Disk Processes")
+			}
+		} else if !aggregate && s.pushdown &&
+			orderByIsKeyPrefix(sel.OrderBy, def.Schema, sc) && scanDeliversKeyOrder(def, pred) {
+			sb.WriteString(" (Top-N: row budget pushed to Disk Processes)")
 		}
 		sb.WriteByte('\n')
 	}
@@ -257,6 +290,18 @@ func (s *Session) explainJoin(sb *strings.Builder, sel Select) error {
 		}
 	}
 	planAccess(innerDef, innerPred, nil).describe(sb, "    ")
+	if s.pushdown && len(joinConjs) == 1 {
+		if inst, ok, _ := instantiateJoinConj(joinConjs[0], sampleOuter, outerAlias, outerDef.Schema, innerScope); ok {
+			if viaIndex, eligible := probeBatchEligible(inst, innerDef); eligible {
+				path := "leading primary-key column"
+				if viaIndex != nil {
+					path = "index " + viaIndex.Name
+				}
+				fmt.Fprintf(sb, "  inner probes batched: PROBE^BLOCK via %s, up to %d probe keys per message, deduplicated per outer value\n",
+					path, fs.ProbeBatchSize)
+			}
+		}
+	}
 	if len(joinConjs) > 0 {
 		parts := make([]string, len(joinConjs))
 		for i, jc := range joinConjs {

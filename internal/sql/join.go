@@ -3,8 +3,12 @@ package sql
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"nonstopsql/internal/expr"
+	"nonstopsql/internal/fs"
+	"nonstopsql/internal/msg"
+	"nonstopsql/internal/obs"
 	"nonstopsql/internal/record"
 	"nonstopsql/internal/tmf"
 )
@@ -17,7 +21,7 @@ import (
 // conjuncts are instantiated into constants, turning the inner access
 // into another single-variable query (often a primary-key range or an
 // index probe).
-func (s *Session) joinSelect(tx *tmf.Tx, sel Select) (*Result, error) {
+func (s *Session) joinSelect(tx *tmf.Tx, sel Select, az *analyzeState) (*Result, error) {
 	outerRef, innerRef := sel.From[0], sel.From[1]
 	outerDef, err := s.cat.Table(outerRef.Table)
 	if err != nil {
@@ -69,7 +73,7 @@ func (s *Session) joinSelect(tx *tmf.Tx, sel Select) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	outerRows, err := s.tableAccess(tx, outerDef, outerPred, nil, -1, false, nil)
+	outerRows, err := s.tableAccess(tx, outerDef, outerPred, nil, -1, false, az)
 	if err != nil {
 		return nil, err
 	}
@@ -87,8 +91,33 @@ func (s *Session) joinSelect(tx *tmf.Tx, sel Select) (*Result, error) {
 		}
 	}
 
-	var combinedRows []record.Row
 	outerWidth := len(outerDef.Schema.Fields)
+
+	// Batched probe path: an equality join conjunct on the inner table's
+	// leading key column or an indexed column ships the probe keys in
+	// PROBE^BLOCK messages — one conversation per block per partition —
+	// instead of one conversation per outer row.
+	combinedRows, handled, err := s.batchedJoinProbes(tx, outerRows, outerDef, innerDef,
+		outerAlias, innerScope, joinConjs, innerPredBase, outerWidth, az)
+	if err != nil {
+		return nil, err
+	}
+	if handled {
+		if aggregate {
+			return s.aggregateResult(sel, combined, combinedRows)
+		}
+		return s.projectJoinResult(sel, combined, outerDef.Schema, innerDef.Schema, combinedRows)
+	}
+
+	// Row path: one inner conversation per outer row. Under EXPLAIN
+	// ANALYZE the whole loop accounts as one delta node.
+	var d0 msg.Stats
+	var l0 obs.Snapshot
+	var t0 time.Time
+	if az != nil {
+		d0, l0 = s.fs.Network().Stats(), s.fs.Network().LatencyAll()
+		t0 = time.Now()
+	}
 	for _, orow := range outerRows {
 		// Instantiate join conjuncts against this outer row.
 		innerPred := innerPredBase
@@ -133,12 +162,188 @@ func (s *Session) joinSelect(tx *tmf.Tx, sel Select) (*Result, error) {
 			}
 		}
 	}
+	if az != nil {
+		az.deltaNode(fmt.Sprintf("inner probes %s (one conversation per outer row)", innerDef.Name),
+			d0, s.fs.Network().Stats(), l0, s.fs.Network().LatencyAll(),
+			len(combinedRows), time.Since(t0))
+	}
 
 	if aggregate {
 		return s.aggregateResult(sel, combined, combinedRows)
 	}
 	// SELECT * over a join expands both tables' columns.
 	return s.projectJoinResult(sel, combined, outerDef.Schema, innerDef.Schema, combinedRows)
+}
+
+// batchedJoinProbes runs the join's inner accesses as blocked probe
+// conversations (PROBE^BLOCK) when the single join conjunct is an
+// equality whose inner side is the inner table's leading primary-key
+// column or an indexed column. handled=false falls back to the
+// one-conversation-per-outer-row path. Probe values are deduplicated,
+// so repeated outer values cost one probe, and the combined rows come
+// out in outer-row order exactly as the row path produces them.
+func (s *Session) batchedJoinProbes(tx *tmf.Tx, outerRows []record.Row, outerDef, innerDef *fs.FileDef,
+	outerAlias string, innerScope *scope, joinConjs []aExpr, innerPredBase expr.Expr,
+	outerWidth int, az *analyzeState) ([]record.Row, bool, error) {
+	if !s.pushdown || len(joinConjs) != 1 || len(outerRows) == 0 {
+		return nil, false, nil
+	}
+	type probe struct {
+		val record.Value
+	}
+	probeCol := -1
+	var order []string // probe keys, first-appearance order
+	probes := make(map[string]*probe)
+	rowKey := make([]string, len(outerRows)) // "" = NULL probe, never joins
+	for oi, orow := range outerRows {
+		inst, ok, err := instantiateJoinConj(joinConjs[0], orow, outerAlias, outerDef.Schema, innerScope)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			return nil, false, nil
+		}
+		col, v, isEq := eqProbe(inst)
+		if !isEq {
+			return nil, false, nil
+		}
+		if probeCol < 0 {
+			probeCol = col
+		} else if col != probeCol {
+			return nil, false, nil
+		}
+		if v.IsNull() {
+			continue // NULL = NULL is never true
+		}
+		k := string(v.AppendKey(nil))
+		if _, ok := probes[k]; !ok {
+			probes[k] = &probe{val: v}
+			order = append(order, k)
+		}
+		rowKey[oi] = k
+	}
+	if probeCol < 0 {
+		// Every probe value was NULL: empty join, no messages needed.
+		return nil, true, nil
+	}
+	keyed := len(innerDef.Schema.KeyFields) > 0 && probeCol == innerDef.Schema.KeyFields[0]
+	var idx *fs.IndexDef
+	if !keyed {
+		for _, ix := range innerDef.Indexes {
+			if ix.Column == probeCol {
+				idx = ix
+				break
+			}
+		}
+		if idx == nil {
+			return nil, false, nil
+		}
+	}
+
+	var (
+		innerRows []record.Row
+		st        fs.ScanStats
+		err       error
+		label     string
+	)
+	if keyed {
+		prefixes := make([][]byte, len(order))
+		for i, k := range order {
+			prefixes[i] = []byte(k)
+		}
+		// The inner-only predicate rides along and evaluates at the
+		// Disk Process.
+		innerRows, st, err = s.fs.ProbePrefixesTraced(tx, innerDef, prefixes, innerPredBase)
+		label = fmt.Sprintf("batched join probes %s (PROBE^BLOCK)", innerDef.Name)
+	} else {
+		vals := make([]record.Value, len(order))
+		for i, k := range order {
+			vals[i] = probes[k].val
+		}
+		innerRows, st, err = s.fs.ReadByIndexBatch(tx, innerDef, idx, vals)
+		label = fmt.Sprintf("batched join probes %s via %s (PROBE^BLOCK)", innerDef.Name, idx.Name)
+	}
+	if err != nil {
+		return nil, true, err
+	}
+	if !keyed && innerPredBase != nil {
+		// Index-probe rows come back unfiltered; apply the inner-only
+		// conjuncts requester-side, as ReadByIndex plans do.
+		kept := innerRows[:0]
+		for _, irow := range innerRows {
+			ok, err := expr.Satisfied(innerPredBase, irow)
+			if err != nil {
+				return nil, true, err
+			}
+			if ok {
+				kept = append(kept, irow)
+			}
+		}
+		innerRows = kept
+	}
+	az.scanNode(label, st)
+
+	byKey := make(map[string][]record.Row)
+	for _, irow := range innerRows {
+		k := string(irow[probeCol].AppendKey(nil))
+		byKey[k] = append(byKey[k], irow)
+	}
+	var combined []record.Row
+	for oi, orow := range outerRows {
+		k := rowKey[oi]
+		if k == "" {
+			continue
+		}
+		for _, irow := range byKey[k] {
+			crow := make(record.Row, 0, outerWidth+len(irow))
+			crow = append(crow, orow...)
+			crow = append(crow, irow...)
+			combined = append(combined, crow)
+		}
+	}
+	return combined, true, nil
+}
+
+// eqProbe splits an instantiated equality conjunct into its inner
+// column ordinal and constant probe value. ok=false for any other
+// shape (non-equality, computed inner side).
+func eqProbe(e expr.Expr) (col int, v record.Value, ok bool) {
+	b, isBin := e.(expr.Binary)
+	if !isBin || b.Op != expr.OpEQ {
+		return 0, record.Null, false
+	}
+	if f, isF := b.L.(expr.FieldRef); isF {
+		if c, isC := b.R.(expr.Const); isC {
+			return f.Index, c.V, true
+		}
+		return 0, record.Null, false
+	}
+	if f, isF := b.R.(expr.FieldRef); isF {
+		if c, isC := b.L.(expr.Const); isC {
+			return f.Index, c.V, true
+		}
+	}
+	return 0, record.Null, false
+}
+
+// probeBatchEligible reports whether a single equality join conjunct of
+// this instantiated shape routes through PROBE^BLOCK against innerDef,
+// and on what access path (the inner table's leading key column, or a
+// secondary index).
+func probeBatchEligible(inst expr.Expr, innerDef *fs.FileDef) (viaIndex *fs.IndexDef, ok bool) {
+	col, _, isEq := eqProbe(inst)
+	if !isEq {
+		return nil, false
+	}
+	if len(innerDef.Schema.KeyFields) > 0 && col == innerDef.Schema.KeyFields[0] {
+		return nil, true
+	}
+	for _, ix := range innerDef.Indexes {
+		if ix.Column == col {
+			return ix, true
+		}
+	}
+	return nil, false
 }
 
 // projectJoinResult is projectResult with * expansion over two schemas.

@@ -28,7 +28,7 @@ func (s *Session) execSelect(sel Select) (*Result, error) {
 	if len(sel.From) == 1 {
 		return s.singleTableSelect(tx, sel, nil)
 	}
-	return s.joinSelect(tx, sel)
+	return s.joinSelect(tx, sel, nil)
 }
 
 // neededColumns accumulates the field ordinals (within schema) that the
@@ -65,6 +65,11 @@ func neededColumns(schema *record.Schema, alias string, exprs []aExpr) map[int]b
 // of merging back into key order — set only when the consumer is
 // order-insensitive (e.g. feeds a single-group aggregate).
 func (s *Session) tableAccess(tx *tmf.Tx, def *fs.FileDef, pred expr.Expr, needed map[int]bool, stopAfter int, unordered bool, az *analyzeState) ([]record.Row, error) {
+	if stopAfter == 0 {
+		// LIMIT 0: the empty result is known before any conversation
+		// opens — exchanging even one message would be waste.
+		return nil, nil
+	}
 	schema := def.Schema
 	rng, residual := expr.ExtractKeyRange(pred, schema)
 
@@ -116,6 +121,12 @@ func (s *Session) tableAccess(tx *tmf.Tx, def *fs.FileDef, pred expr.Expr, neede
 		}
 	}
 	spec := fs.SelectSpec{Range: rng, Unordered: unordered}
+	if stopAfter > 0 && s.pushdown {
+		// Top-N / LIMIT pushdown: each partition's Disk Process retires
+		// its subset after this many qualifying rows, instead of the
+		// requester discarding a fully-driven scan's surplus.
+		spec.ScanLimit = uint32(stopAfter)
+	}
 	if residual != nil || proj != nil {
 		spec.Mode = fs.ModeVSBB
 		spec.Pred = residual
@@ -250,8 +261,24 @@ func (s *Session) singleTableSelect(tx *tmf.Tx, sel Select, az *analyzeState) (*
 		return res, err
 	}
 
+	// Partial-aggregate pushdown: decomposable GROUP BY / aggregate
+	// queries evaluate at the Disk Processes (AGG^FIRST/NEXT) and only
+	// per-group partial states cross the interface.
+	if aggregate {
+		if res, ok, err := s.aggPushdown(tx, sel, def, pred, sc, az); ok || err != nil {
+			return res, err
+		}
+	}
+
 	stopAfter := -1
 	if sel.Limit >= 0 && len(sel.OrderBy) == 0 && !aggregate {
+		stopAfter = sel.Limit
+	}
+	// Top-N pushdown: ORDER BY on an ascending primary-key prefix reads
+	// the scan in output order, so the first LIMIT merged rows are the
+	// answer — push the row budget into each partition's subset.
+	if sel.Limit >= 0 && !aggregate && len(sel.OrderBy) > 0 && s.pushdown &&
+		orderByIsKeyPrefix(sel.OrderBy, def.Schema, sc) && scanDeliversKeyOrder(def, pred) {
 		stopAfter = sel.Limit
 	}
 	// A single-group aggregate folds every row commutatively, so a
@@ -448,22 +475,21 @@ func (s *Session) orderRows(items []OrderItem, sc *scope, rows []record.Row) err
 	return sortErr
 }
 
-// aggregateResult folds rows through the aggregate select list.
-func (s *Session) aggregateResult(sel Select, sc *scope, rows []record.Row) (*Result, error) {
-	// Bind group-by expressions.
-	var gbs []expr.Expr
+// buildAggPlans binds the GROUP BY list, classifies the select items
+// into aggregate calls and group-by outputs, and rewrites HAVING over
+// the (possibly extended) output row. Shared by the requester-side fold
+// and the pushdown planner, so both paths agree on shape and errors.
+func buildAggPlans(sel Select, sc *scope) (gbs []expr.Expr, plans []itemPlan, having expr.Expr, err error) {
 	for _, g := range sel.GroupBy {
 		bound, err := bind(g, sc)
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 		gbs = append(gbs, bound)
 	}
-	// Classify the select items: aggregate calls or group-by outputs.
-	var plans []itemPlan
 	for _, item := range sel.Items {
 		if item.Star {
-			return nil, fmt.Errorf("sql: SELECT * with aggregates is not supported")
+			return nil, nil, nil, fmt.Errorf("sql: SELECT * with aggregates is not supported")
 		}
 		name := item.Alias
 		if name == "" {
@@ -472,7 +498,7 @@ func (s *Session) aggregateResult(sel Select, sc *scope, rows []record.Row) (*Re
 		if call, ok := item.Expr.(aCall); ok {
 			spec, err := newAggSpec(call, sc)
 			if err != nil {
-				return nil, err
+				return nil, nil, nil, err
 			}
 			plans = append(plans, itemPlan{name: name, agg: spec, groupBy: -1})
 			continue
@@ -486,26 +512,76 @@ func (s *Session) aggregateResult(sel Select, sc *scope, rows []record.Row) (*Re
 			}
 		}
 		if matched < 0 {
-			return nil, fmt.Errorf("sql: %s must appear in GROUP BY or an aggregate", displayName(item.Expr))
+			return nil, nil, nil, fmt.Errorf("sql: %s must appear in GROUP BY or an aggregate", displayName(item.Expr))
 		}
 		plans = append(plans, itemPlan{name: name, groupBy: matched})
 	}
-	// HAVING rewrites into an expression over the (possibly extended)
-	// output row: aggregate calls and GROUP BY expressions it references
-	// become hidden output columns when not already selected.
-	var having expr.Expr
+	// HAVING rewrites into an expression over the output row: aggregate
+	// calls and GROUP BY expressions it references become hidden output
+	// columns when not already selected.
 	if sel.Having != nil {
-		var err error
 		having, err = rewriteHaving(sel.Having, sel, sc, &plans)
 		if err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	return gbs, plans, having, nil
+}
+
+// emitAggResult turns full-width aggregate output rows (group key order,
+// hidden columns included) into the statement's result: HAVING filter,
+// hidden-column projection, ORDER BY, LIMIT.
+func emitAggResult(sel Select, plans []itemPlan, having expr.Expr, outRows []record.Row) (*Result, error) {
+	res := &Result{}
+	for _, p := range plans {
+		if !p.hidden {
+			res.Columns = append(res.Columns, p.name)
+		}
+	}
+	for _, out := range outRows {
+		if having != nil {
+			keep, err := expr.Satisfied(having, out)
+			if err != nil {
+				return nil, err
+			}
+			if !keep {
+				continue
+			}
+		}
+		// Project away the hidden HAVING-only columns.
+		visible := make(record.Row, 0, len(res.Columns))
+		for i, p := range plans {
+			if !p.hidden {
+				visible = append(visible, out[i])
+			}
+		}
+		res.Rows = append(res.Rows, visible)
+	}
+	// ORDER BY over the result columns (match by display name / alias).
+	if len(sel.OrderBy) > 0 {
+		if err := orderResult(res, sel.OrderBy); err != nil {
 			return nil, err
 		}
+	}
+	if sel.Limit >= 0 && len(res.Rows) > sel.Limit {
+		res.Rows = res.Rows[:sel.Limit]
+	}
+	res.Affected = len(res.Rows)
+	return res, nil
+}
+
+// aggregateResult folds rows through the aggregate select list. Groups
+// emit in group-key byte order — the same canonical order the pushdown
+// path produces, so the two plans are byte-identical on any input.
+func (s *Session) aggregateResult(sel Select, sc *scope, rows []record.Row) (*Result, error) {
+	gbs, plans, having, err := buildAggPlans(sel, sc)
+	if err != nil {
+		return nil, err
 	}
 
 	type group struct {
 		keyVals record.Row
 		states  []*aggState
-		order   int
 	}
 	groups := make(map[string]*group)
 	for _, row := range rows {
@@ -521,7 +597,7 @@ func (s *Session) aggregateResult(sel Select, sc *scope, rows []record.Row) (*Re
 		}
 		gr, ok := groups[string(kb)]
 		if !ok {
-			gr = &group{keyVals: keyVals, order: len(groups)}
+			gr = &group{keyVals: keyVals}
 			for _, p := range plans {
 				if p.agg != nil {
 					gr.states = append(gr.states, p.agg.newState())
@@ -554,19 +630,15 @@ func (s *Session) aggregateResult(sel Select, sc *scope, rows []record.Row) (*Re
 		groups[""] = gr
 	}
 
-	ordered := make([]*group, 0, len(groups))
-	for _, g := range groups {
-		ordered = append(ordered, g)
+	keysOrdered := make([]string, 0, len(groups))
+	for k := range groups {
+		keysOrdered = append(keysOrdered, k)
 	}
-	sort.Slice(ordered, func(i, j int) bool { return ordered[i].order < ordered[j].order })
+	sort.Strings(keysOrdered)
 
-	res := &Result{}
-	for _, p := range plans {
-		if !p.hidden {
-			res.Columns = append(res.Columns, p.name)
-		}
-	}
-	for _, g := range ordered {
+	outRows := make([]record.Row, 0, len(groups))
+	for _, k := range keysOrdered {
+		g := groups[k]
 		out := make(record.Row, len(plans))
 		for i, p := range plans {
 			if p.agg != nil {
@@ -575,35 +647,9 @@ func (s *Session) aggregateResult(sel Select, sc *scope, rows []record.Row) (*Re
 				out[i] = g.keyVals[p.groupBy]
 			}
 		}
-		if having != nil {
-			keep, err := expr.Satisfied(having, out)
-			if err != nil {
-				return nil, err
-			}
-			if !keep {
-				continue
-			}
-		}
-		// Project away the hidden HAVING-only columns.
-		visible := make(record.Row, 0, len(res.Columns))
-		for i, p := range plans {
-			if !p.hidden {
-				visible = append(visible, out[i])
-			}
-		}
-		res.Rows = append(res.Rows, visible)
+		outRows = append(outRows, out)
 	}
-	// ORDER BY over the result columns (match by display name / alias).
-	if len(sel.OrderBy) > 0 {
-		if err := orderResult(res, sel.OrderBy); err != nil {
-			return nil, err
-		}
-	}
-	if sel.Limit >= 0 && len(res.Rows) > sel.Limit {
-		res.Rows = res.Rows[:sel.Limit]
-	}
-	res.Affected = len(res.Rows)
-	return res, nil
+	return emitAggResult(sel, plans, having, outRows)
 }
 
 // orderResult sorts an aggregate result by output column references.

@@ -11,6 +11,11 @@ go vet ./...
 # property. The full suite runs them again, but a regression in the
 # layers everything else talks through should fail alone, fast.
 go test -race -count=1 ./internal/msg ./internal/obs
+# Near-data pushdown: the AGG^FIRST/NEXT merge path shares one group
+# map across partition goroutines and PROBE^BLOCK re-sends partial
+# blocks — the racy seams of PR 6, run focused before the full suite.
+go test -race -count=1 -run 'TestAgg|TestProbe|TestReadByIndexBatch|TestScanLimit' ./internal/fs ./internal/fsdp
+go test -race -count=1 -run 'TestAggPushdownDifferential|TestJoinProbeDifferential|TestLimitPushdownMessages' ./internal/sql
 # Deterministic short crash-point sweep first: every named fault point
 # fired, recovery invariants checked per point. Runs again inside the
 # full suite, but a recovery regression should fail here, fast and
