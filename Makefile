@@ -18,7 +18,12 @@ vet:
 test:
 	$(GO) test ./...
 
+# The async I/O scheduler is the most condvar-dense code in the tree;
+# hammer it focused (and the quick kill -9 recovery pass) before the
+# long full-suite run, so a scheduler race fails alone and fast.
 race:
+	$(GO) test -race -count=1 -run TestSchedRace ./internal/disk/filevol
+	QUICK=1 $(GO) test -race -count=1 -run TestKillRecovery ./internal/experiments
 	$(GO) test -race ./...
 
 bench:

@@ -128,6 +128,19 @@ type e17NodeJSON struct {
 	Rows  uint64 `json:"rows"`
 }
 
+type e18JSON struct {
+	Mode            string  `json:"mode"`
+	Txns            int     `json:"txns"`
+	ElapsedMs       float64 `json:"elapsed_ms"`
+	TPS             float64 `json:"tps"`
+	BlocksPerWrite  float64 `json:"blocks_per_write"`
+	CommitsPerFlush float64 `json:"commits_per_flush"`
+	CommitsPerFsync float64 `json:"commits_per_fsync"`
+	Fsyncs          uint64  `json:"fsyncs"`
+	Absorbed        uint64  `json:"absorbed_writes"`
+	QueuePeak       uint64  `json:"queue_peak"`
+}
+
 type report struct {
 	Tag   string `json:"tag"`
 	Quick bool   `json:"quick"`
@@ -144,6 +157,7 @@ type report struct {
 	E16      []e16JSON      `json:"e16_observability"`
 	E17      []e17JSON      `json:"e17_near_data_pushdown"`
 	E17Nodes []e17NodeJSON  `json:"e17_groupby_plan_nodes"`
+	E18      []e18JSON      `json:"e18_file_volumes"`
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
@@ -254,6 +268,20 @@ func main() {
 	for _, x := range nodes {
 		r.E17Nodes = append(r.E17Nodes, e17NodeJSON{
 			Node: x.Node, Msgs: x.Messages, Bytes: x.Bytes, Rows: x.Rows,
+		})
+	}
+
+	e18, _, err := experiments.E18(sizes.TxnsPerCli)
+	if err != nil {
+		fail("E18", err)
+	}
+	for _, x := range e18 {
+		r.E18 = append(r.E18, e18JSON{
+			Mode: x.Mode, Txns: x.Txns, ElapsedMs: ms(x.Elapsed), TPS: x.TPS,
+			BlocksPerWrite:  x.BlocksPerWrite,
+			CommitsPerFlush: x.CommitsPerFlush,
+			CommitsPerFsync: x.CommitsPerFsync,
+			Fsyncs:          x.Fsyncs, Absorbed: x.Absorbed, QueuePeak: x.QueuePeak,
 		})
 	}
 

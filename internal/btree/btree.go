@@ -67,7 +67,7 @@ type cell struct {
 // index — the Disk Process manages each as a single B-tree).
 type Tree struct {
 	pool *cache.Pool
-	vol  *disk.Volume
+	vol  disk.BlockDev
 	name string
 	root disk.BlockNum
 	lt   *Latches
@@ -75,7 +75,7 @@ type Tree struct {
 
 // New creates an empty key-sequenced file and returns it. lt is the
 // volume's shared latch table; nil gets a private one (tests).
-func New(pool *cache.Pool, vol *disk.Volume, name string, lt *Latches) (*Tree, error) {
+func New(pool *cache.Pool, vol disk.BlockDev, name string, lt *Latches) (*Tree, error) {
 	if lt == nil {
 		lt = NewLatches(nil)
 	}
@@ -93,7 +93,7 @@ func New(pool *cache.Pool, vol *disk.Volume, name string, lt *Latches) (*Tree, e
 
 // Open attaches to an existing file by its root block. lt is the
 // volume's shared latch table; nil gets a private one (tests).
-func Open(pool *cache.Pool, vol *disk.Volume, name string, root disk.BlockNum, lt *Latches) *Tree {
+func Open(pool *cache.Pool, vol disk.BlockDev, name string, root disk.BlockNum, lt *Latches) *Tree {
 	if lt == nil {
 		lt = NewLatches(nil)
 	}

@@ -44,14 +44,14 @@ func writeDir(buf []byte, meta uint32, blocks []disk.BlockNum) {
 // a presence byte plus the record bytes per slot.
 type RelativeFile struct {
 	pool   *cache.Pool
-	vol    *disk.Volume
+	vol    disk.BlockDev
 	name   string
 	dir    disk.BlockNum
 	recLen int
 }
 
 // NewRelative creates a relative file with fixed record length recLen.
-func NewRelative(pool *cache.Pool, vol *disk.Volume, name string, recLen int) (*RelativeFile, error) {
+func NewRelative(pool *cache.Pool, vol disk.BlockDev, name string, recLen int) (*RelativeFile, error) {
 	if recLen <= 0 || recLen+1 > disk.BlockSize {
 		return nil, fmt.Errorf("btree: relative record length %d out of range", recLen)
 	}
@@ -68,7 +68,7 @@ func NewRelative(pool *cache.Pool, vol *disk.Volume, name string, recLen int) (*
 }
 
 // OpenRelative attaches to an existing relative file.
-func OpenRelative(pool *cache.Pool, vol *disk.Volume, name string, dir disk.BlockNum) (*RelativeFile, error) {
+func OpenRelative(pool *cache.Pool, vol disk.BlockDev, name string, dir disk.BlockNum) (*RelativeFile, error) {
 	f := &RelativeFile{pool: pool, vol: vol, name: name, dir: dir}
 	pg, err := pool.Get(dir)
 	if err != nil {
@@ -178,7 +178,7 @@ func (f *RelativeFile) Delete(recnum uint32, lsn wal.LSN) error {
 // returned by Append.
 type EntryFile struct {
 	pool *cache.Pool
-	vol  *disk.Volume
+	vol  disk.BlockDev
 	name string
 	dir  disk.BlockNum
 }
@@ -187,7 +187,7 @@ type EntryFile struct {
 // length byte terminates the block's used region.
 
 // NewEntry creates an entry-sequenced file.
-func NewEntry(pool *cache.Pool, vol *disk.Volume, name string) (*EntryFile, error) {
+func NewEntry(pool *cache.Pool, vol disk.BlockDev, name string) (*EntryFile, error) {
 	dir := vol.Allocate()
 	f := &EntryFile{pool: pool, vol: vol, name: name, dir: dir}
 	pg, err := pool.Get(dir)
@@ -201,7 +201,7 @@ func NewEntry(pool *cache.Pool, vol *disk.Volume, name string) (*EntryFile, erro
 }
 
 // OpenEntry attaches to an existing entry-sequenced file.
-func OpenEntry(pool *cache.Pool, vol *disk.Volume, name string, dir disk.BlockNum) *EntryFile {
+func OpenEntry(pool *cache.Pool, vol disk.BlockDev, name string, dir disk.BlockNum) *EntryFile {
 	return &EntryFile{pool: pool, vol: vol, name: name, dir: dir}
 }
 

@@ -227,7 +227,7 @@ func (s *shard) lock() {
 
 // A Pool is the buffer pool for one volume.
 type Pool struct {
-	vol      *disk.Volume
+	vol      disk.BlockDev
 	gate     WALGate
 	capacity int
 	plainLRU bool
@@ -261,12 +261,12 @@ type Options struct {
 
 // NewPool creates a buffer pool of the given page capacity over vol.
 // gate may be nil for non-transactional use.
-func NewPool(vol *disk.Volume, capacity int, gate WALGate) *Pool {
+func NewPool(vol disk.BlockDev, capacity int, gate WALGate) *Pool {
 	return NewPoolOpts(vol, capacity, gate, Options{})
 }
 
 // NewPoolOpts creates a buffer pool with explicit Options.
-func NewPoolOpts(vol *disk.Volume, capacity int, gate WALGate, opts Options) *Pool {
+func NewPoolOpts(vol disk.BlockDev, capacity int, gate WALGate, opts Options) *Pool {
 	if capacity < 2 {
 		capacity = 2
 	}
@@ -770,7 +770,10 @@ func (p *Pool) FlushAll() error {
 			return err
 		}
 	}
-	return nil
+	// On a file-backed volume the cleaned pages may only be queued in the
+	// I/O scheduler; Sync is the durability barrier (free on the
+	// simulated volume).
+	return p.vol.Sync()
 }
 
 func (s *shard) flushAll() error {

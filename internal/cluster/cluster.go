@@ -6,9 +6,12 @@ package cluster
 
 import (
 	"fmt"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"nonstopsql/internal/disk"
+	"nonstopsql/internal/disk/filevol"
 	"nonstopsql/internal/dp"
 	"nonstopsql/internal/fs"
 	"nonstopsql/internal/msg"
@@ -51,6 +54,15 @@ type Options struct {
 	// promotes it instantly — no log recovery needed, the paper's
 	// availability mechanism [Bartlett].
 	ProcessPairs bool
+
+	// DataDir, when set, backs every volume — audit trails included —
+	// with a real file under this directory (disk/filevol) instead of
+	// the simulated in-memory volume: writes survive the process, fsync
+	// is physical, and the asynchronous I/O scheduler serves the cache
+	// and the trail. SyncPerWrite selects the naive fsync-per-write mode
+	// (the E18 baseline) instead of batched-async.
+	DataDir      string
+	SyncPerWrite bool
 }
 
 func (o *Options) setDefaults() {
@@ -79,7 +91,7 @@ func (o *Options) setDefaults() {
 type Node struct {
 	ID       int
 	Trail    *wal.Trail
-	AuditVol *disk.Volume
+	AuditVol disk.BlockDev
 	auditSrv string
 }
 
@@ -97,9 +109,27 @@ type dpEntry struct {
 	dp        *dp.DP
 	node      int
 	cpu       int
-	vol       *disk.Volume
+	vol       disk.BlockDev
 	backupCPU int    // process pair: where the hot standby runs (-1 = none)
 	backupSrv string // the backup's checkpoint-sink process name
+}
+
+// newVolume creates one volume per the cluster options: simulated by
+// default, file-backed under DataDir when set.
+func (c *Cluster) newVolume(name string) (disk.BlockDev, error) {
+	if c.opts.DataDir == "" {
+		return disk.NewVolume(name, true), nil
+	}
+	mode := filevol.BatchedAsync
+	if c.opts.SyncPerWrite {
+		mode = filevol.SyncPerWrite
+	}
+	file := strings.TrimPrefix(name, "$") + ".vol"
+	return filevol.Open(filevol.Config{
+		Path: filepath.Join(c.opts.DataDir, file),
+		Name: name,
+		Mode: mode,
+	})
 }
 
 // New builds the cluster: per node, an audit volume, its trail, and the
@@ -109,7 +139,10 @@ func New(opts Options) (*Cluster, error) {
 	opts.setDefaults()
 	c := &Cluster{Net: msg.NewNetwork(), opts: opts, dps: make(map[string]*dpEntry)}
 	for n := 0; n < opts.Nodes; n++ {
-		auditVol := disk.NewVolume(fmt.Sprintf("$AUDIT%d", n), true)
+		auditVol, err := c.newVolume(fmt.Sprintf("$AUDIT%d", n))
+		if err != nil {
+			return nil, err
+		}
 		trail, err := wal.NewTrail(wal.Config{
 			Volume:      auditVol,
 			GroupCommit: opts.GroupCommit,
@@ -137,7 +170,10 @@ func (c *Cluster) AddVolume(node, cpu int, name string) (*dp.DP, error) {
 	if node < 0 || node >= len(c.Nodes) {
 		return nil, fmt.Errorf("cluster: no node %d", node)
 	}
-	vol := disk.NewVolume(name, true)
+	vol, err := c.newVolume(name)
+	if err != nil {
+		return nil, err
+	}
 	n := c.Nodes[node]
 	proc := msg.ProcessorID{Node: node, CPU: cpu}
 	port := tmf.NewAuditPort(n.Trail, c.Net.NewClient(proc), n.auditSrv, c.opts.AuditBufBytes)
@@ -276,7 +312,9 @@ func (c *Cluster) RestartDP(name string, cpu int) error {
 // Close stops each DP's background writer, then flushes trails and
 // stops all servers. DPs close first: their writers must not race a
 // closing trail, and DP.Close never forces the trail, so the order is
-// safe even with unaged dirty pages outstanding.
+// safe even with unaged dirty pages outstanding. Volumes close last —
+// on file-backed devices that drains the I/O scheduler, persists the
+// allocation header with the clean flag, and fsyncs.
 func (c *Cluster) Close() {
 	for _, e := range c.dps {
 		_ = e.dp.Close()
@@ -286,5 +324,11 @@ func (c *Cluster) Close() {
 	}
 	for _, s := range c.servers {
 		c.Net.StopServer(s)
+	}
+	for _, e := range c.dps {
+		_ = e.vol.Close()
+	}
+	for _, n := range c.Nodes {
+		_ = n.AuditVol.Close()
 	}
 }

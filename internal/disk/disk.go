@@ -43,9 +43,18 @@ type Stats struct {
 	BlocksRead    uint64
 	BlocksWritten uint64
 	MirrorWrites  uint64 // extra physical writes to the mirror drive
+
+	// Asynchronous-scheduler counters, nonzero only for file-backed
+	// volumes (disk/filevol). On a simulated volume every write is
+	// instantly durable, so they stay zero.
+	Fsyncs    uint64 // physical fsyncs issued
+	SyncWaits uint64 // logical durability waits (Sync calls served)
+	Enqueued  uint64 // write requests submitted to the scheduler queue
+	Absorbed  uint64 // queued writes superseded by a newer image before reaching disk
+	QueuePeak uint64 // high-water mark of the submission-queue depth
 }
 
-// Add accumulates o into s.
+// Add accumulates o into s. QueuePeak takes the max, not the sum.
 func (s *Stats) Add(o Stats) {
 	s.Reads += o.Reads
 	s.Writes += o.Writes
@@ -54,10 +63,34 @@ func (s *Stats) Add(o Stats) {
 	s.BlocksRead += o.BlocksRead
 	s.BlocksWritten += o.BlocksWritten
 	s.MirrorWrites += o.MirrorWrites
+	s.Fsyncs += o.Fsyncs
+	s.SyncWaits += o.SyncWaits
+	s.Enqueued += o.Enqueued
+	s.Absorbed += o.Absorbed
+	if o.QueuePeak > s.QueuePeak {
+		s.QueuePeak = o.QueuePeak
+	}
 }
 
 // IOs returns the total number of physical I/O operations (seeks).
 func (s Stats) IOs() uint64 { return s.Reads + s.Writes }
+
+// BlocksPerWrite returns the average write-coalescing factor.
+func (s Stats) BlocksPerWrite() float64 {
+	if s.Writes == 0 {
+		return 0
+	}
+	return float64(s.BlocksWritten) / float64(s.Writes)
+}
+
+// CommitsPerFsync relates logical durability waits to physical fsyncs:
+// the fsync-batching payoff (simulated volumes report 0/0).
+func (s Stats) CommitsPerFsync() float64 {
+	if s.Fsyncs == 0 {
+		return 0
+	}
+	return float64(s.SyncWaits) / float64(s.Fsyncs)
+}
 
 // A Volume is one simulated disk volume (optionally mirrored). The zero
 // value is not usable; call NewVolume.
@@ -136,9 +169,18 @@ func (v *Volume) Allocate() BlockNum {
 
 // AllocateRun reserves n physically contiguous blocks and returns the
 // first. Contiguity matters for the bulk-I/O and write-behind paths.
+//
+// Contract: AllocateRun deliberately NEVER consults the free list, even
+// when freed blocks would happen to be adjacent. Freed blocks come back
+// one at a time through Allocate in LIFO order, with no contiguity
+// guarantee between them — only fresh blocks carved off the high-water
+// mark are certain to be physically consecutive, which is the whole
+// point of a run. Interleaving Allocate/Free/AllocateRun is therefore
+// safe: a run can never overlap a freed-then-reused block.
 func (v *Volume) AllocateRun(n int) BlockNum {
 	v.mu.Lock()
 	defer v.mu.Unlock()
+	// Fresh blocks only — the free list is intentionally skipped.
 	start := v.next
 	for i := 0; i < n; i++ {
 		v.blocks[v.next] = nil
@@ -147,10 +189,17 @@ func (v *Volume) AllocateRun(n int) BlockNum {
 	return start
 }
 
-// Free releases a block for reuse.
+// Free releases a block for reuse. Freeing a block that is not
+// allocated — never allocated, or freed already — is a no-op: pushing it
+// onto the free list anyway would hand the same block out twice (a
+// double allocation corrupts two files at once; a leak is merely
+// wasteful). The file-backed volume guards identically.
 func (v *Volume) Free(bn BlockNum) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
+	if _, ok := v.blocks[bn]; !ok {
+		return
+	}
 	delete(v.blocks, bn)
 	v.free = append(v.free, bn)
 }
@@ -161,10 +210,13 @@ func (v *Volume) Read(bn BlockNum, buf []byte) error {
 	if len(buf) != BlockSize {
 		return fmt.Errorf("disk %s: read buffer is %d bytes, want %d", v.name, len(buf), BlockSize)
 	}
+	if err := fault.InjectErr(fault.DiskRead); err != nil {
+		return fmt.Errorf("disk %s: read of block %d: %w", v.name, bn, err)
+	}
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if _, ok := v.blocks[bn]; !ok {
-		return fmt.Errorf("disk %s: read of unallocated block %d", v.name, bn)
+		return fmt.Errorf("disk %s: read of %w %d", v.name, ErrUnallocated, bn)
 	}
 	v.stats.Reads++
 	v.stats.BlocksRead++
@@ -188,11 +240,14 @@ func (v *Volume) ReadBulk(start BlockNum, n int) ([][]byte, error) {
 	if n < 1 || n > MaxBulkBlocks {
 		return nil, fmt.Errorf("disk %s: bulk read of %d blocks (max %d)", v.name, n, MaxBulkBlocks)
 	}
+	if err := fault.InjectErr(fault.DiskRead); err != nil {
+		return nil, fmt.Errorf("disk %s: bulk read at block %d: %w", v.name, start, err)
+	}
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	for i := 0; i < n; i++ {
 		if _, ok := v.blocks[start+BlockNum(i)]; !ok {
-			return nil, fmt.Errorf("disk %s: bulk read spans unallocated block %d", v.name, start+BlockNum(i))
+			return nil, fmt.Errorf("disk %s: bulk read spans %w %d", v.name, ErrUnallocated, start+BlockNum(i))
 		}
 	}
 	v.stats.Reads++
@@ -218,7 +273,7 @@ func (v *Volume) Write(bn BlockNum, data []byte) error {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if _, ok := v.blocks[bn]; !ok {
-		return fmt.Errorf("disk %s: write to unallocated block %d", v.name, bn)
+		return fmt.Errorf("disk %s: write to %w %d", v.name, ErrUnallocated, bn)
 	}
 	if v.frozen.Load() {
 		return nil
@@ -249,7 +304,7 @@ func (v *Volume) WriteBulk(start BlockNum, blocks [][]byte) error {
 	defer v.mu.Unlock()
 	for i := range blocks {
 		if _, ok := v.blocks[start+BlockNum(i)]; !ok {
-			return fmt.Errorf("disk %s: bulk write spans unallocated block %d", v.name, start+BlockNum(i))
+			return fmt.Errorf("disk %s: bulk write spans %w %d", v.name, ErrUnallocated, start+BlockNum(i))
 		}
 	}
 	if v.frozen.Load() {
@@ -274,6 +329,13 @@ func (v *Volume) WriteBulk(start BlockNum, blocks [][]byte) error {
 	}
 	return nil
 }
+
+// Sync is a no-op: the simulated volume's writes are durable the moment
+// they return (the freeze mechanism models the crash instant instead).
+func (v *Volume) Sync() error { return nil }
+
+// Close is a no-op; the simulated volume holds no OS resources.
+func (v *Volume) Close() error { return nil }
 
 // Stats returns a snapshot of the I/O counters.
 func (v *Volume) Stats() Stats {

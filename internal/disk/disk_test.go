@@ -2,6 +2,7 @@ package disk
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 )
 
@@ -246,5 +247,77 @@ func TestCostModel(t *testing.T) {
 	// Mirrored writes pay their extra physical write.
 	if m.Estimate(Stats{Writes: 1, BlocksWritten: 1, MirrorWrites: 1}) <= m.Estimate(Stats{Writes: 1, BlocksWritten: 1}) {
 		t.Error("mirror write free")
+	}
+}
+
+// AllocateRun's contract: fresh contiguous space only, NEVER the free
+// list — a freed block adjacent to fresh space must not become the start
+// (or any member) of a run, whatever Allocate/Free history preceded it.
+func TestAllocateRunSkipsFreeList(t *testing.T) {
+	v := NewVolume("$DATA", false)
+	var first []BlockNum
+	for i := 0; i < 6; i++ {
+		first = append(first, v.Allocate())
+	}
+	v.Free(first[1])
+	v.Free(first[4])
+	v.Free(first[5]) // freed block directly adjacent to fresh space
+
+	start := v.AllocateRun(3)
+	if start != first[5]+1 {
+		t.Fatalf("run start %d, want %d: runs come from fresh space past the high-water mark", start, first[5]+1)
+	}
+	for i := BlockNum(0); i < 3; i++ {
+		bn := start + i
+		for _, freed := range []BlockNum{first[1], first[4], first[5]} {
+			if bn == freed {
+				t.Fatalf("run includes freed block %d", bn)
+			}
+		}
+		if err := v.Write(bn, filled(byte(i))); err != nil {
+			t.Fatalf("run block %d not writable: %v", bn, err)
+		}
+	}
+
+	// Allocate drains the free list LIFO — unaffected by the run.
+	for _, want := range []BlockNum{first[5], first[4], first[1]} {
+		if bn := v.Allocate(); bn != want {
+			t.Fatalf("Allocate returned %d, want freed block %d (LIFO)", bn, want)
+		}
+	}
+	// Free list empty: next single allocation is fresh, past the run.
+	if bn := v.Allocate(); bn != start+3 {
+		t.Fatalf("fresh Allocate returned %d, want %d", bn, start+3)
+	}
+
+	// Interleave once more: free a block inside the old run, then take
+	// another run — it must not reuse it either.
+	v.Free(start + 1)
+	start2 := v.AllocateRun(2)
+	if start2 <= start+3 {
+		t.Fatalf("second run start %d overlaps used space", start2)
+	}
+	if bn := v.Allocate(); bn != start+1 {
+		t.Fatalf("freed run-interior block %d not reused by Allocate (got %d)", start+1, bn)
+	}
+}
+
+// Every unallocated access reports the ErrUnallocated sentinel, which
+// the audit-trail scan relies on to tell end-of-trail from a real I/O
+// failure.
+func TestUnallocatedSentinel(t *testing.T) {
+	v := NewVolume("$DATA", false)
+	buf := make([]byte, BlockSize)
+	if err := v.Read(42, buf); !errors.Is(err, ErrUnallocated) {
+		t.Errorf("Read: %v does not wrap ErrUnallocated", err)
+	}
+	if err := v.Write(42, filled(1)); !errors.Is(err, ErrUnallocated) {
+		t.Errorf("Write: %v does not wrap ErrUnallocated", err)
+	}
+	if _, err := v.ReadBulk(42, 2); !errors.Is(err, ErrUnallocated) {
+		t.Errorf("ReadBulk: %v does not wrap ErrUnallocated", err)
+	}
+	if err := v.WriteBulk(42, [][]byte{filled(1), filled(2)}); !errors.Is(err, ErrUnallocated) {
+		t.Errorf("WriteBulk: %v does not wrap ErrUnallocated", err)
 	}
 }

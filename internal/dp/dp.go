@@ -38,7 +38,7 @@ import (
 // Config configures one Disk Process.
 type Config struct {
 	Name       string       // process name, e.g. "$DATA1"
-	Volume     *disk.Volume // the managed volume
+	Volume     disk.BlockDev // the managed volume
 	CacheSlots int          // buffer pool capacity in pages (default 1024)
 	Audit      *tmf.AuditPort
 
@@ -133,6 +133,23 @@ type Stats struct {
 	ServiceNanos   uint64
 	QueueWaitOps   uint64
 	QueueWaitNanos uint64
+
+	// Group commit on this DP's audit port (zero when the DP has no
+	// audit) and the managed volume's I/O scheduler: the batch sizes
+	// benchdiff tracks across BENCH_ snapshots.
+	WALFlushes         uint64
+	WALCommitsFlushed  uint64
+	WALCommitsPerFlush float64
+
+	DiskWrites         uint64
+	DiskBlocksWritten  uint64
+	DiskBlocksPerWrite float64 // coalescing: blocks landed per physical write
+	DiskFsyncs         uint64
+	DiskSyncWaits      uint64
+	DiskSyncsPerFsync  float64 // fsync batching: durability waits per physical fsync
+	DiskEnqueued       uint64
+	DiskAbsorbed       uint64
+	DiskQueuePeak      uint64
 }
 
 // CacheHitRate returns CacheHits/(CacheHits+CacheMisses), or 0.
@@ -314,7 +331,7 @@ func (d *DP) Stats() Stats {
 		qwOps, qwNanos = d.queueWait()
 	}
 	d.qwMu.Unlock()
-	return Stats{
+	st := Stats{
 		Requests:       d.stats.requests.Load(),
 		SetRequests:    d.stats.setRequests.Load(),
 		Redrives:       d.stats.redrives.Load(),
@@ -349,6 +366,25 @@ func (d *DP) Stats() Stats {
 		QueueWaitOps:   qwOps,
 		QueueWaitNanos: qwNanos,
 	}
+	if d.cfg.Audit != nil {
+		if tr := d.cfg.Audit.Trail(); tr != nil {
+			ws := tr.Stats()
+			st.WALFlushes = ws.Flushes
+			st.WALCommitsFlushed = ws.CommitsFlushed
+			st.WALCommitsPerFlush = ws.CommitsPerFlush()
+		}
+	}
+	ds := d.cfg.Volume.Stats()
+	st.DiskWrites = ds.Writes
+	st.DiskBlocksWritten = ds.BlocksWritten
+	st.DiskBlocksPerWrite = ds.BlocksPerWrite()
+	st.DiskFsyncs = ds.Fsyncs
+	st.DiskSyncWaits = ds.SyncWaits
+	st.DiskSyncsPerFsync = ds.CommitsPerFsync()
+	st.DiskEnqueued = ds.Enqueued
+	st.DiskAbsorbed = ds.Absorbed
+	st.DiskQueuePeak = ds.QueuePeak
+	return st
 }
 
 // SetQueueWait wires the msg server's input-queue wait counters into

@@ -41,7 +41,7 @@ func (d *DP) Files() []FileMeta {
 }
 
 // Volume exposes the managed volume (recovery tests clone it).
-func (d *DP) Volume() *disk.Volume { return d.cfg.Volume }
+func (d *DP) Volume() disk.BlockDev { return d.cfg.Volume }
 
 // OpenState returns how many transactions and Subset Control Blocks are
 // live at this participant — both must be zero after recovery, or state

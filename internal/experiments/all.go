@@ -104,6 +104,10 @@ func All(s Sizes) ([]*Table, error) {
 	if err := add(t17, err); err != nil {
 		return nil, fmt.Errorf("E17: %w", err)
 	}
+	_, t18, err := E18(s.TxnsPerCli)
+	if err := add(t18, err); err != nil {
+		return nil, fmt.Errorf("E18: %w", err)
+	}
 	_, tf1, err := F1()
 	if err := add(tf1, err); err != nil {
 		return nil, fmt.Errorf("F1: %w", err)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -44,6 +45,9 @@ import (
 // in its own branch/teller/account ranges, so record-lock contention
 // never aborts traffic and the expected state is deterministic.
 const e14Clients = 4
+
+// errE14Read is the injected I/O error of the read-error leg.
+var errE14Read = errors.New("e14: injected read error")
 
 // E14Result is one crash point's sweep outcome.
 type E14Result struct {
@@ -128,14 +132,15 @@ func e14Iteration(point string, seed int64, txnsPerClient int) (*E14Result, erro
 	fault.Reset()
 	defer fault.Reset()
 
-	// The two eviction-path points only fire under cache pressure: a
-	// pool smaller than the working set, served by a single worker so
-	// concurrent pins can never exhaust the pool and deadlock eviction,
-	// with write-behind off so dirty pages are cleaned by the eviction
-	// path's single-block write rather than swept up by bulk I/O first.
+	// The eviction-path points — and DiskRead, which only fires on cache
+	// misses — need cache pressure: a pool smaller than the working set,
+	// served by a single worker so concurrent pins can never exhaust the
+	// pool and deadlock eviction, with write-behind off so dirty pages
+	// are cleaned by the eviction path's single-block write rather than
+	// swept up by bulk I/O first.
 	opts := cluster.Options{CPUsPerNode: 4, DPWorkers: 8, WriteBehind: true}
 	scale := debitcredit.Scale{Branches: 2 * e14Clients, TellersPerBr: 2, AccountsPerBr: 10}
-	if point == fault.DiskWrite || point == fault.CacheCleanBeforeWrite {
+	if point == fault.DiskRead || point == fault.DiskWrite || point == fault.CacheCleanBeforeWrite {
 		opts.CacheSlots = 8
 		opts.DPWorkers = 1
 		opts.WriteBehind = false
@@ -174,9 +179,11 @@ func e14Iteration(point string, seed int64, txnsPerClient int) (*E14Result, erro
 	for _, name := range []string{"$DATA1", "$DATA2"} {
 		d := r.c.DP(name)
 		metas[name] = d.Files()
-		vols[name] = d.Volume()
+		// E14 always builds simulated clusters: only the simulated volume
+		// can Freeze/Clone, so the concrete type is asserted here.
+		vols[name] = d.Volume().(*disk.Volume)
 	}
-	auditVol := r.c.Nodes[0].AuditVol
+	auditVol := r.c.Nodes[0].AuditVol.(*disk.Volume)
 	firstBlock := r.c.Nodes[0].Trail.FirstBlock()
 
 	run := &e14Run{attempts: map[uint64][]e14Op{}, confirmed: map[uint64]bool{}}
@@ -222,6 +229,21 @@ func e14Iteration(point string, seed int64, txnsPerClient int) (*E14Result, erro
 	// ---- Everything below reads only the frozen images. ----
 
 	auditClone := auditVol.Clone(auditVol.Name())
+
+	// The read-error leg: recovery must be exercised against FAILED
+	// reads, not just torn writes. A flaky read during the post-crash
+	// audit scan has to surface as an error — treating it as end-of-trail
+	// would silently truncate the log and lose committed work.
+	if point == fault.DiskRead {
+		fault.Reset()
+		fault.ArmErr(fault.DiskRead, 0, errE14Read)
+		fault.Enable()
+		if _, serr := wal.Scan(auditClone, firstBlock); !errors.Is(serr, errE14Read) {
+			return nil, fmt.Errorf("read-error leg: scan returned %v, want the injected read error", serr)
+		}
+		fault.Reset() // disarm; the real scan and recovery below run clean
+	}
+
 	recs, err := wal.Scan(auditClone, firstBlock)
 	if err != nil {
 		return nil, fmt.Errorf("audit scan: %w", err)
@@ -466,7 +488,7 @@ func e14Skip(point string, rng *rand.Rand) int {
 	case fault.DPDeleteAfterAudit:
 		// Only SCRATCH deletes (every 3rd txn, after warm-up) reach it.
 		return rng.Intn(4)
-	case fault.DiskWrite, fault.CacheCleanBeforeWrite, fault.CacheWriteBehind:
+	case fault.DiskRead, fault.DiskWrite, fault.CacheCleanBeforeWrite, fault.CacheWriteBehind:
 		return rng.Intn(10)
 	default:
 		return 3 + rng.Intn(25)

@@ -1,0 +1,427 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nonstopsql/internal/cluster"
+	"nonstopsql/internal/debitcredit"
+	"nonstopsql/internal/disk"
+	"nonstopsql/internal/disk/filevol"
+	"nonstopsql/internal/dp"
+	"nonstopsql/internal/fs"
+	"nonstopsql/internal/tmf"
+	"nonstopsql/internal/wal"
+)
+
+// E18 measures what asynchronous batched I/O buys on REAL disks:
+// DebitCredit against file-backed volumes (every prior experiment runs
+// on the simulated volume and models time; here the I/O, the fsyncs,
+// and the clock are all physical). Two I/O disciplines, same engine:
+//
+//   - sync-per-write: the fully synchronous world the paper argues
+//     against — every block write is its own pwrite+fsync and every
+//     commit forces its own trail flush (no group commit: with
+//     synchronous submission there is nothing to batch fsyncs for);
+//   - batched-async: the full stack — group commit collects commit
+//     records above, while the scheduler's submission queue coalesces
+//     adjacent blocks into bulk pwrites and shares fsyncs below.
+//
+// The claim under test is the paper's audit-trail thesis end to end:
+// batching at both layers — group commit above, submission batching
+// below — is what turns buffered sequential logging into throughput;
+// either alone is throttled by the physical fsync rate.
+type E18Result struct {
+	Mode            string
+	Txns            int
+	Elapsed         time.Duration // wall clock: real I/O, real fsync
+	TPS             float64
+	BlocksPerWrite  float64 // coalescing: blocks landed per physical write
+	CommitsPerFlush float64 // group commit size (via dp.Stats → wal.Stats)
+	CommitsPerFsync float64 // durable commit records per physical audit fsync
+	Fsyncs          uint64  // physical fsyncs, all volumes
+	Absorbed        uint64  // queued writes replaced by a newer image
+	QueuePeak       uint64  // scheduler submission-queue high-water mark
+	Checksum        uint64  // order-independent balance hash (must match across modes)
+}
+
+// E18 runs DebitCredit on file-backed volumes in both write modes and
+// returns one row per mode. The batched-async mode must win on TPS —
+// it strictly removes fsyncs and write calls from the same workload.
+// This is the repo's one wall-clock experiment, so it gets wall-clock
+// hygiene: under a loaded host (the full test suite runs packages in
+// parallel) a single measurement is noisy, and the pair is retried up
+// to three times before the TPS claim is declared broken. The
+// structural claims — identical balances, fewer physical fsyncs — are
+// load-independent and must hold on every attempt.
+func E18(txnsPerClient int) ([]E18Result, *Table, error) {
+	const clients = 8
+	const attempts = 3
+	scale := debitcredit.Scale{Branches: clients, TellersPerBr: 10, AccountsPerBr: 100}
+	var results []E18Result
+	for attempt := 1; ; attempt++ {
+		results = results[:0]
+		for _, syncPerWrite := range []bool{true, false} {
+			res, err := e18Run(syncPerWrite, scale, clients, txnsPerClient)
+			if err != nil {
+				return nil, nil, err
+			}
+			results = append(results, *res)
+		}
+		syncRes, batched := results[0], results[1]
+		if batched.Checksum != syncRes.Checksum {
+			return nil, nil, fmt.Errorf("E18: final balances diverge across modes: %x vs %x", syncRes.Checksum, batched.Checksum)
+		}
+		if batched.Fsyncs >= syncRes.Fsyncs {
+			return nil, nil, fmt.Errorf("E18: batched-async did not reduce physical fsyncs: %d vs %d", batched.Fsyncs, syncRes.Fsyncs)
+		}
+		if batched.TPS > syncRes.TPS {
+			break
+		}
+		if attempt == attempts {
+			return nil, nil, fmt.Errorf("E18: batched-async TPS %.0f did not beat sync-per-write TPS %.0f in %d attempts", batched.TPS, syncRes.TPS, attempts)
+		}
+	}
+	syncRes, batched := results[0], results[1]
+
+	table := &Table{
+		ID:    "E18",
+		Title: "file-backed volumes: sync-per-write vs the asynchronous batched I/O scheduler (wall clock)",
+		Claim: "async submission with write coalescing and batched fsyncs is what turns write-behind and group commit into real throughput",
+		Headers: []string{
+			"mode", "txns", "elapsed", "TPS", "blocks/write", "commits/flush", "commits/fsync", "fsyncs", "absorbed", "queue peak",
+		},
+	}
+	for _, r := range results {
+		table.Rows = append(table.Rows, []string{
+			r.Mode, d(r.Txns), r.Elapsed.Round(time.Millisecond).String(), f1(r.TPS),
+			f2(r.BlocksPerWrite), f2(r.CommitsPerFlush), f2(r.CommitsPerFsync), u(r.Fsyncs), u(r.Absorbed), u(r.QueuePeak),
+		})
+	}
+	table.Notes = append(table.Notes,
+		fmt.Sprintf("speedup %.1fx; wall-clock time on real files — no cost model", batched.TPS/syncRes.TPS),
+		"blocks/write counts physical pwrites; commits/fsync divides durable commit records by physical audit fsyncs",
+		"identical final balance checksum in both modes: the scheduler reorders I/O, never effects",
+	)
+	return results, table, nil
+}
+
+func e18Run(syncPerWrite bool, scale debitcredit.Scale, clients, txnsPerClient int) (*E18Result, error) {
+	dir, err := os.MkdirTemp("", "e18-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	mode := "batched-async"
+	if syncPerWrite {
+		mode = "sync-per-write"
+	}
+	// The two legs are two I/O disciplines, top to bottom. Sync-per-write
+	// is the fully synchronous world the paper argues against: every
+	// block write is pwrite+fsync, and every commit forces its own trail
+	// flush (no group commit — there is nothing to batch fsyncs for).
+	// Batched-async is the full stack: group commit collects commits
+	// above, the scheduler coalesces writes and batches fsyncs below.
+	// Everything else — engine, cache, workload — is identical.
+	r, err := newRig(cluster.Options{
+		CPUsPerNode: 4, DPWorkers: 8, WriteBehind: true, Prefetch: true,
+		Adaptive: true, CacheSlots: 128,
+		DataDir: dir, SyncPerWrite: syncPerWrite,
+		DisableGroupCommit: syncPerWrite,
+	}, 1)
+	if err != nil {
+		return nil, err
+	}
+	defer r.close()
+	// One volume: single-participant commits ride group commit via
+	// WaitDurable. (Multi-volume banks run 2PC, whose prepare forces a
+	// trail flush per participant — that is E14's territory, and it
+	// would drown the group-commit signal this experiment measures.)
+	bank := debitcredit.Defs([]string{"$DATA1"}, true)
+	if err := bank.Create(r.fs, scale); err != nil {
+		return nil, err
+	}
+	// Measure traffic only: the load phase is identical in both modes.
+	for _, name := range []string{"$DATA1"} {
+		r.c.DP(name).Volume().ResetStats()
+	}
+	r.c.Nodes[0].AuditVol.ResetStats()
+	r.c.Nodes[0].Trail.ResetStats()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			f := r.c.NewFS(0, id%3)
+			rng := rand.New(rand.NewSource(int64(1800 + id)))
+			for i := 0; i < txnsPerClient; i++ {
+				t := debitcredit.Txn{
+					AID:   int64(id*scale.AccountsPerBr + rng.Intn(scale.AccountsPerBr)),
+					TID:   int64(id*scale.TellersPerBr + rng.Intn(scale.TellersPerBr)),
+					BID:   int64(id),
+					Delta: float64(rng.Intn(2001) - 1000),
+				}
+				if err := bank.RunSQL(f, t); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return nil, err
+	}
+
+	var total disk.Stats
+	for _, name := range []string{"$DATA1"} {
+		total.Add(r.c.DP(name).Volume().Stats())
+	}
+	auditStats := r.c.Nodes[0].AuditVol.Stats()
+	total.Add(auditStats)
+	ws := r.c.Nodes[0].Trail.Stats()
+	// Group-commit size rides the dp.Stats export path — the same one
+	// cmd/benchjson and EXPLAIN ANALYZE consumers see.
+	dpStats := r.c.DP("$DATA1").Stats()
+	sum, err := bankChecksum(r.fs, bank)
+	if err != nil {
+		return nil, err
+	}
+	txns := clients * txnsPerClient
+	res := &E18Result{
+		Mode:            mode,
+		Txns:            txns,
+		Elapsed:         elapsed,
+		TPS:             float64(txns) / elapsed.Seconds(),
+		BlocksPerWrite:  total.BlocksPerWrite(),
+		CommitsPerFlush: dpStats.WALCommitsPerFlush,
+		Fsyncs:          total.Fsyncs,
+		Absorbed:        total.Absorbed,
+		QueuePeak:       total.QueuePeak,
+		Checksum:        sum,
+	}
+	if auditStats.Fsyncs > 0 {
+		res.CommitsPerFsync = float64(ws.CommitsFlushed) / float64(auditStats.Fsyncs)
+	}
+	return res, nil
+}
+
+// ---- kill -9 crash recovery -------------------------------------------
+//
+// The sharpest durability test the repo can run: a REAL child process
+// doing DebitCredit on file-backed volumes is SIGKILLed mid-traffic —
+// no flush, no goodbye — and recovery rebuilds a consistent bank from
+// nothing but the files on disk. The child half (RunKillChild) and the
+// verifier half (VerifyKillRecovery) live here so the test is a thin
+// driver; killrecovery_test.go re-execs the test binary as the child.
+
+// killScale is the bank size the child builds; the verifier must use
+// the same shape to reconstruct schemas.
+var killScale = debitcredit.Scale{Branches: 4, TellersPerBr: 5, AccountsPerBr: 50}
+
+const killClients = 4
+
+// killMeta is what a restart would know: the durable file catalog. The
+// child persists it right after CREATE, before any traffic.
+type killMeta struct {
+	FirstBlock disk.BlockNum             `json:"first_block"`
+	Files      map[string][]killFileMeta `json:"files"` // volume → fragments
+}
+
+type killFileMeta struct {
+	Name       string        `json:"name"`
+	Root       disk.BlockNum `json:"root"`
+	FieldAudit bool          `json:"field_audit"`
+}
+
+// RunKillChild is the child process body: build a file-backed cluster in
+// dir, persist the file catalog, then run DebitCredit traffic forever,
+// reporting progress as "COUNT n" lines on w. It never returns — the
+// parent kills it.
+func RunKillChild(dir string, w io.Writer) error {
+	c, err := cluster.New(cluster.Options{
+		CPUsPerNode: 4, DPWorkers: 8, WriteBehind: true, DataDir: dir,
+	})
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := c.AddVolume(0, i%3, fmt.Sprintf("$DATA%d", i+1)); err != nil {
+			return err
+		}
+	}
+	f := c.NewFS(0, 0)
+	bank := debitcredit.Defs([]string{"$DATA1", "$DATA2"}, true)
+	if err := bank.Create(f, killScale); err != nil {
+		return err
+	}
+	meta := killMeta{FirstBlock: c.Nodes[0].Trail.FirstBlock(), Files: map[string][]killFileMeta{}}
+	for _, name := range []string{"$DATA1", "$DATA2"} {
+		for _, m := range c.DP(name).Files() {
+			meta.Files[name] = append(meta.Files[name], killFileMeta{
+				Name: m.Name, Root: m.Root, FieldAudit: m.FieldAudit,
+			})
+		}
+	}
+	mf, err := os.Create(filepath.Join(dir, "meta.json"))
+	if err != nil {
+		return err
+	}
+	if err := json.NewEncoder(mf).Encode(meta); err != nil {
+		return err
+	}
+	if err := mf.Sync(); err != nil {
+		return err
+	}
+	if err := mf.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "READY")
+
+	var commits atomic.Uint64
+	for g := 0; g < killClients; g++ {
+		go func(id int) {
+			cf := c.NewFS(0, id%3)
+			rng := rand.New(rand.NewSource(int64(4200 + id)))
+			for {
+				t := debitcredit.Txn{
+					AID:   int64(id*killScale.AccountsPerBr + rng.Intn(killScale.AccountsPerBr)),
+					TID:   int64(id*killScale.TellersPerBr + rng.Intn(killScale.TellersPerBr)),
+					BID:   int64(id),
+					Delta: float64(rng.Intn(2001) - 1000),
+				}
+				if err := bank.RunSQL(cf, t); err != nil {
+					return // the cluster is being torn down under us
+				}
+				commits.Add(1)
+			}
+		}(g)
+	}
+	for {
+		time.Sleep(20 * time.Millisecond)
+		fmt.Fprintf(w, "COUNT %d\n", commits.Load())
+	}
+}
+
+// VerifyKillRecovery recovers the bank from the killed child's on-disk
+// files alone and checks consistency: audit scan, WAL replay into fresh
+// Disk Processes, B-tree validation, and balance conservation
+// (sum(ACCOUNT) = sum(TELLER) = sum(BRANCH) = sum(HISTORY deltas)).
+// Returns the number of durably committed transactions and the
+// conserved sum.
+func VerifyKillRecovery(dir string) (committed int, sum float64, err error) {
+	raw, err := os.ReadFile(filepath.Join(dir, "meta.json"))
+	if err != nil {
+		return 0, 0, err
+	}
+	var meta killMeta
+	if err := json.Unmarshal(raw, &meta); err != nil {
+		return 0, 0, err
+	}
+
+	openVol := func(name string) (*filevol.Volume, error) {
+		return filevol.Open(filevol.Config{
+			Path: filepath.Join(dir, name+".vol"), Name: "$" + name,
+		})
+	}
+	auditVol, err := openVol("AUDIT0")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer auditVol.Close()
+	recs, err := wal.Scan(auditVol, meta.FirstBlock)
+	if err != nil {
+		return 0, 0, fmt.Errorf("audit scan: %w", err)
+	}
+	committedTx := map[uint64]bool{}
+	for _, rec := range recs {
+		if rec.Type == wal.RecCommit {
+			committedTx[rec.TxID] = true
+		}
+	}
+
+	// Schemas and checks are code, not data: rebuild the defs the child
+	// used and match them to the persisted catalog by file name.
+	bank := debitcredit.Defs([]string{"$DATA1", "$DATA2"}, true)
+	defByName := map[string]*fs.FileDef{}
+	for _, def := range []*fs.FileDef{bank.Account, bank.Teller, bank.Branch, bank.History} {
+		defByName[def.Name] = def
+	}
+
+	recovered := map[string]*dp.DP{}
+	for _, name := range []string{"$DATA1", "$DATA2"} {
+		vol, err := openVol(name[1:])
+		if err != nil {
+			return 0, 0, err
+		}
+		defer vol.Close()
+		rTrail, err := wal.NewTrail(wal.Config{Volume: disk.NewVolume(name+".R-AUDIT", true)})
+		if err != nil {
+			return 0, 0, err
+		}
+		defer rTrail.Close()
+		rd, err := dp.New(dp.Config{Name: name, Volume: vol, Audit: tmf.NewAuditPort(rTrail, nil, "", 0)})
+		if err != nil {
+			return 0, 0, err
+		}
+		for _, m := range meta.Files[name] {
+			def, ok := defByName[m.Name]
+			if !ok {
+				return 0, 0, fmt.Errorf("catalog lists unknown file %q", m.Name)
+			}
+			rd.AttachFile(m.Name, def.Schema, def.Check, m.Root, m.FieldAudit)
+		}
+		if err := rd.Recover(recs); err != nil {
+			return 0, 0, fmt.Errorf("recover %s: %w", name, err)
+		}
+		if err := rd.ValidateFiles(); err != nil {
+			return 0, 0, fmt.Errorf("recovered %s: %w", name, err)
+		}
+		recovered[name] = rd
+	}
+
+	sumOf := func(d *dp.DP, file string, field int) (float64, error) {
+		rows, err := d.DumpFile(file)
+		if err != nil {
+			return 0, err
+		}
+		s := 0.0
+		for _, row := range rows {
+			s += row[field].AsFloat()
+		}
+		return s, nil
+	}
+	accSum, err := sumOf(recovered["$DATA1"], "ACCOUNT", 2)
+	if err != nil {
+		return 0, 0, err
+	}
+	telSum, err := sumOf(recovered["$DATA2"], "TELLER", 2)
+	if err != nil {
+		return 0, 0, err
+	}
+	brSum, err := sumOf(recovered["$DATA1"], "BRANCH", 1)
+	if err != nil {
+		return 0, 0, err
+	}
+	histSum, err := sumOf(recovered["$DATA2"], "HISTORY", 4)
+	if err != nil {
+		return 0, 0, err
+	}
+	if accSum != telSum || accSum != brSum || accSum != histSum {
+		return 0, 0, fmt.Errorf("balances not conserved after kill -9: accounts %v, tellers %v, branches %v, history deltas %v",
+			accSum, telSum, brSum, histSum)
+	}
+	return len(committedTx), accSum, nil
+}

@@ -131,5 +131,6 @@ func loadEmp(r *rig, n, recordBytes int, fieldAudit bool) (*fs.FileDef, error) {
 }
 
 func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
 func u(v uint64) string   { return fmt.Sprintf("%d", v) }
 func d(v int) string      { return fmt.Sprintf("%d", v) }

@@ -29,7 +29,7 @@ type Config struct {
 	// Scratch volumes: when set and the input exceeds SpillThreshold,
 	// sorted runs are written to entry-sequenced scratch files spread
 	// round-robin across these volumes and merged back streaming.
-	Scratch        []*disk.Volume
+	Scratch        []disk.BlockDev
 	SpillThreshold int // default 4 * RunSize
 }
 

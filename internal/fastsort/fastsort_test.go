@@ -78,7 +78,7 @@ func TestSortMatchesStdlib(t *testing.T) {
 }
 
 func TestExternalSpill(t *testing.T) {
-	scratch := []*disk.Volume{
+	scratch := []disk.BlockDev{
 		disk.NewVolume("$SORT1", false),
 		disk.NewVolume("$SORT2", false),
 	}
@@ -108,7 +108,7 @@ func TestExternalMatchesInMemory(t *testing.T) {
 		t.Fatal(err)
 	}
 	ext, err := Sort(rowsB, byFirst, Config{
-		RunSize: 256, Scratch: []*disk.Volume{disk.NewVolume("$S", false)}, SpillThreshold: 512,
+		RunSize: 256, Scratch: []disk.BlockDev{disk.NewVolume("$S", false)}, SpillThreshold: 512,
 	})
 	if err != nil {
 		t.Fatal(err)

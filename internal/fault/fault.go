@@ -21,6 +21,13 @@ import (
 // recovery torture test (experiments.E14); add new write paths to this
 // list so they are covered automatically.
 const (
+	// DiskRead fires before a single-block or bulk read is served. It is
+	// both a crash point (freeze mid-read: reads keep working, every
+	// later write is lost) and the registry's only ERROR point: ArmErr
+	// makes the read fail with an injected I/O error, exercising the
+	// paths — transaction abort, audit-trail scan — that must survive a
+	// flaky drive rather than a dead one.
+	DiskRead = "disk/read"
 	// DiskWrite fires before a single-block write lands (cache cleaning,
 	// eviction). Crashing here loses the block write.
 	DiskWrite = "disk/write"
@@ -73,6 +80,7 @@ const (
 // Points lists every crash point in sweep order.
 func Points() []string {
 	return []string{
+		DiskRead,
 		DiskWrite,
 		DiskBulkWrite,
 		WALFlushBeforeWrite,
@@ -90,10 +98,12 @@ func Points() []string {
 	}
 }
 
-// arming is one armed one-shot action.
+// arming is one armed one-shot action: a crash function, an injected
+// error, or both.
 type arming struct {
 	skip  int // remaining hits to let pass before firing
 	fn    func()
+	err   error // returned by InjectErr at the firing hit
 	fired bool
 }
 
@@ -138,6 +148,19 @@ func Arm(point string, skip int, fn func()) {
 	reg.armed[point] = &arming{skip: skip, fn: fn}
 }
 
+// ArmErr schedules err to be returned exactly once, on the (skip+1)-th
+// enabled hit of an InjectErr call at point. Points instrumented with
+// plain Inject ignore an armed error; only error points (fault.DiskRead)
+// call InjectErr.
+func ArmErr(point string, skip int, err error) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if reg.armed == nil {
+		reg.armed = make(map[string]*arming)
+	}
+	reg.armed[point] = &arming{skip: skip, err: err}
+}
+
 // Hits returns how many times point was reached while enabled.
 func Hits(point string) uint64 {
 	reg.mu.Lock()
@@ -156,11 +179,17 @@ func Fired(point string) bool {
 // Inject marks execution passing through the named crash point. When the
 // registry is enabled the hit is counted, and an armed action whose skip
 // count is exhausted fires (outside the registry lock).
-func Inject(point string) {
+func Inject(point string) { _ = InjectErr(point) }
+
+// InjectErr is Inject for error points: at the firing hit it also
+// returns the armed error (nil for crash-only armings), which the
+// instrumented path propagates as a failed I/O.
+func InjectErr(point string) error {
 	if !reg.enabled.Load() {
-		return
+		return nil
 	}
 	var fn func()
+	var err error
 	reg.mu.Lock()
 	if reg.hits == nil {
 		reg.hits = make(map[string]uint64)
@@ -172,10 +201,12 @@ func Inject(point string) {
 		} else {
 			a.fired = true
 			fn = a.fn
+			err = a.err
 		}
 	}
 	reg.mu.Unlock()
 	if fn != nil {
 		fn()
 	}
+	return err
 }

@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -13,7 +14,7 @@ import (
 type Config struct {
 	// Volume is the audit trail volume, managed by a standard Disk
 	// Process in the paper. Required.
-	Volume *disk.Volume
+	Volume disk.BlockDev
 
 	// BufferFullBytes triggers a log flush when this much un-flushed
 	// audit accumulates. Default 16 KB. Field-compressed audit fills the
@@ -344,6 +345,14 @@ func (t *Trail) flushLocked() {
 			panic(fmt.Sprintf("wal: audit volume write failed: %v", err))
 		}
 	}
+	// On a file-backed volume the bulk writes above may only be queued;
+	// Sync is the durability barrier (batched fsync). It MUST complete
+	// before flushedLSN advances: the cache's WAL gate trusts flushedLSN
+	// when deciding a data page may be cleaned, and the commit protocol
+	// trusts it when acknowledging clients.
+	if err := t.cfg.Volume.Sync(); err != nil {
+		panic(fmt.Sprintf("wal: audit volume sync failed: %v", err))
+	}
 	fault.Inject(fault.WALFlushAfterWrite)
 
 	t.flushedLSN = t.pendingLast
@@ -421,12 +430,17 @@ func (t *Trail) Close() {
 // It is a standalone function taking only on-disk state, because after a
 // crash the Trail's memory is gone. The scan stops at the first byte
 // position that does not parse as a record frame (zero-filled tail).
-func Scan(v *disk.Volume, firstBlock disk.BlockNum) ([]*Record, error) {
+func Scan(v disk.BlockDev, firstBlock disk.BlockNum) ([]*Record, error) {
 	var raw []byte
 	buf := make([]byte, disk.BlockSize)
 	for bn := firstBlock; ; bn++ {
 		if err := v.Read(bn, buf); err != nil {
-			break // end of trail region
+			if errors.Is(err, disk.ErrUnallocated) {
+				break // end of trail region
+			}
+			// A real I/O failure must not masquerade as end-of-trail:
+			// truncating here would silently drop committed work.
+			return nil, fmt.Errorf("wal: scan block %d: %w", bn, err)
 		}
 		raw = append(raw, buf...)
 	}

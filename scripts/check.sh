@@ -21,4 +21,10 @@ go test -race -count=1 -run 'TestAggPushdownDifferential|TestJoinProbeDifferenti
 # full suite, but a recovery regression should fail here, fast and
 # alone, before the long run starts.
 go test -race -short -run TestRecoveryTorture ./internal/experiments
+# File-backed volumes: the async I/O scheduler keeps coalescing,
+# absorption, and fsync-generation state under one mutex with four
+# condvars — the racy seam of PR 7. Hammer it focused, then run the
+# quick kill -9 crash-recovery pass against real on-disk files.
+go test -race -count=1 -run 'TestSchedRace|TestFsyncBatching|TestWriteAbsorption' ./internal/disk/filevol
+QUICK=1 go test -race -count=1 -run TestKillRecovery ./internal/experiments
 go test -race ./...
