@@ -141,6 +141,18 @@ type e18JSON struct {
 	QueuePeak       uint64  `json:"queue_peak"`
 }
 
+type e19JSON struct {
+	Clients   int      `json:"clients"`
+	Requests  int      `json:"requests"`
+	ElapsedMs float64  `json:"elapsed_ms"`
+	TPS       float64  `json:"tps"`
+	RTT       histJSON `json:"client_rtt"`
+	Dispatch  histJSON `json:"net_dispatch"`
+	Frames    uint64   `json:"wire_frames"`
+	WireBytes uint64   `json:"wire_bytes"`
+	Conns     uint64   `json:"wire_conns"`
+}
+
 type report struct {
 	Tag   string `json:"tag"`
 	Quick bool   `json:"quick"`
@@ -158,6 +170,7 @@ type report struct {
 	E17      []e17JSON      `json:"e17_near_data_pushdown"`
 	E17Nodes []e17NodeJSON  `json:"e17_groupby_plan_nodes"`
 	E18      []e18JSON      `json:"e18_file_volumes"`
+	E19      []e19JSON      `json:"e19_wire_serving"`
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
@@ -284,6 +297,18 @@ func main() {
 			Fsyncs:          x.Fsyncs, Absorbed: x.Absorbed, QueuePeak: x.QueuePeak,
 		})
 	}
+
+	e19, _, err := experiments.E19(sizes.TxnsPerCli)
+	if err != nil {
+		fail("E19", err)
+	}
+	r.E19 = append(r.E19, e19JSON{
+		Clients: e19.Clients, Requests: e19.Requests,
+		ElapsedMs: ms(e19.Elapsed), TPS: e19.TPS,
+		RTT: hist(e19.Client), Dispatch: hist(e19.Network),
+		Frames: e19.Wire.Frames(), WireBytes: e19.Wire.Bytes(),
+		Conns: e19.Wire.Conns,
+	})
 
 	enc, err := json.MarshalIndent(&r, "", "  ")
 	if err != nil {

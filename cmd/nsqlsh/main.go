@@ -1,10 +1,14 @@
-// Command nsqlsh is an interactive NonStop SQL shell over a freshly
-// booted simulated Tandem network. Statements end with ';'. Meta
+// Command nsqlsh is an interactive NonStop SQL shell. By default it
+// boots a fresh simulated Tandem network in-process; with -connect it
+// becomes a remote client of a running nsqld, speaking the wire
+// protocol through a connection pool (autocommit only — remote
+// sessions are pooled per request). Statements end with ';'. Meta
 // commands:
 //
 //	\stats   print cumulative message/disk/audit counters
 //	\reset   zero the counters
 //	\tables  list catalog tables
+//	\d TABLE describe a table
 //	\crash $DATA1   crash a volume's Disk Process
 //	\restart $DATA1 recover and restart it
 //	\q       quit
@@ -16,26 +20,61 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"nonstopsql"
+	"nonstopsql/internal/nsqlclient"
 )
 
+// A backend executes statements and meta commands: either a freshly
+// booted in-process database or a remote nsqld behind a client pool.
+type backend interface {
+	Exec(stmt string) (*nonstopsql.Result, error)
+	Explain(stmt string) (string, error)
+	ExplainAnalyze(stmt string) (string, error)
+	StatsText() (string, error)
+	ResetStats() error
+	Tables() (string, error)
+	Describe(table string) (string, error)
+	Crash(volume string) error
+	Restart(volume string) error
+	Close()
+}
+
 func main() {
-	nodes := flag.Int("nodes", 1, "nodes in the network")
-	volumes := flag.Int("volumes", 4, "data volumes per node")
+	connect := flag.String("connect", "", "address of a running nsqld (empty = boot an in-process network)")
+	conns := flag.Int("conns", 2, "pooled connections to the nsqld (with -connect)")
+	timeout := flag.Duration("timeout", time.Minute, "per-request deadline (with -connect, 0 = none)")
+	nodes := flag.Int("nodes", 1, "nodes in the network (in-process mode)")
+	volumes := flag.Int("volumes", 4, "data volumes per node (in-process mode)")
 	parallel := flag.Int("parallel", 0, "default scan DOP across partitions (0 = sequential)")
 	flag.Parse()
 
-	db, err := nonstopsql.Open(nonstopsql.Config{Nodes: *nodes, VolumesPerNode: *volumes, ScanParallel: *parallel})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "nsqlsh: %v\n", err)
-		os.Exit(1)
+	var be backend
+	if *connect != "" {
+		pool, err := nsqlclient.Dial(*connect, nsqlclient.Options{Conns: *conns, ReplyTimeout: *timeout})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nsqlsh: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pool.Ping(); err != nil {
+			fmt.Fprintf(os.Stderr, "nsqlsh: %s is not an nsqld: %v\n", *connect, err)
+			os.Exit(1)
+		}
+		fmt.Printf("NonStop SQL reproduction — connected to %s (autocommit)\n", *connect)
+		be = &remoteBackend{pool: pool}
+	} else {
+		db, err := nonstopsql.Open(nonstopsql.Config{Nodes: *nodes, VolumesPerNode: *volumes, ScanParallel: *parallel})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nsqlsh: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("NonStop SQL reproduction — %d node(s), volumes: %s\n",
+			*nodes, strings.Join(db.Volumes(), " "))
+		be = &localBackend{db: db, sess: db.Session(0, 0)}
 	}
-	defer db.Close()
-	sess := db.Session(0, 0)
+	defer be.Close()
 
-	fmt.Printf("NonStop SQL reproduction — %d node(s), volumes: %s\n",
-		*nodes, strings.Join(db.Volumes(), " "))
 	fmt.Println(`type SQL ending with ';', or \q to quit`)
 
 	scanner := bufio.NewScanner(os.Stdin)
@@ -53,7 +92,7 @@ func main() {
 		line := scanner.Text()
 		trimmed := strings.TrimSpace(line)
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, `\`) {
-			if !meta(db, trimmed) {
+			if !meta(be, trimmed) {
 				return
 			}
 			prompt()
@@ -68,9 +107,9 @@ func main() {
 				var plan string
 				var err error
 				if analyze {
-					plan, err = sess.ExplainAnalyze(rest)
+					plan, err = be.ExplainAnalyze(rest)
 				} else {
-					plan, err = sess.Explain(rest)
+					plan, err = be.Explain(rest)
 				}
 				if err != nil {
 					fmt.Printf("error: %v\n", err)
@@ -80,7 +119,7 @@ func main() {
 				prompt()
 				continue
 			}
-			res, err := sess.Exec(stmt)
+			res, err := be.Exec(stmt)
 			if err != nil {
 				fmt.Printf("error: %v\n", err)
 			} else if len(res.Columns) > 0 {
@@ -107,41 +146,40 @@ func stripExplain(stmt string) (rest string, analyze, ok bool) {
 	return s, false, true
 }
 
-func meta(db *nonstopsql.Database, cmd string) bool {
+func meta(be backend, cmd string) bool {
 	fields := strings.Fields(cmd)
-	switch fields[0] {
-	case `\q`, `\quit`:
-		return false
-	case `\stats`:
-		s := db.Stats()
-		fmt.Printf("messages=%d (%d KB, %d remote)  disk reads=%d writes=%d blocks=%d  audit=%d KB in %d flushes  commits=%d\n",
-			s.Messages, s.MessageBytes/1024, s.RemoteMsgs,
-			s.DiskReads, s.DiskWrites, s.BlocksRead,
-			s.AuditBytes/1024, s.AuditFlushes, s.Commits)
-	case `\reset`:
-		db.ResetStats()
-		fmt.Println("-- counters zeroed")
-	case `\tables`:
-		for _, t := range db.Catalog().Tables() {
-			fmt.Println(t)
-		}
-	case `\d`, `\describe`:
-		if len(fields) < 2 {
-			fmt.Println("usage: \\d TABLE")
-			break
-		}
-		out, err := db.Catalog().Describe(fields[1])
+	show := func(out string, err error) {
 		if err != nil {
 			fmt.Printf("error: %v\n", err)
 		} else {
 			fmt.Print(out)
 		}
+	}
+	switch fields[0] {
+	case `\q`, `\quit`:
+		return false
+	case `\stats`:
+		show(be.StatsText())
+	case `\reset`:
+		if err := be.ResetStats(); err != nil {
+			fmt.Printf("error: %v\n", err)
+		} else {
+			fmt.Println("-- counters zeroed")
+		}
+	case `\tables`:
+		show(be.Tables())
+	case `\d`, `\describe`:
+		if len(fields) < 2 {
+			fmt.Println("usage: \\d TABLE")
+			break
+		}
+		show(be.Describe(fields[1]))
 	case `\crash`:
 		if len(fields) < 2 {
 			fmt.Println("usage: \\crash $VOLUME")
 			break
 		}
-		if err := db.CrashVolume(fields[1]); err != nil {
+		if err := be.Crash(fields[1]); err != nil {
 			fmt.Printf("error: %v\n", err)
 		} else {
 			fmt.Printf("-- %s down\n", fields[1])
@@ -151,7 +189,7 @@ func meta(db *nonstopsql.Database, cmd string) bool {
 			fmt.Println("usage: \\restart $VOLUME")
 			break
 		}
-		if err := db.RestartVolume(fields[1], -1); err != nil {
+		if err := be.Restart(fields[1]); err != nil {
 			fmt.Printf("error: %v\n", err)
 		} else {
 			fmt.Printf("-- %s recovered and serving\n", fields[1])
@@ -161,3 +199,50 @@ func meta(db *nonstopsql.Database, cmd string) bool {
 	}
 	return true
 }
+
+// localBackend runs statements on an in-process network, exactly as
+// nsqlsh always has — transactions included.
+type localBackend struct {
+	db   *nonstopsql.Database
+	sess *nonstopsql.Session
+}
+
+func (b *localBackend) Exec(stmt string) (*nonstopsql.Result, error) { return b.sess.Exec(stmt) }
+func (b *localBackend) Explain(stmt string) (string, error)          { return b.sess.Explain(stmt) }
+func (b *localBackend) ExplainAnalyze(stmt string) (string, error) {
+	return b.sess.ExplainAnalyze(stmt)
+}
+func (b *localBackend) StatsText() (string, error) { return nonstopsql.FormatStats(b.db.Stats()), nil }
+func (b *localBackend) ResetStats() error          { b.db.ResetStats(); return nil }
+func (b *localBackend) Tables() (string, error) {
+	var sb strings.Builder
+	for _, t := range b.db.Catalog().Tables() {
+		sb.WriteString(t)
+		sb.WriteByte('\n')
+	}
+	return sb.String(), nil
+}
+func (b *localBackend) Describe(table string) (string, error) { return b.db.Catalog().Describe(table) }
+func (b *localBackend) Crash(volume string) error             { return b.db.CrashVolume(volume) }
+func (b *localBackend) Restart(volume string) error           { return b.db.RestartVolume(volume, -1) }
+func (b *localBackend) Close()                                { b.db.Close() }
+
+// remoteBackend routes everything through the client pool to an nsqld.
+type remoteBackend struct {
+	pool *nsqlclient.Pool
+}
+
+func (b *remoteBackend) Exec(stmt string) (*nonstopsql.Result, error) { return b.pool.Exec(stmt) }
+func (b *remoteBackend) Explain(stmt string) (string, error)          { return b.pool.Explain(stmt) }
+func (b *remoteBackend) ExplainAnalyze(stmt string) (string, error) {
+	return b.pool.ExplainAnalyze(stmt)
+}
+func (b *remoteBackend) StatsText() (string, error) { return nsqlclient.StatsText(b.pool) }
+func (b *remoteBackend) ResetStats() error          { return nsqlclient.ResetStats(b.pool) }
+func (b *remoteBackend) Tables() (string, error)    { return nsqlclient.Tables(b.pool) }
+func (b *remoteBackend) Describe(table string) (string, error) {
+	return nsqlclient.Describe(b.pool, table)
+}
+func (b *remoteBackend) Crash(volume string) error   { return nsqlclient.Crash(b.pool, volume) }
+func (b *remoteBackend) Restart(volume string) error { return nsqlclient.Restart(b.pool, volume) }
+func (b *remoteBackend) Close()                      { b.pool.Close() }

@@ -206,9 +206,9 @@ type shard struct {
 	waits     atomic.Uint64 // lock acquisitions that found the mutex held
 	waitNanos atomic.Uint64 // total time blocked in those acquisitions
 	pages     map[disk.BlockNum]*Page
-	inflight map[disk.BlockNum]chan struct{}
-	prot     lruList // protected: keyed hot set
-	prob     lruList // probation: sequential recycling ring
+	inflight  map[disk.BlockNum]chan struct{}
+	prot      lruList // protected: keyed hot set
+	prob      lruList // probation: sequential recycling ring
 }
 
 // lock acquires the shard mutex, counting contended acquisitions and

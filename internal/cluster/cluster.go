@@ -15,6 +15,7 @@ import (
 	"nonstopsql/internal/dp"
 	"nonstopsql/internal/fs"
 	"nonstopsql/internal/msg"
+	"nonstopsql/internal/msg/wire"
 	"nonstopsql/internal/tmf"
 	"nonstopsql/internal/wal"
 )
@@ -28,9 +29,9 @@ type Options struct {
 	Adaptive      bool // adaptive group-commit timers
 	Prefetch      bool
 	WriteBehind   bool
-	DPWorkers     int // process-group goroutines per DP (default 16)
-	CacheSlots    int // buffer pool pages per DP
-	CacheShards   int // buffer pool shards per DP (0 = derive from slots)
+	DPWorkers     int  // process-group goroutines per DP (default 16)
+	CacheSlots    int  // buffer pool pages per DP
+	CacheShards   int  // buffer pool shards per DP (0 = derive from slots)
 	CachePlainLRU bool // disable scan-resistant replacement (ablations)
 	MaxReplyBytes int
 	MaxRowsPerMsg int
@@ -63,6 +64,18 @@ type Options struct {
 	// (the E18 baseline) instead of batched-async.
 	DataDir      string
 	SyncPerWrite bool
+
+	// Listen, when set, serves the cluster's message network over TCP:
+	// a wire server binds the address and dispatches remote request
+	// frames into Net, so processes outside this OS process (nsqld
+	// clients) can hold conversations with any registered server. Use
+	// "127.0.0.1:0" to bind an ephemeral port (see Addr).
+	Listen string
+
+	// WireReplyTimeout bounds each remotely-dispatched request on the
+	// server side, so a hung handler cannot pin a drain forever
+	// (0 = wait forever).
+	WireReplyTimeout time.Duration
 }
 
 func (o *Options) setDefaults() {
@@ -103,6 +116,7 @@ type Cluster struct {
 
 	dps     map[string]*dpEntry
 	servers []string
+	wire    *wire.Server // TCP front door, nil unless Options.Listen set
 }
 
 type dpEntry struct {
@@ -161,7 +175,40 @@ func New(opts Options) (*Cluster, error) {
 		c.servers = append(c.servers, node.auditSrv)
 		c.Nodes = append(c.Nodes, node)
 	}
+	if opts.Listen != "" {
+		ws, err := wire.Listen(opts.Listen, c.Net, wire.Options{ReplyTimeout: opts.WireReplyTimeout})
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.wire = ws
+	}
 	return c, nil
+}
+
+// Addr returns the TCP listen address when the cluster is being served
+// over the wire ("" otherwise). With Options.Listen ":0" this is where
+// the ephemeral port shows up.
+func (c *Cluster) Addr() string {
+	if c.wire == nil {
+		return ""
+	}
+	return c.wire.Addr()
+}
+
+// WireServer exposes the TCP front door (nil unless Options.Listen was
+// set) for drain control and wire-level counters.
+func (c *Cluster) WireServer() *wire.Server { return c.wire }
+
+// Drain gracefully quiesces the TCP front door: stop accepting
+// connections, refuse new request frames, answer the requests already
+// in flight (bounded by timeout; 0 = wait forever). A no-op when the
+// cluster is not being served.
+func (c *Cluster) Drain(timeout time.Duration) error {
+	if c.wire == nil {
+		return nil
+	}
+	return c.wire.Drain(timeout)
 }
 
 // AddVolume creates a data volume named name managed by a new Disk
@@ -316,6 +363,11 @@ func (c *Cluster) RestartDP(name string, cpu int) error {
 // on file-backed devices that drains the I/O scheduler, persists the
 // allocation header with the clean flag, and fsyncs.
 func (c *Cluster) Close() {
+	// The wire front door goes first: no remote request may arrive once
+	// the DPs and trails start shutting down underneath it.
+	if c.wire != nil {
+		c.wire.Close()
+	}
 	for _, e := range c.dps {
 		_ = e.dp.Close()
 	}

@@ -37,9 +37,9 @@ import (
 
 // Config configures one Disk Process.
 type Config struct {
-	Name       string       // process name, e.g. "$DATA1"
+	Name       string        // process name, e.g. "$DATA1"
 	Volume     disk.BlockDev // the managed volume
-	CacheSlots int          // buffer pool capacity in pages (default 1024)
+	CacheSlots int           // buffer pool capacity in pages (default 1024)
 	Audit      *tmf.AuditPort
 
 	LockTimeout time.Duration // lock wait bound (default 2s)
@@ -113,13 +113,13 @@ type Stats struct {
 
 	// Buffer pool: hit rates by access class, WAL stalls, and shard
 	// mutex contention (see cache.Stats).
-	CacheHits        uint64
-	CacheMisses      uint64
-	CacheKeyedHits   uint64
-	CacheKeyedMisses uint64
-	CacheSeqHits     uint64
-	CacheSeqMisses   uint64
-	CachePromotions  uint64
+	CacheHits           uint64
+	CacheMisses         uint64
+	CacheKeyedHits      uint64
+	CacheKeyedMisses    uint64
+	CacheSeqHits        uint64
+	CacheSeqMisses      uint64
+	CachePromotions     uint64
 	CacheWALStalls      uint64
 	CacheShardWaits     uint64
 	CacheShardWaitNanos uint64
@@ -349,17 +349,17 @@ func (d *DP) Stats() Stats {
 		MaxTreeOps:     ls.MaxOps,
 		MaxInFlight:    maxIn,
 
-		CacheHits:        cs.Hits,
-		CacheMisses:      cs.Misses,
-		CacheKeyedHits:   cs.KeyedHits,
-		CacheKeyedMisses: cs.KeyedMisses,
-		CacheSeqHits:     cs.SeqHits,
-		CacheSeqMisses:   cs.SeqMisses,
-		CachePromotions:  cs.Promotions,
+		CacheHits:           cs.Hits,
+		CacheMisses:         cs.Misses,
+		CacheKeyedHits:      cs.KeyedHits,
+		CacheKeyedMisses:    cs.KeyedMisses,
+		CacheSeqHits:        cs.SeqHits,
+		CacheSeqMisses:      cs.SeqMisses,
+		CachePromotions:     cs.Promotions,
 		CacheWALStalls:      cs.WALStalls,
 		CacheShardWaits:     cs.ShardWaits,
 		CacheShardWaitNanos: cs.ShardWaitNanos,
-		CacheShards:      cs.Shards,
+		CacheShards:         cs.Shards,
 
 		ServiceOps:     d.serviceOps.Load(),
 		ServiceNanos:   d.serviceNanos.Load(),

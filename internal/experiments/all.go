@@ -108,6 +108,10 @@ func All(s Sizes) ([]*Table, error) {
 	if err := add(t18, err); err != nil {
 		return nil, fmt.Errorf("E18: %w", err)
 	}
+	_, t19, err := E19(s.TxnsPerCli)
+	if err := add(t19, err); err != nil {
+		return nil, fmt.Errorf("E19: %w", err)
+	}
 	_, tf1, err := F1()
 	if err := add(tf1, err); err != nil {
 		return nil, fmt.Errorf("F1: %w", err)

@@ -14,14 +14,14 @@ import (
 // message traffic EXPLAIN ANALYZE attributes to the query's data-access
 // node and the per-message latency distribution behind it.
 type E16Result struct {
-	Query        string
-	Rows         uint64 // rows the node delivered (or counted/affected)
-	Messages     uint64
-	Redrives     uint64
-	Examined     uint64 // records visited at the Disk Processes
-	CacheHitRate float64
+	Query         string
+	Rows          uint64 // rows the node delivered (or counted/affected)
+	Messages      uint64
+	Redrives      uint64
+	Examined      uint64 // records visited at the Disk Processes
+	CacheHitRate  float64
 	P50, P95, P99 time.Duration
-	Lat          obs.Snapshot // full histogram, exported by benchjson
+	Lat           obs.Snapshot // full histogram, exported by benchjson
 }
 
 // E16 exercises the observability layer end to end: a partitioned

@@ -401,3 +401,31 @@ func TestE18FileVolumes(t *testing.T) {
 		t.Errorf("balance checksum diverges: %x vs %x", syncRes.Checksum, batched.Checksum)
 	}
 }
+
+func TestE19WireServing(t *testing.T) {
+	r, table, err := E19(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 1 {
+		t.Fatalf("%d table rows", len(table.Rows))
+	}
+	// E19 itself audits effects and frame accounting; re-assert the
+	// measurement substrate: real latency samples on both sides of the
+	// wire, and one pool round-trip sample per request.
+	if r.Clients < 100 {
+		t.Errorf("only %d clients — the experiment claims hundreds", r.Clients)
+	}
+	if got := r.Client.Count(); got < uint64(r.Requests) {
+		t.Errorf("client RTT histogram has %d samples, want >= %d", got, r.Requests)
+	}
+	if r.Network.Count() == 0 {
+		t.Error("no DistNetwork dispatch samples: remote conversations were not classified as network traffic")
+	}
+	if r.TPS <= 0 {
+		t.Errorf("TPS %v", r.TPS)
+	}
+	if r.Wire.Frames() == 0 || r.Wire.Bytes() == 0 {
+		t.Errorf("wire moved nothing: %+v", r.Wire)
+	}
+}

@@ -24,7 +24,7 @@ import (
 // AggGroup is one merged group: its GROUP BY key values and one partial
 // state per AggSpec column.
 type AggGroup struct {
-	KeyVals record.Row
+	KeyVals  record.Row
 	Partials []fsdp.AggPartial
 }
 

@@ -79,6 +79,11 @@ func (s *Stats) Add(o Stats) {
 // wait, not the server's work.
 var ErrReplyTimeout = errors.New("reply timeout")
 
+// ErrNoServer marks a Send addressed to a name with no registered
+// server, or to a server that has been stopped. The wire transport maps
+// it onto its own error code so remote clients see the same identity.
+var ErrNoServer = errors.New("no such server")
+
 // A Handler serves one request and returns the reply payload. Handlers
 // run on the server's goroutine pool; application-level errors travel
 // inside the reply encoding, not as Go errors.
@@ -92,9 +97,17 @@ type outcome struct {
 }
 
 type request struct {
-	payload  []byte
-	reply    chan outcome
-	enqueued time.Time
+	payload []byte
+	reply   chan outcome
+
+	// enqueuedNanos is stamped by the sender at the moment the request
+	// actually lands in the server's input queue — after any sender
+	// back-pressure block on a full queue, which belongs to the
+	// requester's wait, not the server's queue-wait histogram. Atomic
+	// because a worker on a direct handoff can pick the request up
+	// before the sender's stamp lands; a zero read means "picked up
+	// immediately", i.e. no queue wait.
+	enqueuedNanos atomic.Int64
 }
 
 // A Server is a named process group with a shared input queue.
@@ -105,7 +118,7 @@ type Server struct {
 	handler Handler
 
 	mu     sync.RWMutex // guards closed vs. in-flight queue sends
-	queue  chan request
+	queue  chan *request
 	closed bool
 	wg     sync.WaitGroup
 
@@ -155,7 +168,12 @@ func (s *Server) Close() {
 func (s *Server) serve() {
 	defer s.wg.Done()
 	for req := range s.queue {
-		wait := time.Since(req.enqueued)
+		var wait time.Duration
+		if enq := req.enqueuedNanos.Load(); enq != 0 {
+			if w := time.Since(time.Unix(0, enq)); w > 0 {
+				wait = w
+			}
+		}
 		s.queueWaitOps.Add(1)
 		s.queueWaitNanos.Add(uint64(wait))
 		s.queueWaitHist.Record(wait)
@@ -214,7 +232,7 @@ func (n *Network) StartServer(name string, proc ProcessorID, workers int, handle
 	if _, dup := n.servers[name]; dup {
 		return nil, fmt.Errorf("msg: server %q already registered", name)
 	}
-	s := &Server{name: name, proc: proc, net: n, handler: handler, queue: make(chan request, 64)}
+	s := &Server{name: name, proc: proc, net: n, handler: handler, queue: make(chan *request, 64)}
 	n.servers[name] = s
 	for i := 0; i < workers; i++ {
 		s.wg.Add(1)
@@ -319,13 +337,15 @@ func (n *Network) chargeReply(replyLen int, err error) {
 type Client struct {
 	net     *Network
 	proc    ProcessorID
-	timeout time.Duration // reply deadline (0 = wait forever)
+	timeout atomic.Int64 // reply deadline in nanoseconds (0 = wait forever)
 }
 
 // NewClient creates a requester on the given processor. It inherits the
 // network's default reply deadline.
 func (n *Network) NewClient(proc ProcessorID) *Client {
-	return &Client{net: n, proc: proc, timeout: n.ReplyTimeout}
+	c := &Client{net: n, proc: proc}
+	c.timeout.Store(int64(n.ReplyTimeout))
+	return c
 }
 
 // Processor returns where the client runs.
@@ -335,11 +355,12 @@ func (c *Client) Processor() ProcessorID { return c.proc }
 func (c *Client) Network() *Network { return c.net }
 
 // SetReplyTimeout bounds how long Send waits for a reply (0 = forever).
-// Not safe to call concurrently with Send.
-func (c *Client) SetReplyTimeout(d time.Duration) { c.timeout = d }
+// Safe to call concurrently with Send: sends already waiting keep the
+// deadline they started with; sends issued afterwards see the new one.
+func (c *Client) SetReplyTimeout(d time.Duration) { c.timeout.Store(int64(d)) }
 
 // ReplyTimeout returns the client's reply deadline.
-func (c *Client) ReplyTimeout() time.Duration { return c.timeout }
+func (c *Client) ReplyTimeout() time.Duration { return time.Duration(c.timeout.Load()) }
 
 // Distance classifies one request/reply hop by how far it travels —
 // the same classification Send charges to the Local/Bus/Network
@@ -394,27 +415,34 @@ func (c *Client) Send(server string, payload []byte) ([]byte, error) {
 	s, ok := c.net.servers[server]
 	c.net.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("msg: no server %q", server)
+		return nil, fmt.Errorf("msg: no server %q: %w", server, ErrNoServer)
 	}
 
-	req := request{payload: payload, reply: make(chan outcome, 1), enqueued: time.Now()}
+	start := time.Now()
+	req := &request{payload: payload, reply: make(chan outcome, 1)}
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
-		return nil, fmt.Errorf("msg: server %q is down", server)
+		return nil, fmt.Errorf("msg: server %q is down: %w", server, ErrNoServer)
 	}
 	s.received.Add(1)
+	// A full queue blocks this send until a worker drains a slot; that
+	// back-pressure wait belongs to the requester (it is part of the
+	// round trip measured from start), so the queue-entry stamp is taken
+	// only once the send returns — the moment the request actually sits
+	// in the input queue.
 	s.queue <- req
+	req.enqueuedNanos.Store(time.Now().UnixNano())
 	s.mu.RUnlock()
 
 	dist := classify(c.proc, s.proc)
 	c.net.chargeRequest(len(payload), dist)
 
 	var out outcome
-	if c.timeout <= 0 {
+	if timeout := c.ReplyTimeout(); timeout <= 0 {
 		out = <-req.reply
 	} else {
-		timer := time.NewTimer(c.timeout)
+		timer := time.NewTimer(timeout)
 		select {
 		case out = <-req.reply:
 			timer.Stop()
@@ -422,12 +450,17 @@ func (c *Client) Send(server string, payload []byte) ([]byte, error) {
 			c.net.mu.Lock()
 			c.net.stats.Timeouts++
 			c.net.mu.Unlock()
-			return nil, fmt.Errorf("msg: server %q: %w after %v", server, ErrReplyTimeout, c.timeout)
+			return nil, fmt.Errorf("msg: server %q: %w after %v", server, ErrReplyTimeout, timeout)
 		}
 	}
+	// Round-trip latency is recorded for every conversation that got a
+	// reply — error replies (handler panics) included, so per-distance
+	// Lat.Count stays reconcilable against the message counters under
+	// faults. Only abandoned (timed-out) sends go unrecorded; they are
+	// counted in Timeouts instead.
+	c.net.lat[dist].Record(time.Since(start))
 	if out.err != nil {
 		return nil, out.err
 	}
-	c.net.lat[dist].Record(time.Since(req.enqueued))
 	return out.data, nil
 }

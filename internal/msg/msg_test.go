@@ -353,6 +353,170 @@ func TestStopSendRace(t *testing.T) {
 	}
 }
 
+// TestLatencyRecordedForErrorReplies pins the accounting bugfix: Send
+// used to record round-trip latency only on success, returning early for
+// panic/error replies, so per-distance Lat.Count silently drifted below
+// the message count under faults. Every conversation that got a reply —
+// error replies included — must land one latency sample, keeping
+// Lat.Count == Requests reconcilable per distance class.
+func TestLatencyRecordedForErrorReplies(t *testing.T) {
+	n := NewNetwork()
+	n.StartServer("$REMOTE", ProcessorID{1, 0}, 1, func(req []byte) []byte {
+		if bytes.Equal(req, []byte("boom")) {
+			panic("injected")
+		}
+		return echo(req)
+	})
+	defer n.StopServer("$REMOTE")
+	c := n.NewClient(ProcessorID{0, 0})
+	for i := 0; i < 3; i++ {
+		if _, err := c.Send("$REMOTE", []byte("ok")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := c.Send("$REMOTE", []byte("boom")); err == nil {
+			t.Fatal("panicking handler returned success")
+		}
+	}
+	s := n.Stats()
+	if s.Requests != 5 || s.Replies != 5 || s.Panics != 2 {
+		t.Fatalf("stats %+v, want 5 requests, 5 replies, 2 panics", s)
+	}
+	if got := n.Latency(DistNetwork).Count(); got != s.Requests {
+		t.Errorf("network-distance latency samples = %d, want %d (error replies must record latency)", got, s.Requests)
+	}
+}
+
+// TestQueueWaitExcludesSenderBackpressure pins the misattribution
+// bugfix: the queue-entry stamp used to be taken before the potentially
+// blocking queue send, so when the input queue was full the sender's
+// back-pressure wait was counted as server-side queue wait. The stamp
+// now lands at actual enqueue.
+//
+// Shape: a gated single-worker server holds one request in its handler
+// while 64 fillers pack the queue to capacity. One more sender then
+// blocks in back-pressure for the length of a deliberate pause; once the
+// gate opens, the queue drains in microseconds. The fillers legitimately
+// waited out the pause in the queue, but the back-pressured request
+// entered it only after the drain began — so exactly two requests (the
+// gated one and the back-pressured one) must show sub-pause queue waits.
+func TestQueueWaitExcludesSenderBackpressure(t *testing.T) {
+	const pause = 300 * time.Millisecond
+	const threshold = pause / 2
+
+	n := NewNetwork()
+	entered := make(chan struct{}, 1)
+	gate := make(chan struct{})
+	srv, err := n.StartServer("$D", ProcessorID{0, 1}, 1, func(req []byte) []byte {
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		<-gate
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := n.NewClient(ProcessorID{0, 0})
+
+	var wg sync.WaitGroup
+	send := func() {
+		defer wg.Done()
+		if _, err := c.Send("$D", []byte("x")); err != nil {
+			t.Error(err)
+		}
+	}
+	wg.Add(1)
+	go send()
+	<-entered // the worker holds the first request; the queue is empty
+
+	const queueCap = 64 // StartServer's input-queue depth
+	for i := 0; i < queueCap; i++ {
+		wg.Add(1)
+		go send()
+	}
+	// Wait until every filler is accepted (received increments before the
+	// queue send, so +1 more means the last filler is at least trying).
+	for srv.Received() < 1+queueCap {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond) // let the fillers land in the queue
+	wg.Add(1)
+	go send() // the queue is full: this sender blocks in back-pressure
+	for srv.Received() < 2+queueCap {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(pause) // the back-pressured sender sits blocked for this long
+	close(gate)       // every handler returns immediately from here on
+	wg.Wait()
+	n.StopServer("$D")
+
+	ops, _ := srv.QueueWait()
+	if ops != 2+queueCap {
+		t.Fatalf("queue-wait ops = %d, want %d", ops, 2+queueCap)
+	}
+	snap := srv.QueueWaitLatency()
+	var below uint64
+	for i, cnt := range snap.Counts {
+		// Bucket i covers [2^(i-1), 2^i) ns; count the buckets that lie
+		// entirely below the threshold.
+		if i > 0 && int64(1)<<i > int64(threshold) {
+			break
+		}
+		below += cnt
+	}
+	// The gated first request and the back-pressured one saw (almost) no
+	// queue wait; the 64 fillers sat through the pause. With the bug the
+	// back-pressured request's pause was misattributed to queue wait,
+	// leaving only one fast sample.
+	if below != 2 {
+		t.Errorf("sub-%v queue waits = %d, want 2 (back-pressure misattributed to queue wait?)", threshold, below)
+	}
+}
+
+// TestSetReplyTimeoutConcurrent hammers SetReplyTimeout against
+// concurrent Sends — a pooled TCP client shares one Client across
+// goroutines, so the deadline must be atomically settable mid-flight
+// (run under -race).
+func TestSetReplyTimeoutConcurrent(t *testing.T) {
+	n := NewNetwork()
+	n.StartServer("$D", ProcessorID{0, 1}, 4, echo)
+	defer n.StopServer("$D")
+	c := n.NewClient(ProcessorID{0, 0})
+	stop := make(chan struct{})
+	var setter sync.WaitGroup
+	setter.Add(1)
+	go func() {
+		defer setter.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c.SetReplyTimeout(time.Duration(1+i%5) * time.Second)
+		}
+	}()
+	var senders sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		senders.Add(1)
+		go func() {
+			defer senders.Done()
+			for i := 0; i < 500; i++ {
+				if _, err := c.Send("$D", []byte("x")); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	senders.Wait()
+	close(stop)
+	setter.Wait()
+}
+
 // TestQueueWaitMeasured verifies the server records input-queue wait
 // for every request a worker picks up.
 func TestQueueWaitMeasured(t *testing.T) {

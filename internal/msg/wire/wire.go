@@ -1,0 +1,141 @@
+// Package wire is the TCP transport for the message system: the same
+// Send(server, payload) request/reply contract as the in-process
+// interconnect, carried as length-prefixed binary frames over real
+// sockets. The in-process msg.Network stays the deterministic test
+// double; this package is what makes the system servable — a wire
+// Server accepts connections and dispatches each request frame into a
+// cluster's network, and nsqlclient's pool speaks the same frames from
+// another process.
+//
+// Frame layout (all integers big-endian):
+//
+//	uint32  length of the remainder (kind + correlation ID + body)
+//	byte    kind (request, reply, error reply)
+//	uint64  correlation ID, chosen by the requester, echoed by the reply
+//	body:
+//	  request:     uvarint server-name length, server name, payload
+//	  reply:       payload
+//	  error reply: byte code, error text
+//
+// Correlation IDs make the protocol fully pipelined: a connection can
+// carry any number of outstanding requests, and replies return in
+// completion order, not issue order. Deadlines are the requester's
+// business — a client that gives up abandons the correlation ID and
+// drops the late reply on arrival, mirroring msg.ErrReplyTimeout
+// semantics on the simulated transport.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Frame kinds.
+const (
+	KindRequest  = 1 // client → server: dispatch payload to a named process
+	KindReply    = 2 // server → client: the reply payload
+	KindReplyErr = 3 // server → client: transport-level error, coded
+)
+
+// Error-reply codes: why the server could not produce a real reply.
+const (
+	CodeError    = 1 // generic dispatch failure (handler panic, bad frame)
+	CodeTimeout  = 2 // the server-side dispatch hit its reply deadline
+	CodeDraining = 3 // the server is draining and refuses new work
+	CodeNoServer = 4 // no such process registered / process down
+)
+
+// MaxFrame is the default cap on one frame's length field: a defense
+// against a corrupt or hostile peer allocating unbounded buffers. Large
+// bulk-load rows fit comfortably; nothing legitimate approaches it.
+const MaxFrame = 16 << 20
+
+// A Frame is one decoded wire message.
+type Frame struct {
+	Kind   byte
+	Corr   uint64
+	Server string // request frames only
+	Code   byte   // error replies only
+	Body   []byte // request/reply payload, or error text
+}
+
+// AppendRequest serializes a request frame onto b.
+func AppendRequest(b []byte, corr uint64, server string, payload []byte) []byte {
+	n := 1 + 8 + uvarintLen(uint64(len(server))) + len(server) + len(payload)
+	b = binary.BigEndian.AppendUint32(b, uint32(n))
+	b = append(b, KindRequest)
+	b = binary.BigEndian.AppendUint64(b, corr)
+	b = binary.AppendUvarint(b, uint64(len(server)))
+	b = append(b, server...)
+	return append(b, payload...)
+}
+
+// AppendReply serializes a reply frame onto b.
+func AppendReply(b []byte, corr uint64, payload []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(1+8+len(payload)))
+	b = append(b, KindReply)
+	b = binary.BigEndian.AppendUint64(b, corr)
+	return append(b, payload...)
+}
+
+// AppendReplyErr serializes an error-reply frame onto b.
+func AppendReplyErr(b []byte, corr uint64, code byte, text string) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(1+8+1+len(text)))
+	b = append(b, KindReplyErr)
+	b = binary.BigEndian.AppendUint64(b, corr)
+	b = append(b, code)
+	return append(b, text...)
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// ReadFrame reads and decodes one frame, returning the total wire bytes
+// consumed (length prefix included). Frames above maxFrame are rejected
+// before any body allocation.
+func ReadFrame(r io.Reader, maxFrame int) (Frame, int, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, 0, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if maxFrame <= 0 {
+		maxFrame = MaxFrame
+	}
+	if n < 1+8 || int(n) > maxFrame {
+		return Frame{}, 0, fmt.Errorf("wire: frame length %d out of range", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return Frame{}, 0, fmt.Errorf("wire: truncated frame: %w", err)
+	}
+	f := Frame{Kind: buf[0], Corr: binary.BigEndian.Uint64(buf[1:9])}
+	body := buf[9:]
+	switch f.Kind {
+	case KindRequest:
+		l, sz := binary.Uvarint(body)
+		if sz <= 0 || uint64(len(body)-sz) < l {
+			return Frame{}, 0, fmt.Errorf("wire: bad server name in request frame")
+		}
+		f.Server = string(body[sz : sz+int(l)])
+		f.Body = body[sz+int(l):]
+	case KindReply:
+		f.Body = body
+	case KindReplyErr:
+		if len(body) < 1 {
+			return Frame{}, 0, fmt.Errorf("wire: truncated error reply")
+		}
+		f.Code = body[0]
+		f.Body = body[1:]
+	default:
+		return Frame{}, 0, fmt.Errorf("wire: unknown frame kind %d", f.Kind)
+	}
+	return f, 4 + int(n), nil
+}

@@ -1,0 +1,399 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nonstopsql/internal/msg"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(AppendRequest(nil, 7, "$SQL", []byte("select")))
+	buf.Write(AppendReply(nil, 7, []byte("rows")))
+	buf.Write(AppendReplyErr(nil, 9, CodeTimeout, "too slow"))
+
+	wireLen := buf.Len()
+	r := bufio.NewReader(&buf)
+
+	f, n1, err := ReadFrame(r, 0)
+	if err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	if f.Kind != KindRequest || f.Corr != 7 || f.Server != "$SQL" || string(f.Body) != "select" {
+		t.Fatalf("request frame mismatch: %+v", f)
+	}
+
+	f, n2, err := ReadFrame(r, 0)
+	if err != nil {
+		t.Fatalf("reply: %v", err)
+	}
+	if f.Kind != KindReply || f.Corr != 7 || string(f.Body) != "rows" {
+		t.Fatalf("reply frame mismatch: %+v", f)
+	}
+
+	f, n3, err := ReadFrame(r, 0)
+	if err != nil {
+		t.Fatalf("error reply: %v", err)
+	}
+	if f.Kind != KindReplyErr || f.Corr != 9 || f.Code != CodeTimeout || string(f.Body) != "too slow" {
+		t.Fatalf("error reply frame mismatch: %+v", f)
+	}
+
+	if n1+n2+n3 != wireLen {
+		t.Fatalf("consumed %d bytes, encoded %d", n1+n2+n3, wireLen)
+	}
+}
+
+func TestReadFrameRejectsGarbage(t *testing.T) {
+	// Oversize length field: rejected before any body allocation.
+	huge := AppendReply(nil, 1, make([]byte, 1024))
+	if _, _, err := ReadFrame(bytes.NewReader(huge), 64); err == nil {
+		t.Fatal("oversize frame accepted")
+	}
+	// Unknown kind.
+	bad := AppendReply(nil, 1, nil)
+	bad[4] = 99
+	if _, _, err := ReadFrame(bytes.NewReader(bad), 0); err == nil {
+		t.Fatal("unknown frame kind accepted")
+	}
+	// Truncated stream.
+	trunc := AppendReply(nil, 1, []byte("payload"))
+	if _, _, err := ReadFrame(bytes.NewReader(trunc[:len(trunc)-3]), 0); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+// echoNet builds a network with an uppercasing echo server on node 0.
+func echoNet(t *testing.T) *msg.Network {
+	t.Helper()
+	n := msg.NewNetwork()
+	_, err := n.StartServer("echo", msg.ProcessorID{Node: 0, CPU: 0}, 4, func(req []byte) []byte {
+		return bytes.ToUpper(req)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// rawConn dials the server and returns the conn plus a frame reader.
+func rawConn(t *testing.T, addr string) (net.Conn, *bufio.Reader) {
+	t.Helper()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	return nc, bufio.NewReader(nc)
+}
+
+func TestServerDispatch(t *testing.T) {
+	n := echoNet(t)
+	s, err := Listen("127.0.0.1:0", n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	nc, br := rawConn(t, s.Addr())
+	if _, err := nc.Write(AppendRequest(nil, 42, "echo", []byte("hello"))); err != nil {
+		t.Fatal(err)
+	}
+	f, _, err := ReadFrame(br, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Kind != KindReply || f.Corr != 42 || string(f.Body) != "HELLO" {
+		t.Fatalf("bad reply: %+v", f)
+	}
+
+	// The ingress client lives outside every node, so the dispatched
+	// conversation must classify as DistNetwork and feed the network
+	// latency bucket with a real sample.
+	st := n.Stats()
+	if st.Requests != 1 || st.Replies != 1 || st.Network != 1 {
+		t.Fatalf("network stats: %+v", st)
+	}
+	if got := n.Latency(msg.DistNetwork).Count(); got != 1 {
+		t.Fatalf("DistNetwork latency samples = %d, want 1", got)
+	}
+	ws := s.Stats()
+	if ws.FramesIn != 1 || ws.FramesOut != 1 || ws.Conns != 1 {
+		t.Fatalf("wire stats: %+v", ws)
+	}
+}
+
+func TestServerPipelinesOneConnection(t *testing.T) {
+	n := msg.NewNetwork()
+	release := make(chan struct{})
+	_, err := n.StartServer("gated", msg.ProcessorID{Node: 0, CPU: 0}, 2, func(req []byte) []byte {
+		if string(req) == "slow" {
+			<-release
+		}
+		return req
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Listen("127.0.0.1:0", n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	nc, br := rawConn(t, s.Addr())
+	// Issue the slow request first, the fast one second, on one
+	// connection: pipelining means the fast reply overtakes.
+	b := AppendRequest(nil, 1, "gated", []byte("slow"))
+	b = AppendRequest(b, 2, "gated", []byte("fast"))
+	if _, err := nc.Write(b); err != nil {
+		t.Fatal(err)
+	}
+	f, _, err := ReadFrame(br, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Corr != 2 || string(f.Body) != "fast" {
+		t.Fatalf("first reply should be the fast request: %+v", f)
+	}
+	close(release)
+	f, _, err = ReadFrame(br, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Corr != 1 || string(f.Body) != "slow" {
+		t.Fatalf("second reply should be the slow request: %+v", f)
+	}
+}
+
+func TestServerErrorMapping(t *testing.T) {
+	n := msg.NewNetwork()
+	_, err := n.StartServer("panicky", msg.ProcessorID{Node: 0, CPU: 0}, 1, func(req []byte) []byte {
+		panic("boom")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stall := make(chan struct{})
+	_, err = n.StartServer("stuck", msg.ProcessorID{Node: 0, CPU: 0}, 1, func(req []byte) []byte {
+		<-stall
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Listen("127.0.0.1:0", n, Options{ReplyTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	nc, br := rawConn(t, s.Addr())
+	ask := func(corr uint64, server string) Frame {
+		t.Helper()
+		if _, err := nc.Write(AppendRequest(nil, corr, server, nil)); err != nil {
+			t.Fatal(err)
+		}
+		f, _, err := ReadFrame(br, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Corr != corr {
+			t.Fatalf("correlation mismatch: got %d want %d", f.Corr, corr)
+		}
+		return f
+	}
+
+	if f := ask(1, "nowhere"); f.Kind != KindReplyErr || f.Code != CodeNoServer {
+		t.Fatalf("unknown server: %+v", f)
+	}
+	if f := ask(2, "panicky"); f.Kind != KindReplyErr || f.Code != CodeError {
+		t.Fatalf("panicking handler: %+v", f)
+	}
+	if f := ask(3, "stuck"); f.Kind != KindReplyErr || f.Code != CodeTimeout {
+		t.Fatalf("timed-out handler: %+v", f)
+	}
+	// Even through error paths the in-process accounting reconciles —
+	// the abandoned request's reply is charged when its handler finally
+	// returns, so release it and wait for the books to balance.
+	close(stall)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := n.Stats()
+		if st.Requests == st.Replies {
+			if st.Requests != 2 { // panicky + stuck; the unknown server charged nothing
+				t.Fatalf("requests = %d, want 2", st.Requests)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("requests %d != replies %d after release", st.Requests, st.Replies)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestServerDrain(t *testing.T) {
+	n := msg.NewNetwork()
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	_, err := n.StartServer("gated", msg.ProcessorID{Node: 0, CPU: 0}, 1, func(req []byte) []byte {
+		entered <- struct{}{}
+		<-release
+		return []byte("done")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Listen("127.0.0.1:0", n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nc, br := rawConn(t, s.Addr())
+	if _, err := nc.Write(AppendRequest(nil, 1, "gated", nil)); err != nil {
+		t.Fatal(err)
+	}
+	<-entered // the request is dispatched and running
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	drained := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		drained <- s.Drain(0)
+	}()
+
+	// Wait until draining refuses a new frame on the existing
+	// connection with CodeDraining. (The drain flag is set before Drain
+	// blocks, but give the goroutine a moment to run.)
+	var refused Frame
+	for i := 0; ; i++ {
+		if _, err := nc.Write(AppendRequest(nil, uint64(100+i), "gated", nil)); err != nil {
+			t.Fatal(err)
+		}
+		f, _, err := ReadFrame(br, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Kind == KindReplyErr && f.Code == CodeDraining {
+			refused = f
+			break
+		}
+		if i > 100 {
+			t.Fatal("draining server kept accepting frames")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if refused.Corr < 100 {
+		t.Fatalf("refused the wrong request: %+v", refused)
+	}
+	// New connections are refused outright while draining.
+	probe, err := net.Dial("tcp", s.Addr())
+	if err == nil {
+		probe.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if _, rerr := probe.Read(make([]byte, 1)); rerr == nil {
+			t.Fatal("draining server accepted a new connection")
+		}
+		probe.Close()
+	}
+
+	// The in-flight request still gets its real reply before Drain
+	// returns.
+	close(release)
+	for {
+		f, _, err := ReadFrame(br, 0)
+		if err != nil {
+			t.Fatalf("connection closed before in-flight reply: %v", err)
+		}
+		if f.Kind == KindReply {
+			if f.Corr != 1 || string(f.Body) != "done" {
+				t.Fatalf("bad in-flight reply: %+v", f)
+			}
+			break
+		}
+		if f.Code != CodeDraining {
+			t.Fatalf("unexpected frame while draining: %+v", f)
+		}
+	}
+	wg.Wait()
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if ws := s.Stats(); ws.Rejected == 0 {
+		t.Fatalf("no rejected requests counted: %+v", ws)
+	}
+}
+
+func TestServerCloseStopsServing(t *testing.T) {
+	n := echoNet(t)
+	s, err := Listen("127.0.0.1:0", n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc, br := rawConn(t, s.Addr())
+	if _, err := nc.Write(AppendRequest(nil, 1, "echo", []byte("x"))); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadFrame(br, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The existing connection is torn down…
+	nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, _, err := ReadFrame(br, 0); err == nil {
+		t.Fatal("read succeeded on closed server")
+	}
+	// …and nothing new connects.
+	if probe, err := net.Dial("tcp", s.Addr()); err == nil {
+		probe.SetReadDeadline(time.Now().Add(time.Second))
+		one := make([]byte, 1)
+		if _, rerr := probe.Read(one); rerr == nil {
+			t.Fatal("closed server accepted a connection")
+		}
+		probe.Close()
+	}
+}
+
+func TestServerRefusesBadFrames(t *testing.T) {
+	n := echoNet(t)
+	s, err := Listen("127.0.0.1:0", n, Options{MaxFrame: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// A reply frame where a request belongs gets a coded error back.
+	nc, br := rawConn(t, s.Addr())
+	if _, err := nc.Write(AppendReply(nil, 5, []byte("nonsense"))); err != nil {
+		t.Fatal(err)
+	}
+	f, _, err := ReadFrame(br, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Kind != KindReplyErr || f.Code != CodeError || !strings.Contains(string(f.Body), "expected request") {
+		t.Fatalf("bad-kind reply: %+v", f)
+	}
+
+	// An oversize frame poisons the stream: connection dropped.
+	nc2, br2 := rawConn(t, s.Addr())
+	if _, err := nc2.Write(AppendRequest(nil, 6, "echo", make([]byte, 2<<10))); err != nil {
+		t.Fatal(err)
+	}
+	nc2.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, _, err := ReadFrame(br2, 0); err == nil {
+		t.Fatal("oversize frame did not drop the connection")
+	}
+	if ws := s.Stats(); ws.Errors == 0 {
+		t.Fatalf("no wire errors counted: %+v", ws)
+	}
+}

@@ -1,0 +1,321 @@
+// Package nsqlclient is the remote side of the serving path: a
+// connection pool that speaks the wire frame protocol to an nsqld and
+// presents the same Send(server, payload) contract as an in-process
+// msg.Client — both satisfy msg.Transport, so code written against the
+// simulated interconnect runs unchanged against a real socket.
+//
+// The pool holds a fixed set of connections, assigns requests to them
+// round-robin, and pipelines: every connection carries any number of
+// outstanding requests, each tagged with a correlation ID, and the
+// reader goroutine matches completion-order replies back to their
+// waiters. A request that hits its reply deadline abandons the
+// correlation ID (the late reply is dropped on arrival) and returns an
+// error wrapping msg.ErrReplyTimeout, mirroring the in-process
+// semantics. A broken connection fails its in-flight requests with
+// clean errors and is re-dialed lazily by the next request routed to
+// it — the pool itself never goes down just because the server did.
+package nsqlclient
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nonstopsql/internal/msg"
+	"nonstopsql/internal/msg/wire"
+	"nonstopsql/internal/obs"
+)
+
+// ErrClosed marks a Send on a closed pool.
+var ErrClosed = errors.New("nsqlclient: pool closed")
+
+// ErrDraining marks a request refused because the server is shutting
+// down gracefully. Callers can treat it as "retry elsewhere/later".
+var ErrDraining = errors.New("nsqlclient: server draining")
+
+// Options tunes a pool.
+type Options struct {
+	// Conns is the number of pooled connections (default 4). Requests
+	// are assigned round-robin; pipelining means even one connection
+	// carries unlimited concurrent requests, more spread the socket
+	// write contention.
+	Conns int
+
+	// ReplyTimeout bounds each request (0 = wait forever). Adjustable
+	// later with SetReplyTimeout.
+	ReplyTimeout time.Duration
+
+	// DialTimeout bounds each connect attempt (default 5s).
+	DialTimeout time.Duration
+
+	// MaxFrame caps one reply frame's length (default wire.MaxFrame).
+	MaxFrame int
+}
+
+// A Pool is a pipelined client connection pool to one wire server.
+type Pool struct {
+	addr    string
+	opts    Options
+	timeout atomic.Int64 // per-request deadline in nanoseconds
+	corr    atomic.Uint64
+	next    atomic.Uint64
+	closed  atomic.Bool
+	wire    obs.Wire
+	lat     obs.Histogram // round-trip latency, Send call to reply
+	conns   []*conn
+}
+
+// A Pool is a msg.Transport: drop-in for an in-process msg.Client.
+var _ msg.Transport = (*Pool)(nil)
+
+type result struct {
+	data []byte
+	err  error
+}
+
+// conn is one pooled connection: the socket, the pending-request table
+// its reader resolves, and the state to re-dial it after a failure.
+type conn struct {
+	p  *Pool
+	mu sync.Mutex // guards nc, pending, dialed
+
+	nc      net.Conn
+	pending map[uint64]chan result
+	dialed  bool // a successful dial happened before: next one is a redial
+
+	wmu sync.Mutex // serializes frame writes to nc
+}
+
+// Dial creates a pool to addr. The first connection is dialed eagerly
+// so an unreachable server fails here, not on the first request; the
+// rest are dialed on first use.
+func Dial(addr string, opts Options) (*Pool, error) {
+	if opts.Conns <= 0 {
+		opts.Conns = 4
+	}
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 5 * time.Second
+	}
+	if opts.MaxFrame <= 0 {
+		opts.MaxFrame = wire.MaxFrame
+	}
+	p := &Pool{addr: addr, opts: opts}
+	p.timeout.Store(int64(opts.ReplyTimeout))
+	p.conns = make([]*conn, opts.Conns)
+	for i := range p.conns {
+		p.conns[i] = &conn{p: p}
+	}
+	c := p.conns[0]
+	c.mu.Lock()
+	err := c.ensureLocked()
+	c.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Addr returns the server address the pool dials.
+func (p *Pool) Addr() string { return p.addr }
+
+// SetReplyTimeout changes the per-request deadline (0 = wait forever).
+// Safe to call concurrently with Send.
+func (p *Pool) SetReplyTimeout(d time.Duration) { p.timeout.Store(int64(d)) }
+
+// ReplyTimeout returns the current per-request deadline.
+func (p *Pool) ReplyTimeout() time.Duration { return time.Duration(p.timeout.Load()) }
+
+// Stats snapshots the pool's wire-level counters.
+func (p *Pool) Stats() obs.WireStats { return p.wire.Snapshot() }
+
+// Latency snapshots the round-trip latency histogram.
+func (p *Pool) Latency() obs.Snapshot { return p.lat.Snapshot() }
+
+// Send dispatches payload to the named server process on the remote
+// cluster and waits for its reply — the msg.Transport contract over
+// TCP. Errors the remote transport coded are mapped back to the msg
+// sentinels: a server-side or client-side deadline wraps
+// msg.ErrReplyTimeout, an unknown process name wraps msg.ErrNoServer.
+func (p *Pool) Send(server string, payload []byte) ([]byte, error) {
+	if p.closed.Load() {
+		return nil, ErrClosed
+	}
+	start := time.Now()
+	c := p.conns[(p.next.Add(1)-1)%uint64(len(p.conns))]
+	corr := p.corr.Add(1)
+	ch := make(chan result, 1)
+
+	c.mu.Lock()
+	if err := c.ensureLocked(); err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
+	nc := c.nc
+	c.pending[corr] = ch
+	pending := c.pending
+	c.mu.Unlock()
+
+	b := wire.AppendRequest(nil, corr, server, payload)
+	c.wmu.Lock()
+	_, err := nc.Write(b)
+	c.wmu.Unlock()
+	if err != nil {
+		p.wire.Error()
+		c.fail(nc, err)
+		// fail already resolved our channel; fall through to the wait so
+		// the error text is uniform with a mid-conversation breakage.
+	} else {
+		p.wire.FrameOut(len(b))
+	}
+
+	var out result
+	if d := p.ReplyTimeout(); d > 0 {
+		t := time.NewTimer(d)
+		select {
+		case out = <-ch:
+			t.Stop()
+		case <-t.C:
+			// Abandon the correlation ID: the reader drops the late
+			// reply when (if) it arrives.
+			c.mu.Lock()
+			_, still := pending[corr]
+			delete(pending, corr)
+			c.mu.Unlock()
+			if !still {
+				// The reply raced the deadline and is already in ch.
+				out = <-ch
+				break
+			}
+			p.wire.Timeout()
+			return nil, fmt.Errorf("nsqlclient: server %q: %w after %v", server, msg.ErrReplyTimeout, d)
+		}
+	} else {
+		out = <-ch
+	}
+	if out.err != nil {
+		return nil, out.err
+	}
+	p.lat.Record(time.Since(start))
+	return out.data, nil
+}
+
+// ensureLocked makes sure the connection is dialed; c.mu must be held.
+func (c *conn) ensureLocked() error {
+	if c.nc != nil {
+		return nil
+	}
+	nc, err := net.DialTimeout("tcp", c.p.addr, c.p.opts.DialTimeout)
+	if err != nil {
+		return fmt.Errorf("nsqlclient: dial %s: %w", c.p.addr, err)
+	}
+	c.nc = nc
+	c.pending = make(map[uint64]chan result)
+	c.p.wire.ConnOpened()
+	if c.dialed {
+		c.p.wire.Redial()
+	}
+	c.dialed = true
+	go c.read(nc, c.pending)
+	return nil
+}
+
+// read is the reader goroutine for one connection incarnation: it
+// decodes reply frames and resolves the matching pending requests until
+// the connection breaks, then fails whatever is still in flight.
+func (c *conn) read(nc net.Conn, pending map[uint64]chan result) {
+	br := bufio.NewReaderSize(nc, 64<<10)
+	for {
+		f, n, err := wire.ReadFrame(br, c.p.opts.MaxFrame)
+		if err != nil {
+			c.fail(nc, err)
+			return
+		}
+		c.p.wire.FrameIn(n)
+		c.mu.Lock()
+		ch, ok := pending[f.Corr]
+		delete(pending, f.Corr)
+		c.mu.Unlock()
+		if !ok {
+			continue // abandoned at its deadline: drop the late reply
+		}
+		ch <- decode(f)
+	}
+}
+
+// decode maps one reply frame to a Send outcome, restoring the msg
+// error sentinels the remote transport coded.
+func decode(f wire.Frame) result {
+	switch f.Kind {
+	case wire.KindReply:
+		return result{data: f.Body}
+	case wire.KindReplyErr:
+		text := string(f.Body)
+		switch f.Code {
+		case wire.CodeTimeout:
+			return result{err: fmt.Errorf("nsqlclient: %s: %w", text, msg.ErrReplyTimeout)}
+		case wire.CodeNoServer:
+			return result{err: fmt.Errorf("nsqlclient: %s: %w", text, msg.ErrNoServer)}
+		case wire.CodeDraining:
+			return result{err: fmt.Errorf("nsqlclient: %s: %w", text, ErrDraining)}
+		default:
+			return result{err: fmt.Errorf("nsqlclient: remote: %s", text)}
+		}
+	default:
+		return result{err: fmt.Errorf("nsqlclient: unexpected frame kind %d", f.Kind)}
+	}
+}
+
+// fail tears down one connection incarnation after an I/O error: every
+// request still pending on it gets a clean error, and the slot is left
+// nil for the next Send routed here to re-dial. It is a no-op if a
+// newer incarnation already took the slot.
+func (c *conn) fail(nc net.Conn, cause error) {
+	c.mu.Lock()
+	if c.nc != nc {
+		c.mu.Unlock()
+		return
+	}
+	c.nc = nil
+	pending := c.pending
+	c.pending = nil
+	c.mu.Unlock()
+	nc.Close()
+	c.p.wire.ConnClosed()
+	err := cause
+	if isClosed(err) {
+		err = fmt.Errorf("nsqlclient: connection to %s lost", c.p.addr)
+	} else {
+		err = fmt.Errorf("nsqlclient: connection to %s lost: %w", c.p.addr, cause)
+	}
+	for _, ch := range pending {
+		ch <- result{err: err}
+	}
+}
+
+// isClosed reports whether an I/O error is just the connection ending
+// (peer hangup or our own teardown) rather than something diagnostic.
+func isClosed(err error) bool {
+	return errors.Is(err, net.ErrClosed) || errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// Close shuts the pool down: connections close, in-flight requests fail
+// with clean errors, and future Sends return ErrClosed.
+func (p *Pool) Close() error {
+	if !p.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	for _, c := range p.conns {
+		c.mu.Lock()
+		nc := c.nc
+		c.mu.Unlock()
+		if nc != nil {
+			c.fail(nc, ErrClosed)
+		}
+	}
+	return nil
+}

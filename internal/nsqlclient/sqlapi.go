@@ -1,0 +1,112 @@
+package nsqlclient
+
+import (
+	"errors"
+
+	"nonstopsql/internal/msg"
+	"nonstopsql/internal/nsqlwire"
+	"nonstopsql/internal/record"
+	"nonstopsql/internal/sql"
+)
+
+// The SQL operations are free functions over msg.Transport rather than
+// Pool methods alone, so the exact same call sites run against the
+// in-process transport (a msg.Client sending to "$SQL" directly) and
+// the TCP pool — which is how the differential transport tests compare
+// the two byte for byte. Pool carries thin wrappers for the common ops.
+
+// do runs one nsqlwire operation over t and returns the decoded reply.
+// A transport-level failure comes back as the Send error; an
+// application-level failure (Reply.Err) becomes a plain error here.
+func do(t msg.Transport, op nsqlwire.Op, arg string) (*nsqlwire.Reply, error) {
+	data, err := t.Send(nsqlwire.ServerName, nsqlwire.EncodeRequest(&nsqlwire.Request{Op: op, Arg: arg}))
+	if err != nil {
+		return nil, err
+	}
+	reply, err := nsqlwire.DecodeReply(data)
+	if err != nil {
+		return nil, err
+	}
+	if reply.Err != "" {
+		return nil, errors.New(reply.Err)
+	}
+	return reply, nil
+}
+
+// Exec executes one SQL statement (autocommit) on the remote database.
+func Exec(t msg.Transport, stmt string) (*sql.Result, error) {
+	reply, err := do(t, nsqlwire.OpExec, stmt)
+	if err != nil {
+		return nil, err
+	}
+	res := &sql.Result{Columns: reply.Columns, Affected: int(reply.Affected)}
+	if len(reply.Rows) > 0 {
+		res.Rows = append([]record.Row(nil), reply.Rows...)
+	}
+	return res, nil
+}
+
+// Explain renders the statement's plan without running it.
+func Explain(t msg.Transport, stmt string) (string, error) {
+	return textOp(t, nsqlwire.OpExplain, stmt)
+}
+
+// ExplainAnalyze runs the statement and renders plan plus actuals.
+func ExplainAnalyze(t msg.Transport, stmt string) (string, error) {
+	return textOp(t, nsqlwire.OpExplainAnalyze, stmt)
+}
+
+// Ping round-trips an empty operation (liveness, connection warm-up).
+func Ping(t msg.Transport) error {
+	_, err := do(t, nsqlwire.OpPing, "")
+	return err
+}
+
+// Tables lists the catalog's tables, one name per line.
+func Tables(t msg.Transport) (string, error) { return textOp(t, nsqlwire.OpTables, "") }
+
+// Describe renders one table's definition.
+func Describe(t msg.Transport, table string) (string, error) {
+	return textOp(t, nsqlwire.OpDescribe, table)
+}
+
+// StatsText renders the remote database's cumulative counters.
+func StatsText(t msg.Transport) (string, error) { return textOp(t, nsqlwire.OpStats, "") }
+
+// ResetStats zeroes the remote database's counters.
+func ResetStats(t msg.Transport) error {
+	_, err := do(t, nsqlwire.OpResetStats, "")
+	return err
+}
+
+// Crash crashes the named volume's Disk Process (fault injection).
+func Crash(t msg.Transport, volume string) error {
+	_, err := do(t, nsqlwire.OpCrash, volume)
+	return err
+}
+
+// Restart recovers and restarts the named volume's Disk Process.
+func Restart(t msg.Transport, volume string) error {
+	_, err := do(t, nsqlwire.OpRestart, volume)
+	return err
+}
+
+func textOp(t msg.Transport, op nsqlwire.Op, arg string) (string, error) {
+	reply, err := do(t, op, arg)
+	if err != nil {
+		return "", err
+	}
+	return reply.Text, nil
+}
+
+// Exec executes one SQL statement (autocommit) on the pool's database.
+func (p *Pool) Exec(stmt string) (*sql.Result, error) { return Exec(p, stmt) }
+
+// Explain renders the statement's plan without running it.
+func (p *Pool) Explain(stmt string) (string, error) { return Explain(p, stmt) }
+
+// ExplainAnalyze runs the statement and renders plan plus actuals.
+func (p *Pool) ExplainAnalyze(stmt string) (string, error) { return ExplainAnalyze(p, stmt) }
+
+// Ping round-trips an empty operation.
+func (p *Pool) Ping() error { return Ping(p) }

@@ -1,0 +1,172 @@
+// Package nsqlwire is the application protocol of the SQL serving
+// endpoint: the payload encoding carried inside wire request/reply
+// frames between nsqlclient and the "$SQL" process an nsqld registers
+// on its cluster's message network. The transport below it (msg/wire)
+// only moves opaque (server, payload) conversations; this package gives
+// those payloads their SQL meaning — a statement or meta operation out,
+// a result set, rendered text, or an application error back.
+//
+// The encoding follows the FS-DP message style: uvarint-length-prefixed
+// byte strings, rows in the record package's tagged value encoding —
+// the same bytes a Disk Process would ship, so a result row costs the
+// same on the TCP wire as on the simulated interconnect.
+package nsqlwire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"nonstopsql/internal/record"
+)
+
+// ServerName is the process name the SQL endpoint registers under.
+const ServerName = "$SQL"
+
+// An Op selects what the endpoint does with the request's argument.
+type Op byte
+
+const (
+	// OpPing answers with an empty ok reply (liveness, warm-up).
+	OpPing Op = iota + 1
+	// OpExec parses and executes one SQL statement (autocommit).
+	OpExec
+	// OpExplain renders the statement's plan without running it.
+	OpExplain
+	// OpExplainAnalyze runs the statement and renders plan + actuals.
+	OpExplainAnalyze
+	// OpTables renders the catalog's table list, one name per line.
+	OpTables
+	// OpDescribe renders one table's definition.
+	OpDescribe
+	// OpStats renders the cumulative activity counters.
+	OpStats
+	// OpResetStats zeroes the activity counters.
+	OpResetStats
+	// OpCrash crashes a volume's Disk Process (fault injection).
+	OpCrash
+	// OpRestart recovers and restarts a volume's Disk Process.
+	OpRestart
+)
+
+// A Request is one operation: the op code and its argument — the SQL
+// text for statement ops, an object name for Describe/Crash/Restart,
+// empty otherwise.
+type Request struct {
+	Op  Op
+	Arg string
+}
+
+// EncodeRequest serializes a request payload.
+func EncodeRequest(q *Request) []byte {
+	b := []byte{byte(q.Op)}
+	return appendBytes(b, []byte(q.Arg))
+}
+
+// DecodeRequest parses a request payload.
+func DecodeRequest(b []byte) (*Request, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("nsqlwire: empty request")
+	}
+	q := &Request{Op: Op(b[0])}
+	arg, b, err := takeBytes(b[1:])
+	if err != nil {
+		return nil, err
+	}
+	q.Arg = string(arg)
+	if len(b) != 0 {
+		return nil, fmt.Errorf("nsqlwire: %d trailing request bytes", len(b))
+	}
+	return q, nil
+}
+
+// A Reply is one operation's outcome. Err carries the application-level
+// error (parse failure, constraint violation, unknown table — "" means
+// success); transport-level failures never reach this layer, they
+// travel as wire error frames.
+type Reply struct {
+	Err      string
+	Columns  []string
+	Rows     []record.Row
+	Affected uint64
+	Text     string // rendered output for the text ops
+}
+
+// EncodeReply serializes a reply payload.
+func EncodeReply(r *Reply) []byte {
+	b := appendBytes(nil, []byte(r.Err))
+	b = binary.AppendUvarint(b, uint64(len(r.Columns)))
+	for _, c := range r.Columns {
+		b = appendBytes(b, []byte(c))
+	}
+	b = binary.AppendUvarint(b, uint64(len(r.Rows)))
+	for _, row := range r.Rows {
+		b = appendBytes(b, record.Encode(row))
+	}
+	b = binary.AppendUvarint(b, r.Affected)
+	return appendBytes(b, []byte(r.Text))
+}
+
+// DecodeReply parses a reply payload.
+func DecodeReply(b []byte) (*Reply, error) {
+	r := &Reply{}
+	e, b, err := takeBytes(b)
+	if err != nil {
+		return nil, err
+	}
+	r.Err = string(e)
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return nil, fmt.Errorf("nsqlwire: bad column count")
+	}
+	b = b[sz:]
+	for i := uint64(0); i < n; i++ {
+		var c []byte
+		if c, b, err = takeBytes(b); err != nil {
+			return nil, err
+		}
+		r.Columns = append(r.Columns, string(c))
+	}
+	n, sz = binary.Uvarint(b)
+	if sz <= 0 {
+		return nil, fmt.Errorf("nsqlwire: bad row count")
+	}
+	b = b[sz:]
+	for i := uint64(0); i < n; i++ {
+		var enc []byte
+		if enc, b, err = takeBytes(b); err != nil {
+			return nil, err
+		}
+		row, err := record.Decode(enc)
+		if err != nil {
+			return nil, fmt.Errorf("nsqlwire: row %d: %w", i, err)
+		}
+		r.Rows = append(r.Rows, row)
+	}
+	r.Affected, sz = binary.Uvarint(b)
+	if sz <= 0 {
+		return nil, fmt.Errorf("nsqlwire: bad affected count")
+	}
+	b = b[sz:]
+	t, b, err := takeBytes(b)
+	if err != nil {
+		return nil, err
+	}
+	r.Text = string(t)
+	if len(b) != 0 {
+		return nil, fmt.Errorf("nsqlwire: %d trailing reply bytes", len(b))
+	}
+	return r, nil
+}
+
+func appendBytes(b, v []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(v)))
+	return append(b, v...)
+}
+
+func takeBytes(b []byte) (v, rest []byte, err error) {
+	l, n := binary.Uvarint(b)
+	if n <= 0 || uint64(len(b)-n) < l {
+		return nil, nil, fmt.Errorf("nsqlwire: truncated byte string")
+	}
+	return b[n : n+int(l)], b[n+int(l):], nil
+}

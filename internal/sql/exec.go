@@ -230,7 +230,7 @@ func (s *Session) execUpdate(tx *tmf.Tx, upd Update, az *analyzeState) (*Result,
 			}
 			if az != nil {
 				az.nodes = append(az.nodes, NodeActuals{
-					Label: "update requester-side (index maintenance)",
+					Label:    "update requester-side (index maintenance)",
 					Affected: n, Wall: time.Since(t0),
 				})
 			}
@@ -322,7 +322,7 @@ func (s *Session) execDelete(tx *tmf.Tx, del Delete, az *analyzeState) (*Result,
 			}
 			if az != nil {
 				az.nodes = append(az.nodes, NodeActuals{
-					Label: "delete requester-side (index maintenance)",
+					Label:    "delete requester-side (index maintenance)",
 					Affected: n, Wall: time.Since(t0),
 				})
 			}

@@ -30,6 +30,7 @@ import (
 	"nonstopsql/internal/cluster"
 	"nonstopsql/internal/disk"
 	"nonstopsql/internal/fs"
+	"nonstopsql/internal/nsqlwire"
 	"nonstopsql/internal/sql"
 )
 
@@ -69,6 +70,22 @@ type Config struct {
 	// conversations each scan drives concurrently (clamped to the
 	// partition count). 0 keeps the classic one-partition-at-a-time scan.
 	ScanParallel int
+
+	// Listen, when set, serves the database over TCP: the message
+	// network gets a wire front door on this address and the "$SQL"
+	// statement endpoint is registered automatically (see ServeSQL).
+	// Use ":0" for an ephemeral port; Addr reports what was bound.
+	Listen string
+
+	// ServeWorkers sizes the "$SQL" endpoint's session pool — the
+	// number of remote statements executing concurrently (default 8).
+	// Only meaningful with Listen set (or an explicit ServeSQL call).
+	ServeWorkers int
+
+	// WireReplyTimeout bounds each remotely-dispatched request on the
+	// server side so a hung handler cannot pin a graceful drain forever
+	// (0 = wait forever).
+	WireReplyTimeout time.Duration
 }
 
 // A Database is one simulated Tandem network with its catalog.
@@ -77,6 +94,9 @@ type Database struct {
 	cluster *cluster.Cluster
 	catalog *sql.Catalog
 	volumes []string
+
+	servingSQL bool
+	sessPool   chan *Session // "$SQL" endpoint's pooled sessions
 }
 
 // Open builds the network: per node, an audit trail Disk Process plus
@@ -102,6 +122,8 @@ func Open(cfg Config) (*Database, error) {
 		LockTimeout:        cfg.LockTimeout,
 		DPWorkers:          cfg.DPWorkers,
 		ScanParallel:       cfg.ScanParallel,
+		Listen:             cfg.Listen,
+		WireReplyTimeout:   cfg.WireReplyTimeout,
 	})
 	if err != nil {
 		return nil, err
@@ -118,6 +140,12 @@ func Open(cfg Config) (*Database, error) {
 		}
 	}
 	db.catalog = sql.NewCatalog(db.volumes)
+	if cfg.Listen != "" {
+		if err := db.ServeSQL(cfg.ServeWorkers); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
 	return db, nil
 }
 
@@ -212,8 +240,16 @@ func (db *Database) RestartVolume(name string, cpu int) error {
 	return db.cluster.RestartDP(name, cpu)
 }
 
-// Close shuts the network down, flushing the audit trails.
-func (db *Database) Close() { db.cluster.Close() }
+// Close shuts the network down, flushing the audit trails. The TCP
+// front door (if any) closes first; use Drain before Close to let
+// in-flight remote requests finish instead of cutting them off.
+func (db *Database) Close() {
+	if db.servingSQL {
+		db.cluster.Net.StopServer(nsqlwire.ServerName)
+		db.servingSQL = false
+	}
+	db.cluster.Close()
+}
 
 // FormatResult renders a query result as an aligned text table.
 func FormatResult(r *Result) string { return sql.FormatResult(r) }

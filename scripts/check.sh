@@ -27,4 +27,10 @@ go test -race -short -run TestRecoveryTorture ./internal/experiments
 # quick kill -9 crash-recovery pass against real on-disk files.
 go test -race -count=1 -run 'TestSchedRace|TestFsyncBatching|TestWriteAbsorption' ./internal/disk/filevol
 QUICK=1 go test -race -count=1 -run TestKillRecovery ./internal/experiments
+# Wire transport: framing, pipelined correlation, drain, reconnect, and
+# the client pool's deadline/redial races — the concurrent seams of
+# PR 8. Then the differential test: the same workload over in-process
+# and TCP transports must be byte-identical with identical accounting.
+go test -race -count=1 ./internal/msg/wire ./internal/nsqlclient
+go test -race -count=1 -run 'TestServeSQL|TestDifferentialTransport' .
 go test -race ./...

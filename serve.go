@@ -1,0 +1,173 @@
+package nonstopsql
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"nonstopsql/internal/msg"
+	"nonstopsql/internal/nsqlwire"
+	"nonstopsql/internal/obs"
+)
+
+// ServeSQL registers the "$SQL" endpoint on the cluster's message
+// network: the process remote clients converse with to execute
+// statements. Each request borrows a session from a fixed pool of
+// workers sessions (spread across the network's processors) and returns
+// it when the reply is built, so requests are independent — autocommit
+// only; BEGIN/COMMIT/ROLLBACK are refused over the wire because the
+// next statement of a conversation would land on a different pooled
+// session anyway.
+//
+// The endpoint is ordinary messaging: it works over the in-process
+// transport too (a msg.Client can Send to "$SQL" directly), which is
+// what the differential transport tests exploit. Open calls ServeSQL
+// automatically when Config.Listen is set.
+func (db *Database) ServeSQL(workers int) error {
+	if workers <= 0 {
+		workers = 8
+	}
+	pool := make(chan *Session, workers)
+	for i := 0; i < workers; i++ {
+		node := i % db.cfg.Nodes
+		cpu := (i / db.cfg.Nodes) % db.cfg.CPUsPerNode
+		pool <- db.Session(node, cpu)
+	}
+	db.sessPool = pool
+	_, err := db.cluster.Net.StartServer(nsqlwire.ServerName, msg.ProcessorID{Node: 0, CPU: 0}, workers, db.sqlHandler)
+	if err == nil {
+		db.servingSQL = true
+	}
+	return err
+}
+
+// Addr returns the TCP address the database is served on, or "" when
+// Config.Listen was not set. With Listen ":0" this is where the chosen
+// ephemeral port shows up.
+func (db *Database) Addr() string { return db.cluster.Addr() }
+
+// Drain gracefully quiesces the TCP front door: stop accepting
+// connections, refuse new request frames, and answer the requests
+// already in flight, waiting at most timeout for them (0 = wait
+// forever). Call before Close for a clean shutdown; a no-op when the
+// database is not being served.
+func (db *Database) Drain(timeout time.Duration) error { return db.cluster.Drain(timeout) }
+
+// WireStats snapshots the TCP transport counters (zero value when the
+// database is not being served).
+func (db *Database) WireStats() obs.WireStats {
+	if ws := db.cluster.WireServer(); ws != nil {
+		return ws.Stats()
+	}
+	return obs.WireStats{}
+}
+
+// sqlHandler is the "$SQL" process: decode one operation, run it
+// against a pooled session, encode the outcome. Application-level
+// failures travel inside the reply (Reply.Err); only transport-level
+// trouble becomes a message error.
+func (db *Database) sqlHandler(reqb []byte) []byte {
+	reply := &nsqlwire.Reply{}
+	q, err := nsqlwire.DecodeRequest(reqb)
+	if err != nil {
+		reply.Err = err.Error()
+		return nsqlwire.EncodeReply(reply)
+	}
+	db.serveOp(q, reply)
+	return nsqlwire.EncodeReply(reply)
+}
+
+func (db *Database) serveOp(q *nsqlwire.Request, reply *nsqlwire.Reply) {
+	switch q.Op {
+	case nsqlwire.OpPing:
+		// Nothing to do: an empty ok reply is the answer.
+	case nsqlwire.OpExec:
+		switch firstKeyword(q.Arg) {
+		case "BEGIN", "COMMIT", "ROLLBACK":
+			reply.Err = "transaction control is not available over the wire: remote sessions are pooled per request (autocommit)"
+			return
+		}
+		res, err := db.withSession(func(s *Session) (*Result, error) { return s.Exec(q.Arg) })
+		if err != nil {
+			reply.Err = err.Error()
+			return
+		}
+		reply.Columns = res.Columns
+		reply.Rows = res.Rows
+		reply.Affected = uint64(res.Affected)
+	case nsqlwire.OpExplain:
+		db.textOp(reply, func(s *Session) (string, error) { return s.Explain(q.Arg) })
+	case nsqlwire.OpExplainAnalyze:
+		db.textOp(reply, func(s *Session) (string, error) { return s.ExplainAnalyze(q.Arg) })
+	case nsqlwire.OpTables:
+		if tables := db.Catalog().Tables(); len(tables) > 0 {
+			reply.Text = strings.Join(tables, "\n") + "\n"
+		}
+	case nsqlwire.OpDescribe:
+		out, err := db.Catalog().Describe(q.Arg)
+		if err != nil {
+			reply.Err = err.Error()
+			return
+		}
+		reply.Text = out
+	case nsqlwire.OpStats:
+		reply.Text = FormatStats(db.Stats())
+	case nsqlwire.OpResetStats:
+		db.ResetStats()
+	case nsqlwire.OpCrash:
+		if err := db.CrashVolume(q.Arg); err != nil {
+			reply.Err = err.Error()
+		}
+	case nsqlwire.OpRestart:
+		if err := db.RestartVolume(q.Arg, -1); err != nil {
+			reply.Err = err.Error()
+		}
+	default:
+		reply.Err = "unknown operation"
+	}
+}
+
+// withSession runs fn on a pooled session. A session is never returned
+// to the pool holding an open transaction: whatever fn left behind is
+// rolled back first, so one request's failure cannot poison the next.
+func (db *Database) withSession(fn func(*Session) (*Result, error)) (*Result, error) {
+	s := <-db.sessPool
+	res, err := fn(s)
+	if s.InTx() {
+		_, _ = s.Exec("ROLLBACK")
+	}
+	db.sessPool <- s
+	return res, err
+}
+
+func (db *Database) textOp(reply *nsqlwire.Reply, fn func(*Session) (string, error)) {
+	var text string
+	_, err := db.withSession(func(s *Session) (*Result, error) {
+		var err error
+		text, err = fn(s)
+		return nil, err
+	})
+	if err != nil {
+		reply.Err = err.Error()
+		return
+	}
+	reply.Text = text
+}
+
+// firstKeyword returns the statement's leading keyword, uppercased.
+func firstKeyword(stmt string) string {
+	fields := strings.Fields(stmt)
+	if len(fields) == 0 {
+		return ""
+	}
+	return strings.ToUpper(strings.TrimRight(fields[0], ";"))
+}
+
+// FormatStats renders an aggregate Stats snapshot as the one-line
+// summary nsqlsh prints for \stats.
+func FormatStats(s Stats) string {
+	return fmt.Sprintf("messages=%d (%d KB, %d remote)  disk reads=%d writes=%d blocks=%d  audit=%d KB in %d flushes  commits=%d\n",
+		s.Messages, s.MessageBytes/1024, s.RemoteMsgs,
+		s.DiskReads, s.DiskWrites, s.BlocksRead,
+		s.AuditBytes/1024, s.AuditFlushes, s.Commits)
+}
