@@ -153,6 +153,20 @@ type e19JSON struct {
 	Conns     uint64   `json:"wire_conns"`
 }
 
+type e20JSON struct {
+	Workload      string   `json:"workload"`
+	Mode          string   `json:"mode"`
+	Stmts         int      `json:"stmts"`
+	ElapsedMs     float64  `json:"elapsed_ms"`
+	StmtsPerSec   float64  `json:"stmts_per_sec"`
+	Latency       histJSON `json:"latency"`
+	ReqBytesFrame float64  `json:"req_bytes_per_frame"`
+	WireBytes     uint64   `json:"wire_bytes"`
+	CacheHitRate  float64  `json:"plan_cache_hit_rate"`
+	CacheHits     uint64   `json:"plan_cache_hits"`
+	CacheMisses   uint64   `json:"plan_cache_misses"`
+}
+
 type report struct {
 	Tag   string `json:"tag"`
 	Quick bool   `json:"quick"`
@@ -171,6 +185,7 @@ type report struct {
 	E17Nodes []e17NodeJSON  `json:"e17_groupby_plan_nodes"`
 	E18      []e18JSON      `json:"e18_file_volumes"`
 	E19      []e19JSON      `json:"e19_wire_serving"`
+	E20      []e20JSON      `json:"e20_prepared_statements"`
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
@@ -309,6 +324,23 @@ func main() {
 		Frames: e19.Wire.Frames(), WireBytes: e19.Wire.Bytes(),
 		Conns: e19.Wire.Conns,
 	})
+
+	e20, _, err := experiments.E20(sizes.TxnsPerCli)
+	if err != nil {
+		fail("E20", err)
+	}
+	for _, x := range e20.Phases() {
+		r.E20 = append(r.E20, e20JSON{
+			Workload: x.Workload, Mode: x.Mode, Stmts: x.Stmts,
+			ElapsedMs: ms(x.Elapsed), StmtsPerSec: x.StmtsPerSec,
+			Latency:       hist(x.Lat),
+			ReqBytesFrame: x.ReqBytes,
+			WireBytes:     x.Wire.Bytes(),
+			CacheHitRate:  x.Cache.HitRate(),
+			CacheHits:     x.Cache.Hits,
+			CacheMisses:   x.Cache.Misses,
+		})
+	}
 
 	enc, err := json.MarshalIndent(&r, "", "  ")
 	if err != nil {

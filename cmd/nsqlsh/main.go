@@ -9,6 +9,8 @@
 //	\reset   zero the counters
 //	\tables  list catalog tables
 //	\d TABLE describe a table
+//	\prepare name SELECT ... WHERE c = ?   compile a statement once
+//	\exec name ARG...                      run it with arguments
 //	\crash $DATA1   crash a volume's Disk Process
 //	\restart $DATA1 recover and restart it
 //	\q       quit
@@ -19,17 +21,20 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"nonstopsql"
 	"nonstopsql/internal/nsqlclient"
+	"nonstopsql/internal/record"
 )
 
 // A backend executes statements and meta commands: either a freshly
 // booted in-process database or a remote nsqld behind a client pool.
 type backend interface {
 	Exec(stmt string) (*nonstopsql.Result, error)
+	Prepare(stmt string) (prepared, error)
 	Explain(stmt string) (string, error)
 	ExplainAnalyze(stmt string) (string, error)
 	StatsText() (string, error)
@@ -39,6 +44,12 @@ type backend interface {
 	Crash(volume string) error
 	Restart(volume string) error
 	Close()
+}
+
+// prepared is one compiled statement, local or remote.
+type prepared interface {
+	Exec(args ...record.Value) (*nonstopsql.Result, error)
+	NumParams() int
 }
 
 func main() {
@@ -79,6 +90,7 @@ func main() {
 
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	stmts := make(map[string]prepared)
 	var buf strings.Builder
 	prompt := func() {
 		if buf.Len() == 0 {
@@ -92,7 +104,7 @@ func main() {
 		line := scanner.Text()
 		trimmed := strings.TrimSpace(line)
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, `\`) {
-			if !meta(be, trimmed) {
+			if !meta(be, stmts, trimmed) {
 				return
 			}
 			prompt()
@@ -146,7 +158,7 @@ func stripExplain(stmt string) (rest string, analyze, ok bool) {
 	return s, false, true
 }
 
-func meta(be backend, cmd string) bool {
+func meta(be backend, stmts map[string]prepared, cmd string) bool {
 	fields := strings.Fields(cmd)
 	show := func(out string, err error) {
 		if err != nil {
@@ -156,6 +168,38 @@ func meta(be backend, cmd string) bool {
 		}
 	}
 	switch fields[0] {
+	case `\prepare`:
+		if len(fields) < 3 {
+			fmt.Println("usage: \\prepare NAME SQL...")
+			break
+		}
+		sql := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(cmd, fields[0]), " "+fields[1]))
+		sql = strings.TrimSuffix(strings.TrimSpace(sql), ";")
+		st, err := be.Prepare(sql)
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			break
+		}
+		stmts[fields[1]] = st
+		fmt.Printf("-- prepared %q (%d parameter(s))\n", fields[1], st.NumParams())
+	case `\exec`:
+		if len(fields) < 2 {
+			fmt.Println("usage: \\exec NAME ARG...")
+			break
+		}
+		st, ok := stmts[fields[1]]
+		if !ok {
+			fmt.Printf("error: no prepared statement %q (see \\prepare)\n", fields[1])
+			break
+		}
+		res, err := st.Exec(parseArgs(fields[2:])...)
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+		} else if len(res.Columns) > 0 {
+			fmt.Print(nonstopsql.FormatResult(res))
+		} else {
+			fmt.Printf("-- ok (%d row(s) affected)\n", res.Affected)
+		}
 	case `\q`, `\quit`:
 		return false
 	case `\stats`:
@@ -195,9 +239,44 @@ func meta(be backend, cmd string) bool {
 			fmt.Printf("-- %s recovered and serving\n", fields[1])
 		}
 	default:
-		fmt.Println(`meta commands: \stats \reset \tables \d TABLE \crash \restart \q`)
+		fmt.Println(`meta commands: \stats \reset \tables \d TABLE \prepare \exec \crash \restart \q`)
 	}
 	return true
+}
+
+// parseArgs converts \exec argument tokens to SQL values: NULL, TRUE,
+// FALSE (any case), integer and float literals, 'quoted strings'
+// (single words — the shell splits on whitespace), bare words as
+// strings.
+func parseArgs(tokens []string) []record.Value {
+	out := make([]record.Value, 0, len(tokens))
+	for _, tok := range tokens {
+		switch strings.ToUpper(tok) {
+		case "NULL":
+			out = append(out, record.Null)
+			continue
+		case "TRUE":
+			out = append(out, record.Bool(true))
+			continue
+		case "FALSE":
+			out = append(out, record.Bool(false))
+			continue
+		}
+		if len(tok) >= 2 && tok[0] == '\'' && tok[len(tok)-1] == '\'' {
+			out = append(out, record.String(tok[1:len(tok)-1]))
+			continue
+		}
+		if i, err := strconv.ParseInt(tok, 10, 64); err == nil {
+			out = append(out, record.Int(i))
+			continue
+		}
+		if f, err := strconv.ParseFloat(tok, 64); err == nil {
+			out = append(out, record.Float(f))
+			continue
+		}
+		out = append(out, record.String(tok))
+	}
+	return out
 }
 
 // localBackend runs statements on an in-process network, exactly as
@@ -208,7 +287,14 @@ type localBackend struct {
 }
 
 func (b *localBackend) Exec(stmt string) (*nonstopsql.Result, error) { return b.sess.Exec(stmt) }
-func (b *localBackend) Explain(stmt string) (string, error)          { return b.sess.Explain(stmt) }
+func (b *localBackend) Prepare(stmt string) (prepared, error) {
+	p, err := b.sess.Prepare(stmt)
+	if err != nil {
+		return nil, err
+	}
+	return &localStmt{sess: b.sess, p: p}, nil
+}
+func (b *localBackend) Explain(stmt string) (string, error) { return b.sess.Explain(stmt) }
 func (b *localBackend) ExplainAnalyze(stmt string) (string, error) {
 	return b.sess.ExplainAnalyze(stmt)
 }
@@ -227,12 +313,24 @@ func (b *localBackend) Crash(volume string) error             { return b.db.Cras
 func (b *localBackend) Restart(volume string) error           { return b.db.RestartVolume(volume, -1) }
 func (b *localBackend) Close()                                { b.db.Close() }
 
+// localStmt runs a compiled statement on the in-process session.
+type localStmt struct {
+	sess *nonstopsql.Session
+	p    *nonstopsql.Prepared
+}
+
+func (s *localStmt) Exec(args ...record.Value) (*nonstopsql.Result, error) {
+	return s.sess.ExecPrepared(s.p, args...)
+}
+func (s *localStmt) NumParams() int { return s.p.NumParams() }
+
 // remoteBackend routes everything through the client pool to an nsqld.
 type remoteBackend struct {
 	pool *nsqlclient.Pool
 }
 
 func (b *remoteBackend) Exec(stmt string) (*nonstopsql.Result, error) { return b.pool.Exec(stmt) }
+func (b *remoteBackend) Prepare(stmt string) (prepared, error)        { return b.pool.Prepare(stmt) }
 func (b *remoteBackend) Explain(stmt string) (string, error)          { return b.pool.Explain(stmt) }
 func (b *remoteBackend) ExplainAnalyze(stmt string) (string, error) {
 	return b.pool.ExplainAnalyze(stmt)

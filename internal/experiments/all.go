@@ -112,6 +112,10 @@ func All(s Sizes) ([]*Table, error) {
 	if err := add(t19, err); err != nil {
 		return nil, fmt.Errorf("E19: %w", err)
 	}
+	_, t20, err := E20(s.TxnsPerCli)
+	if err := add(t20, err); err != nil {
+		return nil, fmt.Errorf("E20: %w", err)
+	}
 	_, tf1, err := F1()
 	if err := add(tf1, err); err != nil {
 		return nil, fmt.Errorf("F1: %w", err)

@@ -429,3 +429,41 @@ func TestE19WireServing(t *testing.T) {
 		t.Errorf("wire moved nothing: %+v", r.Wire)
 	}
 }
+
+func TestE20PreparedStatements(t *testing.T) {
+	r, table, err := E20(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 4 {
+		t.Fatalf("%d table rows, want workload × mode", len(table.Rows))
+	}
+	// E20 itself audits effects, frame accounting, and the ≥99% prepared
+	// hit rates. Re-assert the deterministic shape claims here; the
+	// timing-dependent ones (throughput, p50) only get logged, so a
+	// loaded CI machine cannot flake the suite.
+	for _, pair := range [][2]E20Phase{r.DC, r.PQ} {
+		adhoc, prep := pair[0], pair[1]
+		if adhoc.Stmts != prep.Stmts {
+			t.Errorf("%s phases ran different work: %d vs %d statements", adhoc.Workload, adhoc.Stmts, prep.Stmts)
+		}
+		if prep.ReqBytes >= adhoc.ReqBytes {
+			t.Errorf("%s: EXECUTE request frames (%.1f B) not smaller than ad-hoc SQL text (%.1f B)",
+				adhoc.Workload, prep.ReqBytes, adhoc.ReqBytes)
+		}
+		// Varying literals carry distinct cache keys, so the ad-hoc hit
+		// rate is pinned well below the prepared run's.
+		if hr := adhoc.Cache.HitRate(); hr > 0.8 {
+			t.Errorf("ad-hoc %s hit rate %.3f — varying literals should recompile", adhoc.Workload, hr)
+		}
+		if hr := prep.Cache.HitRate(); hr < 0.99 {
+			t.Errorf("prepared %s hit rate %.3f < 0.99", prep.Workload, hr)
+		}
+		if prep.Lat.Count() == 0 {
+			t.Errorf("no %s latency samples", prep.Workload)
+		}
+		t.Logf("%s: stmts/s ad-hoc %.0f vs prepared %.0f; p50 %v vs %v",
+			adhoc.Workload, adhoc.StmtsPerSec, prep.StmtsPerSec,
+			adhoc.Lat.Quantile(0.50), prep.Lat.Quantile(0.50))
+	}
+}

@@ -13,6 +13,7 @@ const (
 	nodeField = 2
 	nodeBin   = 3
 	nodeUnary = 4
+	nodeParam = 5
 )
 
 // Encode serializes an expression for the FS-DP wire. A nil expression
@@ -41,6 +42,9 @@ func appendExpr(b []byte, e Expr) []byte {
 	case Unary:
 		b = append(b, nodeUnary, byte(n.Op))
 		return appendExpr(b, n.E)
+	case Param:
+		b = append(b, nodeParam, byte(n.Hint))
+		return binary.AppendUvarint(b, uint64(n.Index))
 	}
 	panic(fmt.Sprintf("expr: cannot encode %T", e))
 }
@@ -108,6 +112,16 @@ func decodeExpr(b []byte) (Expr, []byte, error) {
 			return nil, nil, err
 		}
 		return Unary{Op: op, E: e}, rest, nil
+	case nodeParam:
+		if len(rest) == 0 {
+			return nil, nil, fmt.Errorf("expr: truncated parameter")
+		}
+		hint := record.Type(rest[0])
+		idx, n := binary.Uvarint(rest[1:])
+		if n <= 0 {
+			return nil, nil, fmt.Errorf("expr: bad parameter index")
+		}
+		return Param{Index: int(idx), Hint: hint}, rest[1+n:], nil
 	}
 	return nil, nil, fmt.Errorf("expr: unknown node tag %d", tag)
 }

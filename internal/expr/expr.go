@@ -88,10 +88,22 @@ type Unary struct {
 	E  Expr
 }
 
+// Param is a typed placeholder slot for a PREPARE-time parameter marker
+// (?). Index is the zero-based marker position within the statement;
+// Hint, when non-zero, is the column type the binder inferred from the
+// comparison context, checked against the supplied value at EXECUTE. A
+// Param never reaches a Disk Process: Substitute replaces every slot
+// with a Const before the plan ships.
+type Param struct {
+	Index int
+	Hint  record.Type
+}
+
 func (Const) isExpr()    {}
 func (FieldRef) isExpr() {}
 func (Binary) isExpr()   {}
 func (Unary) isExpr()    {}
+func (Param) isExpr()    {}
 
 func (c Const) String() string {
 	if c.V.Kind == record.TypeString {
@@ -119,6 +131,8 @@ func (u Unary) String() string {
 		return fmt.Sprintf("(%s %s)", u.Op, u.E)
 	}
 }
+
+func (p Param) String() string { return fmt.Sprintf("?%d", p.Index+1) }
 
 // Convenience constructors.
 
@@ -208,6 +222,8 @@ func Eval(e Expr, row record.Row) (record.Value, error) {
 		return record.Null, errEval("bad unary op %v", n.Op)
 	case Binary:
 		return evalBinary(n, row)
+	case Param:
+		return record.Null, errEval("unsubstituted parameter ?%d (EXECUTE the prepared statement with arguments)", n.Index+1)
 	case nil:
 		return record.Null, errEval("nil expression")
 	}

@@ -68,6 +68,9 @@ type Pool struct {
 	wire    obs.Wire
 	lat     obs.Histogram // round-trip latency, Send call to reply
 	conns   []*conn
+
+	stmtMu sync.Mutex       // guards stmts
+	stmts  map[string]*Stmt // prepared statements by SQL text
 }
 
 // A Pool is a msg.Transport: drop-in for an in-process msg.Client.
@@ -104,7 +107,7 @@ func Dial(addr string, opts Options) (*Pool, error) {
 	if opts.MaxFrame <= 0 {
 		opts.MaxFrame = wire.MaxFrame
 	}
-	p := &Pool{addr: addr, opts: opts}
+	p := &Pool{addr: addr, opts: opts, stmts: make(map[string]*Stmt)}
 	p.timeout.Store(int64(opts.ReplyTimeout))
 	p.conns = make([]*conn, opts.Conns)
 	for i := range p.conns {

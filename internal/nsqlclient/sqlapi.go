@@ -17,9 +17,17 @@ import (
 
 // do runs one nsqlwire operation over t and returns the decoded reply.
 // A transport-level failure comes back as the Send error; an
-// application-level failure (Reply.Err) becomes a plain error here.
+// application-level failure (Reply.Err) becomes an error whose text is
+// the server's message, tagged with the reply's error class when it has
+// one — errors.Is(err, nsqlwire.ErrBadStatement) distinguishes "your
+// statement is broken" from "the server could not run it", and
+// ErrStaleHandle drives transparent re-preparation.
 func do(t msg.Transport, op nsqlwire.Op, arg string) (*nsqlwire.Reply, error) {
-	data, err := t.Send(nsqlwire.ServerName, nsqlwire.EncodeRequest(&nsqlwire.Request{Op: op, Arg: arg}))
+	return doReq(t, &nsqlwire.Request{Op: op, Arg: arg})
+}
+
+func doReq(t msg.Transport, q *nsqlwire.Request) (*nsqlwire.Reply, error) {
+	data, err := t.Send(nsqlwire.ServerName, nsqlwire.EncodeRequest(q))
 	if err != nil {
 		return nil, err
 	}
@@ -28,10 +36,27 @@ func do(t msg.Transport, op nsqlwire.Op, arg string) (*nsqlwire.Reply, error) {
 		return nil, err
 	}
 	if reply.Err != "" {
-		return nil, errors.New(reply.Err)
+		switch reply.Code {
+		case nsqlwire.CodeBadStatement:
+			return nil, &remoteError{msg: reply.Err, kind: nsqlwire.ErrBadStatement}
+		case nsqlwire.CodeStaleHandle:
+			return nil, &remoteError{msg: reply.Err, kind: nsqlwire.ErrStaleHandle}
+		default:
+			return nil, errors.New(reply.Err)
+		}
 	}
 	return reply, nil
 }
+
+// remoteError carries a server-reported failure: Error() is exactly the
+// server's message, Unwrap exposes the error class sentinel.
+type remoteError struct {
+	msg  string
+	kind error
+}
+
+func (e *remoteError) Error() string { return e.msg }
+func (e *remoteError) Unwrap() error { return e.kind }
 
 // Exec executes one SQL statement (autocommit) on the remote database.
 func Exec(t msg.Transport, stmt string) (*sql.Result, error) {

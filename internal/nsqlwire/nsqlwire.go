@@ -14,6 +14,7 @@ package nsqlwire
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"nonstopsql/internal/record"
@@ -46,20 +47,65 @@ const (
 	OpCrash
 	// OpRestart recovers and restarts a volume's Disk Process.
 	OpRestart
+	// OpPrepare compiles Arg into a server-side prepared statement; the
+	// reply carries the statement handle (Reply.Handle) and its parameter
+	// count (Reply.Affected).
+	OpPrepare
+	// OpExecute runs the prepared statement named by Request.Handle with
+	// Request.Params as its parameter vector.
+	OpExecute
+	// OpCloseStmt discards the server-side handle in Request.Handle.
+	OpCloseStmt
 )
+
+// Error classes for Reply.Code, so remote callers can distinguish fault
+// domains without parsing message text.
+const (
+	// CodeOK: no application error (Reply.Err is empty).
+	CodeOK byte = iota
+	// CodeBadStatement: the statement itself is at fault — parse or bind
+	// failure, wrong parameter count. Client error; retrying the same
+	// bytes cannot succeed.
+	CodeBadStatement
+	// CodeStaleHandle: the prepared-statement handle is unknown or was
+	// evicted from the server's handle table. Re-prepare and retry.
+	CodeStaleHandle
+	// CodeServer: the statement was well-formed but execution failed
+	// (constraint violation, lock timeout, volume down, ...).
+	CodeServer
+)
+
+// ErrBadStatement tags client-fault statement errors: the reply's error
+// from a pool or free function matches errors.Is against this.
+var ErrBadStatement = errors.New("nsqlwire: bad statement")
+
+// ErrStaleHandle tags an EXECUTE whose server-side handle no longer
+// exists (server restart, handle-table eviction). Callers re-prepare.
+var ErrStaleHandle = errors.New("nsqlwire: stale statement handle")
 
 // A Request is one operation: the op code and its argument — the SQL
 // text for statement ops, an object name for Describe/Crash/Restart,
-// empty otherwise.
+// empty otherwise. Prepared-statement ops carry the statement handle
+// and (for Execute) the parameter vector instead of statement text, so
+// an EXECUTE frame costs a uvarint plus the encoded values, not the SQL
+// bytes.
 type Request struct {
-	Op  Op
-	Arg string
+	Op     Op
+	Arg    string
+	Handle uint64
+	Params record.Row
 }
 
 // EncodeRequest serializes a request payload.
 func EncodeRequest(q *Request) []byte {
 	b := []byte{byte(q.Op)}
-	return appendBytes(b, []byte(q.Arg))
+	b = appendBytes(b, []byte(q.Arg))
+	b = binary.AppendUvarint(b, q.Handle)
+	var params []byte
+	if len(q.Params) > 0 {
+		params = record.Encode(q.Params)
+	}
+	return appendBytes(b, params)
 }
 
 // DecodeRequest parses a request payload.
@@ -73,6 +119,23 @@ func DecodeRequest(b []byte) (*Request, error) {
 		return nil, err
 	}
 	q.Arg = string(arg)
+	var sz int
+	q.Handle, sz = binary.Uvarint(b)
+	if sz <= 0 {
+		return nil, fmt.Errorf("nsqlwire: bad statement handle")
+	}
+	b = b[sz:]
+	params, b, err := takeBytes(b)
+	if err != nil {
+		return nil, err
+	}
+	if len(params) > 0 {
+		row, err := record.Decode(params)
+		if err != nil {
+			return nil, fmt.Errorf("nsqlwire: params: %w", err)
+		}
+		q.Params = row
+	}
 	if len(b) != 0 {
 		return nil, fmt.Errorf("nsqlwire: %d trailing request bytes", len(b))
 	}
@@ -85,10 +148,12 @@ func DecodeRequest(b []byte) (*Request, error) {
 // travel as wire error frames.
 type Reply struct {
 	Err      string
+	Code     byte // error class when Err != "" (CodeBadStatement, ...)
 	Columns  []string
 	Rows     []record.Row
 	Affected uint64
 	Text     string // rendered output for the text ops
+	Handle   uint64 // statement handle (OpPrepare replies)
 }
 
 // EncodeReply serializes a reply payload.
@@ -103,7 +168,9 @@ func EncodeReply(r *Reply) []byte {
 		b = appendBytes(b, record.Encode(row))
 	}
 	b = binary.AppendUvarint(b, r.Affected)
-	return appendBytes(b, []byte(r.Text))
+	b = appendBytes(b, []byte(r.Text))
+	b = append(b, r.Code)
+	return binary.AppendUvarint(b, r.Handle)
 }
 
 // DecodeReply parses a reply payload.
@@ -152,6 +219,15 @@ func DecodeReply(b []byte) (*Reply, error) {
 		return nil, err
 	}
 	r.Text = string(t)
+	if len(b) == 0 {
+		return nil, fmt.Errorf("nsqlwire: truncated reply code")
+	}
+	r.Code = b[0]
+	r.Handle, sz = binary.Uvarint(b[1:])
+	if sz <= 0 {
+		return nil, fmt.Errorf("nsqlwire: bad reply handle")
+	}
+	b = b[1+sz:]
 	if len(b) != 0 {
 		return nil, fmt.Errorf("nsqlwire: %d trailing reply bytes", len(b))
 	}

@@ -1,0 +1,75 @@
+package nsqlwire
+
+import (
+	"reflect"
+	"testing"
+
+	"nonstopsql/internal/record"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	cases := []Request{
+		{Op: OpPing},
+		{Op: OpExec, Arg: "SELECT * FROM emp WHERE empno = 3"},
+		{Op: OpPrepare, Arg: "SELECT name FROM emp WHERE empno = ?"},
+		{Op: OpExecute, Handle: 7, Params: record.Row{record.Int(3)}},
+		{Op: OpExecute, Handle: 1 << 40, Params: record.Row{
+			record.Int(-12), record.Float(3.5), record.String("alice"), record.Bool(true), record.Null,
+		}},
+		{Op: OpCloseStmt, Handle: 9},
+	}
+	for _, q := range cases {
+		got, err := DecodeRequest(EncodeRequest(&q))
+		if err != nil {
+			t.Fatalf("%+v: %v", q, err)
+		}
+		if !reflect.DeepEqual(*got, q) {
+			t.Errorf("round trip changed the request:\nsent: %+v\ngot:  %+v", q, *got)
+		}
+	}
+}
+
+func TestReplyRoundTrip(t *testing.T) {
+	cases := []Reply{
+		{},
+		{Err: "sql: no table NOPE", Code: CodeBadStatement},
+		{Err: "prepared statement handle 12 is unknown or was evicted", Code: CodeStaleHandle},
+		{Columns: []string{"a", "b"}, Rows: []record.Row{
+			{record.Int(1), record.String("x")},
+			{record.Null, record.Float(2.25)},
+		}, Affected: 2},
+		{Handle: 42, Affected: 3},
+		{Text: "plan: cached (hits=9)\n"},
+	}
+	for _, r := range cases {
+		got, err := DecodeReply(EncodeReply(&r))
+		if err != nil {
+			t.Fatalf("%+v: %v", r, err)
+		}
+		if !reflect.DeepEqual(*got, r) {
+			t.Errorf("round trip changed the reply:\nsent: %+v\ngot:  %+v", r, *got)
+		}
+	}
+}
+
+func TestDecodeRejectsTruncationAndTrailingBytes(t *testing.T) {
+	qb := EncodeRequest(&Request{Op: OpExecute, Handle: 5, Params: record.Row{record.Int(1)}})
+	for n := 0; n < len(qb); n++ {
+		if _, err := DecodeRequest(qb[:n]); err == nil {
+			t.Errorf("request truncated to %d bytes decoded", n)
+		}
+	}
+	if _, err := DecodeRequest(append(qb, 0)); err == nil {
+		t.Error("request with a trailing byte decoded")
+	}
+
+	rb := EncodeReply(&Reply{Handle: 5, Affected: 2, Code: CodeOK})
+	for n := 0; n < len(rb); n++ {
+		if _, err := DecodeReply(rb[:n]); err == nil {
+			t.Errorf("reply truncated to %d bytes decoded", n)
+		}
+	}
+	if _, err := DecodeReply(append(rb, 0)); err == nil {
+		t.Error("reply with a trailing byte decoded")
+	}
+}

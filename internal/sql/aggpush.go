@@ -88,21 +88,14 @@ func planAggPushdown(sel Select, sc *scope) (*aggPushPlan, bool) {
 	return p, true
 }
 
-// aggPushdown evaluates an eligible aggregate query via AGG^FIRST/NEXT.
-// ok=false means the query is not decomposable and the caller should
-// take the row path.
-func (s *Session) aggPushdown(tx *tmf.Tx, sel Select, def *fs.FileDef, pred expr.Expr, sc *scope, az *analyzeState) (*Result, bool, error) {
-	if !s.pushdown {
-		return nil, false, nil
-	}
-	p, ok := planAggPushdown(sel, sc)
-	if !ok {
-		return nil, false, nil
-	}
+// runAggPushdown evaluates a compiled pushdown aggregation via
+// AGG^FIRST/NEXT. pred and having are the concrete (parameter-
+// substituted) expressions for this execution.
+func (s *Session) runAggPushdown(tx *tmf.Tx, sel Select, def *fs.FileDef, pred expr.Expr, p *aggPushPlan, having expr.Expr, az *analyzeState) (*Result, error) {
 	rng, residual := expr.ExtractKeyRange(pred, def.Schema)
 	groups, st, err := s.fs.AggTraced(tx, def, rng, residual, p.spec)
 	if err != nil {
-		return nil, true, err
+		return nil, err
 	}
 	az.scanNode(fmt.Sprintf("partial aggregation %s (AGG^FIRST/NEXT)", def.Name), st)
 
@@ -129,8 +122,7 @@ func (s *Session) aggPushdown(tx *tmf.Tx, sel Select, def *fs.FileDef, pred expr
 		}
 		outRows = append(outRows, out)
 	}
-	res, err := emitAggResult(sel, p.plans, p.having, outRows)
-	return res, true, err
+	return emitAggResult(sel, p.plans, having, outRows)
 }
 
 // finalizeAgg converts one merged partial state into the aggregate's SQL

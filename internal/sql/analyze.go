@@ -8,6 +8,7 @@ import (
 	"nonstopsql/internal/fs"
 	"nonstopsql/internal/msg"
 	"nonstopsql/internal/obs"
+	"nonstopsql/internal/record"
 	"nonstopsql/internal/tmf"
 )
 
@@ -174,6 +175,53 @@ func (s *Session) ExplainAnalyzeStmt(src string) (*Analyze, error) {
 	default:
 		return nil, fmt.Errorf("sql: EXPLAIN ANALYZE supports SELECT, UPDATE, DELETE (got %T)", stmt)
 	}
+	if err != nil {
+		return nil, err
+	}
+	a := &Analyze{Nodes: az.nodes, Result: res, Wall: time.Since(start)}
+	renderActuals(&sb, a)
+	a.Plan = sb.String()
+	return a, nil
+}
+
+// ExplainAnalyzePrepared executes a prepared statement with the given
+// parameter vector, collecting per-node actuals. The static plan is
+// rendered from the parameter-substituted statement (so key ranges and
+// probe values show the concrete arguments) and annotated with the
+// shared plan cache's view of this compilation before the run.
+func (s *Session) ExplainAnalyzePrepared(p *Prepared, params ...record.Value) (*Analyze, error) {
+	if len(params) != p.nParams {
+		return nil, badStatement(fmt.Errorf("sql: statement wants %d parameter(s), got %d", p.nParams, len(params)))
+	}
+	stmt, err := substStmt(p.stmt, params)
+	if err != nil {
+		return nil, err
+	}
+	var sb strings.Builder
+	switch st := stmt.(type) {
+	case Select:
+		if err := s.explainSelect(&sb, st); err != nil {
+			return nil, err
+		}
+	case Update:
+		if err := s.explainUpdate(&sb, st); err != nil {
+			return nil, err
+		}
+	case Delete:
+		if err := s.explainDelete(&sb, st); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("sql: EXPLAIN ANALYZE supports SELECT, UPDATE, DELETE (got %T)", stmt)
+	}
+	if cp, ok := s.cat.plans.peek(p.key, s.cat.Version()); ok {
+		fmt.Fprintf(&sb, "plan: cached (hits=%d)\n", cp.Hits())
+	} else {
+		sb.WriteString("plan: not cached (compiled for this execution)\n")
+	}
+	az := &analyzeState{}
+	start := time.Now()
+	res, err := s.runPrepared(p, params, az)
 	if err != nil {
 		return nil, err
 	}

@@ -145,8 +145,13 @@ type aCall struct {
 	Arg      aExpr
 }
 
+// aParam is a parameter marker (?), numbered left to right within the
+// statement, filled in at EXECUTE time.
+type aParam struct{ Index int }
+
 func (aConst) isAExpr() {}
 func (aCol) isAExpr()   {}
 func (aBin) isAExpr()   {}
 func (aUnary) isAExpr() {}
 func (aCall) isAExpr()  {}
+func (aParam) isAExpr() {}

@@ -50,6 +50,17 @@ func (s *scope) resolve(c aCol) (int, error) {
 	return found, nil
 }
 
+// typeOf returns the declared type of a resolved row ordinal, 0 when it
+// falls outside every scope entry.
+func (s *scope) typeOf(ord int) record.Type {
+	for _, e := range s.entries {
+		if ord >= e.offset && ord < e.offset+len(e.schema.Fields) {
+			return e.schema.Fields[ord-e.offset].Type
+		}
+	}
+	return 0
+}
+
 // bind resolves an unresolved AST expression into an executable
 // expr.Expr. Aggregate calls are rejected here — the planner strips them
 // first.
@@ -74,6 +85,22 @@ func bind(e aExpr, s *scope) (expr.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Typed placeholder slots: a parameter compared against a column
+		// inherits the column's declared type as its EXECUTE-time check.
+		if isComparison(n.Op) {
+			if p, ok := l.(expr.Param); ok && p.Hint == 0 {
+				if f, ok := r.(expr.FieldRef); ok {
+					p.Hint = s.typeOf(f.Index)
+					l = p
+				}
+			}
+			if p, ok := r.(expr.Param); ok && p.Hint == 0 {
+				if f, ok := l.(expr.FieldRef); ok {
+					p.Hint = s.typeOf(f.Index)
+					r = p
+				}
+			}
+		}
 		return expr.Binary{Op: n.Op, L: l, R: r}, nil
 	case aUnary:
 		sub, err := bind(n.E, s)
@@ -83,8 +110,20 @@ func bind(e aExpr, s *scope) (expr.Expr, error) {
 		return expr.Unary{Op: n.Op, E: sub}, nil
 	case aCall:
 		return nil, fmt.Errorf("sql: aggregate %s not allowed here", n.Fn)
+	case aParam:
+		return expr.Param{Index: n.Index}, nil
 	}
 	return nil, fmt.Errorf("sql: cannot bind %T", e)
+}
+
+// isComparison reports whether op compares its operands (the shapes a
+// parameter type hint can be inferred from).
+func isComparison(op expr.Op) bool {
+	switch op {
+	case expr.OpEQ, expr.OpNE, expr.OpLT, expr.OpLE, expr.OpGT, expr.OpGE, expr.OpLike:
+		return true
+	}
+	return false
 }
 
 // columnsOf lists the aCol references in an unresolved expression.

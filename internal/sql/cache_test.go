@@ -1,0 +1,92 @@
+package sql
+
+import (
+	"strconv"
+	"testing"
+)
+
+// White-box cache tests: put/get/peek are unexported on purpose (the
+// session owns the lookup discipline), so the LRU and counter mechanics
+// are pinned here.
+
+func testPlan(key string, version uint64) *Prepared {
+	return &Prepared{SQL: key, key: key, version: version, cacheable: true}
+}
+
+func TestPlanCacheLRUEviction(t *testing.T) {
+	c := NewPlanCache(16) // one entry per shard
+	for i := 0; i < 64; i++ {
+		k := "q" + strconv.Itoa(i)
+		c.put(k, testPlan(k, 1))
+	}
+	st := c.Stats()
+	if st.Entries > 16 {
+		t.Fatalf("cache holds %d entries past its 16-entry bound", st.Entries)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("overfilling evicted nothing")
+	}
+	if st.Misses != 64 {
+		t.Fatalf("misses = %d, want 64 (every put is a compile)", st.Misses)
+	}
+}
+
+func TestPlanCacheVersionInvalidation(t *testing.T) {
+	c := NewPlanCache(16)
+	c.put("q", testPlan("q", 1))
+	if _, ok := c.get("q", 1); !ok {
+		t.Fatal("fresh entry missed")
+	}
+	// A lookup at a newer catalog version drops the stale entry.
+	if _, ok := c.get("q", 2); ok {
+		t.Fatal("stale entry served")
+	}
+	st := c.Stats()
+	if st.Invalidations != 1 {
+		t.Fatalf("invalidations = %d, want 1", st.Invalidations)
+	}
+	if _, ok := c.peek("q", 2); ok {
+		t.Fatal("invalidated entry still peekable")
+	}
+}
+
+func TestPlanCachePeekIsCounterNeutral(t *testing.T) {
+	c := NewPlanCache(16)
+	c.put("q", testPlan("q", 1))
+	before := c.Stats()
+	for i := 0; i < 3; i++ {
+		if _, ok := c.peek("q", 1); !ok {
+			t.Fatal("peek missed a live entry")
+		}
+	}
+	after := c.Stats()
+	if after.Hits != before.Hits || after.Misses != before.Misses {
+		t.Fatalf("peek moved counters: %+v -> %+v", before, after)
+	}
+}
+
+func TestPlanCacheConcurrentPutKeepsIncumbent(t *testing.T) {
+	c := NewPlanCache(16)
+	first := testPlan("q", 1)
+	c.put("q", first)
+	second := testPlan("q", 1)
+	c.put("q", second) // lost the compile race
+	got, ok := c.get("q", 1)
+	if !ok || got != first {
+		t.Fatal("racing put displaced the incumbent entry")
+	}
+}
+
+func TestNormalizeSQLKeying(t *testing.T) {
+	a := planKey("SELECT  *\n FROM emp ;", true)
+	b := planKey("SELECT * FROM emp", true)
+	if a != b {
+		t.Fatalf("whitespace/semicolon variants key differently: %q vs %q", a, b)
+	}
+	if planKey("SELECT 1", true) == planKey("SELECT 1", false) {
+		t.Fatal("pushdown variants share a key")
+	}
+	if planKey("SELECT 'A'", true) == planKey("select 'a'", true) {
+		t.Fatal("case folding applied inside a string literal")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"nonstopsql/internal/fs"
 	"nonstopsql/internal/keys"
@@ -13,19 +14,38 @@ import (
 
 // A Catalog maps table names to their file definitions and owns the
 // default placement policy (round-robin over the configured volumes).
-// It is shared by every session of a database.
+// It is shared by every session of a database. Every DDL success bumps
+// the catalog version, which invalidates compiled plans in the shared
+// plan cache the catalog also owns.
 type Catalog struct {
 	mu      sync.RWMutex
 	tables  map[string]*fs.FileDef
 	volumes []string
 	rr      int
+
+	version atomic.Uint64
+	plans   *PlanCache
 }
 
 // NewCatalog creates a catalog over the given data volumes (Disk
 // Process names); the first is the default placement target.
 func NewCatalog(volumes []string) *Catalog {
-	return &Catalog{tables: make(map[string]*fs.FileDef), volumes: volumes}
+	c := &Catalog{tables: make(map[string]*fs.FileDef), volumes: volumes, plans: NewPlanCache(0)}
+	c.version.Store(1)
+	return c
 }
+
+// Version returns the current catalog version. Compiled statements pin
+// the version they were compiled against; a mismatch at EXECUTE forces
+// a transparent recompile.
+func (c *Catalog) Version() uint64 { return c.version.Load() }
+
+// Plans exposes the catalog's shared plan cache.
+func (c *Catalog) Plans() *PlanCache { return c.plans }
+
+// bumpVersion marks a schema change: cached plans compiled before this
+// point are stale from here on.
+func (c *Catalog) bumpVersion() { c.version.Add(1) }
 
 // Table resolves a table name.
 func (c *Catalog) Table(name string) (*fs.FileDef, error) {
@@ -138,6 +158,7 @@ func (c *Catalog) createTable(f *fs.FS, ct CreateTable) error {
 	c.mu.Lock()
 	c.tables[name] = def
 	c.mu.Unlock()
+	c.bumpVersion()
 	return nil
 }
 
@@ -162,7 +183,13 @@ func (c *Catalog) createIndex(f *fs.FS, tx *tmf.Tx, ci CreateIndex) error {
 		Column:     col,
 		Partitions: []fs.Partition{{Server: vol}},
 	}
-	return f.CreateIndex(tx, def, idx)
+	if err := f.CreateIndex(tx, def, idx); err != nil {
+		return err
+	}
+	// Access-path choices baked into cached plans (probe vs scan) are
+	// stale the moment a new index exists.
+	c.bumpVersion()
+	return nil
 }
 
 // Describe renders a table's schema, partitions, and indexes.
@@ -232,5 +259,6 @@ func (c *Catalog) dropTable(f *fs.FS, name string) error {
 	c.mu.Lock()
 	delete(c.tables, strings.ToUpper(name))
 	c.mu.Unlock()
+	c.bumpVersion()
 	return nil
 }

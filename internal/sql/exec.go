@@ -51,13 +51,19 @@ type Result struct {
 // InTx reports whether an explicit transaction is open.
 func (s *Session) InTx() bool { return s.tx != nil }
 
-// Exec parses and executes one statement.
+// Exec compiles and executes one statement. Compilation goes through
+// the catalog's shared plan cache, so repeated ad-hoc text (the
+// autocommit "$SQL" traffic a wire server relays) skips the
+// parse/bind/plan work after its first execution.
 func (s *Session) Exec(src string) (*Result, error) {
-	stmt, err := Parse(src)
+	p, err := s.prepared(src)
 	if err != nil {
 		return nil, err
 	}
-	return s.ExecStmt(stmt)
+	if p.nParams > 0 {
+		return nil, badStatement(fmt.Errorf("sql: statement has %d parameter marker(s); prepare it and execute with arguments", p.nParams))
+	}
+	return s.execCompiled(p, nil, nil)
 }
 
 // MustExec is Exec for fixtures and examples; it panics on error.
@@ -134,7 +140,15 @@ func (s *Session) execDDLIndex(st CreateIndex) (*Result, error) {
 	})
 }
 
-func (s *Session) execInsert(tx *tmf.Tx, ins Insert) (*Result, error) {
+// insertPlan is a compiled INSERT: resolved column ordinals and bound
+// value expressions (which may hold parameter slots).
+type insertPlan struct {
+	def    *fs.FileDef
+	colIdx []int
+	rows   [][]expr.Expr
+}
+
+func (s *Session) compileInsert(ins Insert) (*insertPlan, error) {
 	def, err := s.cat.Table(ins.Table)
 	if err != nil {
 		return nil, err
@@ -155,24 +169,44 @@ func (s *Session) execInsert(tx *tmf.Tx, ins Insert) (*Result, error) {
 			colIdx = append(colIdx, i)
 		}
 	}
-	n := 0
+	p := &insertPlan{def: def, colIdx: colIdx}
 	for _, exprsRow := range ins.Rows {
 		if len(exprsRow) != len(colIdx) {
 			return nil, fmt.Errorf("sql: INSERT row has %d values, want %d", len(exprsRow), len(colIdx))
 		}
-		row := make(record.Row, len(schema.Fields))
+		row := make([]expr.Expr, len(exprsRow))
 		for j, ae := range exprsRow {
 			bound, err := bind(ae, &scope{})
 			if err != nil {
 				return nil, err
 			}
-			v, err := expr.Eval(bound, nil)
+			row[j] = bound
+		}
+		p.rows = append(p.rows, row)
+	}
+	return p, nil
+}
+
+func (p *insertPlan) run(s *Session, params []record.Value, az *analyzeState) (*Result, error) {
+	return s.autocommit(func(tx *tmf.Tx) (*Result, error) { return p.runTx(s, tx, params) })
+}
+
+func (p *insertPlan) runTx(s *Session, tx *tmf.Tx, params []record.Value) (*Result, error) {
+	n := 0
+	for _, exprsRow := range p.rows {
+		row := make(record.Row, len(p.def.Schema.Fields))
+		for j, bound := range exprsRow {
+			e, err := expr.Substitute(bound, params)
 			if err != nil {
 				return nil, err
 			}
-			row[colIdx[j]] = v
+			v, err := expr.Eval(e, nil)
+			if err != nil {
+				return nil, err
+			}
+			row[p.colIdx[j]] = v
 		}
-		if err := s.fs.Insert(tx, def, row); err != nil {
+		if err := s.fs.Insert(tx, p.def, row); err != nil {
 			return nil, err
 		}
 		n++
@@ -180,7 +214,23 @@ func (s *Session) execInsert(tx *tmf.Tx, ins Insert) (*Result, error) {
 	return &Result{Affected: n}, nil
 }
 
-func (s *Session) execUpdate(tx *tmf.Tx, upd Update, az *analyzeState) (*Result, error) {
+func (s *Session) execInsert(tx *tmf.Tx, ins Insert) (*Result, error) {
+	p, err := s.compileInsert(ins)
+	if err != nil {
+		return nil, err
+	}
+	return p.runTx(s, tx, nil)
+}
+
+// updatePlan is a compiled UPDATE: bound predicate and assignment
+// templates over the table's scope.
+type updatePlan struct {
+	def     *fs.FileDef
+	pred    expr.Expr
+	assigns []expr.Assignment
+}
+
+func (s *Session) compileUpdate(upd Update) (*updatePlan, error) {
 	def, err := s.cat.Table(upd.Table)
 	if err != nil {
 		return nil, err
@@ -202,6 +252,31 @@ func (s *Session) execUpdate(tx *tmf.Tx, upd Update, az *analyzeState) (*Result,
 			return nil, err
 		}
 		assigns = append(assigns, expr.Assignment{Field: i, E: rhs})
+	}
+	return &updatePlan{def: def, pred: pred, assigns: assigns}, nil
+}
+
+func (p *updatePlan) run(s *Session, params []record.Value, az *analyzeState) (*Result, error) {
+	return s.autocommit(func(tx *tmf.Tx) (*Result, error) { return p.runTx(s, tx, params, az) })
+}
+
+func (s *Session) execUpdate(tx *tmf.Tx, upd Update, az *analyzeState) (*Result, error) {
+	p, err := s.compileUpdate(upd)
+	if err != nil {
+		return nil, err
+	}
+	return p.runTx(s, tx, nil, az)
+}
+
+func (p *updatePlan) runTx(s *Session, tx *tmf.Tx, params []record.Value, az *analyzeState) (*Result, error) {
+	def := p.def
+	pred, err := expr.Substitute(p.pred, params)
+	if err != nil {
+		return nil, err
+	}
+	assigns, err := expr.SubstituteAssignments(p.assigns, params)
+	if err != nil {
+		return nil, err
 	}
 	// The query compiler's key step: peel the primary-key range off the
 	// predicate so each Disk Process receives a bounded subset request.
@@ -293,7 +368,13 @@ func (s *Session) probeRows(tx *tmf.Tx, def *fs.FileDef, pred expr.Expr, az *ana
 	return out, true, nil
 }
 
-func (s *Session) execDelete(tx *tmf.Tx, del Delete, az *analyzeState) (*Result, error) {
+// deletePlan is a compiled DELETE: a bound predicate template.
+type deletePlan struct {
+	def  *fs.FileDef
+	pred expr.Expr
+}
+
+func (s *Session) compileDelete(del Delete) (*deletePlan, error) {
 	def, err := s.cat.Table(del.Table)
 	if err != nil {
 		return nil, err
@@ -301,6 +382,27 @@ func (s *Session) execDelete(tx *tmf.Tx, del Delete, az *analyzeState) (*Result,
 	sc := &scope{}
 	sc.add(def.Name, def.Schema, 0)
 	pred, err := bind(del.Where, sc)
+	if err != nil {
+		return nil, err
+	}
+	return &deletePlan{def: def, pred: pred}, nil
+}
+
+func (p *deletePlan) run(s *Session, params []record.Value, az *analyzeState) (*Result, error) {
+	return s.autocommit(func(tx *tmf.Tx) (*Result, error) { return p.runTx(s, tx, params, az) })
+}
+
+func (s *Session) execDelete(tx *tmf.Tx, del Delete, az *analyzeState) (*Result, error) {
+	p, err := s.compileDelete(del)
+	if err != nil {
+		return nil, err
+	}
+	return p.runTx(s, tx, nil, az)
+}
+
+func (p *deletePlan) runTx(s *Session, tx *tmf.Tx, params []record.Value, az *analyzeState) (*Result, error) {
+	def := p.def
+	pred, err := expr.Substitute(p.pred, params)
 	if err != nil {
 		return nil, err
 	}

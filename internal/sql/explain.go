@@ -38,6 +38,11 @@ func (s *Session) Explain(src string) (string, error) {
 	default:
 		return "", fmt.Errorf("sql: EXPLAIN supports SELECT, UPDATE, DELETE (got %T)", stmt)
 	}
+	// When the shared plan cache holds a current compilation of this
+	// text, executions skip parse/bind/plan entirely — say so.
+	if p, ok := s.cat.plans.peek(planKey(src, s.pushdown), s.cat.Version()); ok {
+		fmt.Fprintf(&sb, "plan: cached (hits=%d)\n", p.Hits())
+	}
 	return sb.String(), nil
 }
 

@@ -11,25 +11,33 @@ import (
 
 // Parse compiles one SQL statement's text into its AST.
 func Parse(src string) (Statement, error) {
+	stmt, _, err := parseStmt(src)
+	return stmt, err
+}
+
+// parseStmt compiles one statement and reports how many parameter
+// markers (?) it carries, numbered left to right.
+func parseStmt(src string) (Statement, int, error) {
 	toks, err := lex(src)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	p := &parser{toks: toks}
 	stmt, err := p.statement()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	p.accept(tokSymbol, ";")
 	if !p.at(tokEOF, "") {
-		return nil, p.errf("trailing input at %q", p.cur().text)
+		return nil, 0, p.errf("trailing input at %q", p.cur().text)
 	}
-	return stmt, nil
+	return stmt, p.params, nil
 }
 
 type parser struct {
-	toks []token
-	pos  int
+	toks   []token
+	pos    int
+	params int // parameter markers seen so far
 }
 
 func (p *parser) cur() token  { return p.toks[p.pos] }
@@ -849,6 +857,11 @@ func (p *parser) primary() (aExpr, error) {
 				return nil, err
 			}
 			return e, nil
+		}
+		if t.text == "?" {
+			p.pos++
+			p.params++
+			return aParam{Index: p.params - 1}, nil
 		}
 	}
 	return nil, p.errf("unexpected token %q in expression", t.text)

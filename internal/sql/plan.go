@@ -206,8 +206,48 @@ func indexProbe(def *fs.FileDef, pred expr.Expr) (*fs.IndexDef, record.Value, bo
 
 // singleTableSelect runs a one-table SELECT including aggregates, GROUP
 // BY, ORDER BY, and LIMIT. az, when non-nil, collects per-node actuals
-// for EXPLAIN ANALYZE.
+// for EXPLAIN ANALYZE. The ad-hoc path and prepared execution share one
+// compile + run pipeline, so the two are byte-identical by construction.
 func (s *Session) singleTableSelect(tx *tmf.Tx, sel Select, az *analyzeState) (*Result, error) {
+	p, err := s.compileSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	return p.runWith(s, tx, nil, az)
+}
+
+// selectPlan is a compiled single-table SELECT. Every shape decision —
+// aggregate classification, needed columns, pushdown decomposition,
+// output columns, ORDER BY keys — is made once at compile time;
+// value-dependent choices (key-range extraction, index-probe selection,
+// Top-N eligibility of the concrete predicate) wait for the parameter
+// values at run time.
+type selectPlan struct {
+	sel    Select
+	def    *fs.FileDef
+	sc     *scope
+	pred   expr.Expr // bound WHERE template (may hold parameter slots)
+	needed map[int]bool
+
+	aggregate bool
+	countStar bool
+	countName string
+
+	// Aggregate shapes (aggregate, not countStar).
+	gbs    []expr.Expr
+	plans  []itemPlan
+	having expr.Expr // template (may hold parameter slots)
+	push   *aggPushPlan
+
+	// Projection shapes (non-aggregate).
+	orderKs []orderKey
+	cols    []outCol
+
+	orderIsKeyPrefix bool
+}
+
+// compileSelect binds and plans a single-table SELECT.
+func (s *Session) compileSelect(sel Select) (*selectPlan, error) {
 	ref := sel.From[0]
 	def, err := s.cat.Table(ref.Table)
 	if err != nil {
@@ -224,11 +264,12 @@ func (s *Session) singleTableSelect(tx *tmf.Tx, sel Select, az *analyzeState) (*
 	if err != nil {
 		return nil, err
 	}
+	p := &selectPlan{sel: sel, def: def, sc: sc, pred: pred}
 
-	aggregate := len(sel.GroupBy) > 0 || sel.Having != nil
+	p.aggregate = len(sel.GroupBy) > 0 || sel.Having != nil
 	for _, item := range sel.Items {
 		if !item.Star && hasAggregate(item.Expr) {
-			aggregate = true
+			p.aggregate = true
 		}
 	}
 
@@ -249,69 +290,147 @@ func (s *Session) singleTableSelect(tx *tmf.Tx, sel Select, az *analyzeState) (*
 	if sel.Having != nil {
 		exprs = append(exprs, sel.Having)
 	}
-	var needed map[int]bool
 	if !star {
-		needed = neededColumns(def.Schema, alias, exprs)
+		p.needed = neededColumns(def.Schema, alias, exprs)
 	}
 
 	// COUNT(*) pushdown: a bare single-table COUNT(*) needs no rows at
 	// all — the Disk Processes count qualifying records and each
 	// re-drive returns a constant-size reply (COUNT^FIRST/NEXT).
-	if res, ok, err := s.countStarPushdown(tx, sel, def, pred, az); ok || err != nil {
-		return res, err
+	if isCountStarQuery(sel) {
+		p.countStar = true
+		p.countName = sel.Items[0].Alias
+		if p.countName == "" {
+			p.countName = displayName(sel.Items[0].Expr)
+		}
+		return p, nil
 	}
 
-	// Partial-aggregate pushdown: decomposable GROUP BY / aggregate
-	// queries evaluate at the Disk Processes (AGG^FIRST/NEXT) and only
-	// per-group partial states cross the interface.
-	if aggregate {
-		if res, ok, err := s.aggPushdown(tx, sel, def, pred, sc, az); ok || err != nil {
-			return res, err
+	if p.aggregate {
+		// Partial-aggregate pushdown: decomposable GROUP BY / aggregate
+		// queries evaluate at the Disk Processes (AGG^FIRST/NEXT) and
+		// only per-group partial states cross the interface.
+		if push, ok := planAggPushdown(sel, sc); ok {
+			p.push = push
+			p.gbs, p.plans, p.having = push.gbs, push.plans, push.having
+		} else {
+			p.gbs, p.plans, p.having, err = buildAggPlans(sel, sc)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return p, nil
+	}
+
+	p.orderKs, err = buildOrderKeys(sel.OrderBy, sc)
+	if err != nil {
+		return nil, err
+	}
+	p.cols, err = buildOutCols(sel, sc, def.Schema)
+	if err != nil {
+		return nil, err
+	}
+	p.orderIsKeyPrefix = len(sel.OrderBy) > 0 && orderByIsKeyPrefix(sel.OrderBy, def.Schema, sc)
+	return p, nil
+}
+
+// paramsBeyondWhere reports whether any parameter slot sits outside the
+// WHERE/HAVING templates. Those shapes (a parameter in the select list,
+// GROUP BY, ORDER BY, or an aggregate argument) cannot defer to
+// execution in this plan form and fall back to AST substitution.
+func (p *selectPlan) paramsBeyondWhere() bool {
+	for _, g := range p.gbs {
+		if expr.HasParams(g) {
+			return true
+		}
+	}
+	for _, pl := range p.plans {
+		if pl.agg != nil && pl.agg.arg != nil && expr.HasParams(pl.agg.arg) {
+			return true
+		}
+	}
+	for _, c := range p.cols {
+		if expr.HasParams(c.e) {
+			return true
+		}
+	}
+	for _, k := range p.orderKs {
+		if expr.HasParams(k.e) {
+			return true
+		}
+	}
+	return false
+}
+
+// run executes the plan for a prepared statement (stmtPlan interface).
+func (p *selectPlan) run(s *Session, params []record.Value, az *analyzeState) (*Result, error) {
+	tx := s.tx
+	if p.sel.Browse {
+		tx = nil // browse access: no locks, read through
+	}
+	return p.runWith(s, tx, params, az)
+}
+
+// runWith executes the compiled plan under tx with the given parameter
+// vector. The predicate template is substituted first, so all
+// value-dependent access-path decisions see the concrete values.
+func (p *selectPlan) runWith(s *Session, tx *tmf.Tx, params []record.Value, az *analyzeState) (*Result, error) {
+	pred, err := expr.Substitute(p.pred, params)
+	if err != nil {
+		return nil, err
+	}
+	if p.countStar {
+		return s.runCountStar(tx, p.sel, p.def, pred, p.countName, az)
+	}
+	var having expr.Expr
+	if p.aggregate {
+		having, err = expr.Substitute(p.having, params)
+		if err != nil {
+			return nil, err
+		}
+		if p.push != nil && s.pushdown {
+			return s.runAggPushdown(tx, p.sel, p.def, pred, p.push, having, az)
 		}
 	}
 
 	stopAfter := -1
-	if sel.Limit >= 0 && len(sel.OrderBy) == 0 && !aggregate {
-		stopAfter = sel.Limit
+	if p.sel.Limit >= 0 && len(p.sel.OrderBy) == 0 && !p.aggregate {
+		stopAfter = p.sel.Limit
 	}
 	// Top-N pushdown: ORDER BY on an ascending primary-key prefix reads
 	// the scan in output order, so the first LIMIT merged rows are the
 	// answer — push the row budget into each partition's subset.
-	if sel.Limit >= 0 && !aggregate && len(sel.OrderBy) > 0 && s.pushdown &&
-		orderByIsKeyPrefix(sel.OrderBy, def.Schema, sc) && scanDeliversKeyOrder(def, pred) {
-		stopAfter = sel.Limit
+	if p.sel.Limit >= 0 && !p.aggregate && len(p.sel.OrderBy) > 0 && s.pushdown &&
+		p.orderIsKeyPrefix && scanDeliversKeyOrder(p.def, pred) {
+		stopAfter = p.sel.Limit
 	}
 	// A single-group aggregate folds every row commutatively, so a
 	// parallel scan may deliver partitions' batches in arrival order.
-	unordered := aggregate && len(sel.GroupBy) == 0
-	rows, err := s.tableAccess(tx, def, pred, needed, stopAfter, unordered, az)
+	unordered := p.aggregate && len(p.sel.GroupBy) == 0
+	rows, err := s.tableAccess(tx, p.def, pred, p.needed, stopAfter, unordered, az)
 	if err != nil {
 		return nil, err
 	}
 
 	t0 := time.Now()
-	if aggregate {
-		res, err := s.aggregateResult(sel, sc, rows)
+	if p.aggregate {
+		res, err := aggregateRows(p.sel, p.gbs, p.plans, having, rows)
 		if err == nil {
 			az.localNode("aggregate", len(rows), time.Since(t0))
 		}
 		return res, err
 	}
-	res, err := s.projectResult(sel, sc, def.Schema, rows)
-	if err == nil && az != nil && len(sel.OrderBy) > 0 {
+	res, err := projectRows(p.sel, p.cols, p.orderKs, rows)
+	if err == nil && az != nil && len(p.sel.OrderBy) > 0 {
 		az.localNode("sort+project", len(rows), time.Since(t0))
 	}
 	return res, err
 }
 
-// countStarPushdown recognizes SELECT COUNT(*) FROM t [WHERE ...] — a
-// single COUNT(*) item, no GROUP BY/HAVING/ORDER BY — and answers it
-// with fs.Count so only counts cross the FS-DP interface. ok reports
-// whether the query matched.
-func (s *Session) countStarPushdown(tx *tmf.Tx, sel Select, def *fs.FileDef, pred expr.Expr, az *analyzeState) (*Result, bool, error) {
-	if !isCountStarQuery(sel) {
-		return nil, false, nil
-	}
+// runCountStar answers SELECT COUNT(*) FROM t [WHERE ...] — a single
+// COUNT(*) item, no GROUP BY/HAVING/ORDER BY — with fs.Count so only
+// counts cross the FS-DP interface.
+func (s *Session) runCountStar(tx *tmf.Tx, sel Select, def *fs.FileDef, pred expr.Expr, name string, az *analyzeState) (*Result, error) {
 	rng, residual := expr.ExtractKeyRange(pred, def.Schema)
 	var (
 		n   int
@@ -328,18 +447,14 @@ func (s *Session) countStarPushdown(tx *tmf.Tx, sel Select, def *fs.FileDef, pre
 		n, err = s.fs.Count(tx, def, rng, residual)
 	}
 	if err != nil {
-		return nil, true, err
-	}
-	name := sel.Items[0].Alias
-	if name == "" {
-		name = displayName(sel.Items[0].Expr)
+		return nil, err
 	}
 	res := &Result{Columns: []string{name}, Rows: []record.Row{{record.Int(int64(n))}}}
 	if sel.Limit >= 0 && len(res.Rows) > sel.Limit {
 		res.Rows = res.Rows[:sel.Limit]
 	}
 	res.Affected = len(res.Rows)
-	return res, true, nil
+	return res, nil
 }
 
 // isCountStarQuery reports whether sel is a bare single-table COUNT(*)
@@ -352,22 +467,15 @@ func isCountStarQuery(sel Select) bool {
 	return isCall && call.Fn == "COUNT" && call.Star && !call.Distinct
 }
 
-// projectResult applies ORDER BY / LIMIT / the select list to full-width
-// rows.
-func (s *Session) projectResult(sel Select, sc *scope, schema *record.Schema, rows []record.Row) (*Result, error) {
-	if len(sel.OrderBy) > 0 {
-		if err := s.orderRows(sel.OrderBy, sc, rows); err != nil {
-			return nil, err
-		}
-	}
-	if sel.Limit >= 0 && len(rows) > sel.Limit {
-		rows = rows[:sel.Limit]
-	}
-	res := &Result{}
-	type outCol struct {
-		e    expr.Expr
-		name string
-	}
+// outCol is one bound output column of a projection.
+type outCol struct {
+	e    expr.Expr
+	name string
+}
+
+// buildOutCols binds the select list into output columns, expanding *
+// over schema.
+func buildOutCols(sel Select, sc *scope, schema *record.Schema) ([]outCol, error) {
 	var cols []outCol
 	for _, item := range sel.Items {
 		if item.Star {
@@ -389,6 +497,35 @@ func (s *Session) projectResult(sel Select, sc *scope, schema *record.Schema, ro
 		}
 		cols = append(cols, outCol{e: bound, name: name})
 	}
+	return cols, nil
+}
+
+// projectResult applies ORDER BY / LIMIT / the select list to full-width
+// rows (the join path's projection; single-table plans pre-bind).
+func (s *Session) projectResult(sel Select, sc *scope, schema *record.Schema, rows []record.Row) (*Result, error) {
+	orderKs, err := buildOrderKeys(sel.OrderBy, sc)
+	if err != nil {
+		return nil, err
+	}
+	cols, err := buildOutCols(sel, sc, schema)
+	if err != nil {
+		return nil, err
+	}
+	return projectRows(sel, cols, orderKs, rows)
+}
+
+// projectRows applies pre-bound ORDER BY / LIMIT / output columns to
+// full-width rows.
+func projectRows(sel Select, cols []outCol, orderKs []orderKey, rows []record.Row) (*Result, error) {
+	if len(sel.OrderBy) > 0 {
+		if err := orderRowsKeyed(orderKs, rows); err != nil {
+			return nil, err
+		}
+	}
+	if sel.Limit >= 0 && len(rows) > sel.Limit {
+		rows = rows[:sel.Limit]
+	}
+	res := &Result{}
 	for _, c := range cols {
 		res.Columns = append(res.Columns, c.name)
 	}
@@ -413,22 +550,32 @@ func (s *Session) projectResult(sel Select, sc *scope, schema *record.Schema, ro
 // the parallel sorter" made automatic.
 const fastSortThreshold = 4096
 
-// orderRows sorts full-width rows by the ORDER BY expressions. Small
-// results sort in place; large ones go through FastSort's parallel
-// run-sort/merge.
-func (s *Session) orderRows(items []OrderItem, sc *scope, rows []record.Row) error {
-	type keyed struct {
-		e    expr.Expr
-		desc bool
+// orderKey is one bound ORDER BY key.
+type orderKey struct {
+	e    expr.Expr
+	desc bool
+}
+
+// buildOrderKeys binds the ORDER BY list.
+func buildOrderKeys(items []OrderItem, sc *scope) ([]orderKey, error) {
+	if len(items) == 0 {
+		return nil, nil
 	}
-	ks := make([]keyed, len(items))
+	ks := make([]orderKey, len(items))
 	for i, item := range items {
 		bound, err := bind(item.Expr, sc)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		ks[i] = keyed{e: bound, desc: item.Desc}
+		ks[i] = orderKey{e: bound, desc: item.Desc}
 	}
+	return ks, nil
+}
+
+// orderRowsKeyed sorts full-width rows by pre-bound ORDER BY keys. Small
+// results sort in place; large ones go through FastSort's parallel
+// run-sort/merge.
+func orderRowsKeyed(ks []orderKey, rows []record.Row) error {
 	// The comparator runs on FastSort's parallel sorter processes, so the
 	// error capture must be synchronized.
 	var errMu sync.Mutex
@@ -570,15 +717,20 @@ func emitAggResult(sel Select, plans []itemPlan, having expr.Expr, outRows []rec
 	return res, nil
 }
 
-// aggregateResult folds rows through the aggregate select list. Groups
-// emit in group-key byte order — the same canonical order the pushdown
-// path produces, so the two plans are byte-identical on any input.
+// aggregateResult folds rows through the aggregate select list (the
+// join path; single-table plans pre-build their aggregate shapes).
 func (s *Session) aggregateResult(sel Select, sc *scope, rows []record.Row) (*Result, error) {
 	gbs, plans, having, err := buildAggPlans(sel, sc)
 	if err != nil {
 		return nil, err
 	}
+	return aggregateRows(sel, gbs, plans, having, rows)
+}
 
+// aggregateRows folds rows through pre-bound aggregate plans. Groups
+// emit in group-key byte order — the same canonical order the pushdown
+// path produces, so the two plans are byte-identical on any input.
+func aggregateRows(sel Select, gbs []expr.Expr, plans []itemPlan, having expr.Expr, rows []record.Row) (*Result, error) {
 	type group struct {
 		keyVals record.Row
 		states  []*aggState
@@ -722,6 +874,8 @@ func rewriteHaving(e aExpr, sel Select, sc *scope, plans *[]itemPlan) (expr.Expr
 	switch n := e.(type) {
 	case aConst:
 		return expr.C(n.V), nil
+	case aParam:
+		return expr.Param{Index: n.Index}, nil
 	case aCall:
 		for i, p := range *plans {
 			if p.agg != nil && p.name == name {

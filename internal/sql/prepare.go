@@ -1,0 +1,393 @@
+package sql
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"nonstopsql/internal/record"
+	"nonstopsql/internal/tmf"
+)
+
+// ErrBadStatement marks statement-compilation failures the client is at
+// fault for — parse errors, unknown tables or columns, wrong parameter
+// counts. Wire servers distinguish these from server-fault execution
+// errors so remote callers can errors.Is on the class.
+var ErrBadStatement = errors.New("sql: bad statement")
+
+// badStatementError tags an error as client-fault without changing its
+// text: Error() is the original message, while Unwrap exposes both
+// ErrBadStatement and the cause to errors.Is/As.
+type badStatementError struct{ err error }
+
+func badStatement(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, ErrBadStatement) {
+		return err
+	}
+	return &badStatementError{err: err}
+}
+
+func (e *badStatementError) Error() string   { return e.err.Error() }
+func (e *badStatementError) Unwrap() []error { return []error{ErrBadStatement, e.err} }
+
+// A Prepared is a compiled statement: parsed once, bound once, planned
+// once, then executed any number of times with a parameter vector. The
+// compilation pins the catalog version it ran against; executing after
+// DDL transparently recompiles through the shared plan cache. Prepared
+// values are immutable after construction (the hit counter aside), so
+// one compilation is safely shared by every session and every cache
+// reader.
+type Prepared struct {
+	SQL string
+
+	key       string // plan-cache key (normalized text + pushdown variant)
+	nParams   int
+	version   uint64 // catalog version compiled against
+	pushdown  bool   // session pushdown setting compiled under
+	stmt      Statement
+	plan      stmtPlan
+	cacheable bool
+	hits      atomic.Uint64 // executions served by this compilation
+}
+
+// NumParams returns the number of parameter markers the statement takes.
+func (p *Prepared) NumParams() int { return p.nParams }
+
+// Hits returns how many executions this compilation has served beyond
+// its first (the EXPLAIN `plan: cached (hits=N)` annotation).
+func (p *Prepared) Hits() uint64 { return p.hits.Load() }
+
+// Version returns the catalog version the plan was compiled against.
+func (p *Prepared) Version() uint64 { return p.version }
+
+// stmtPlan is an executable compiled plan. run receives the parameter
+// vector (nil for parameterless statements) and the optional EXPLAIN
+// ANALYZE collector.
+type stmtPlan interface {
+	run(s *Session, params []record.Value, az *analyzeState) (*Result, error)
+}
+
+// Prepare compiles src into a reusable statement, consulting the shared
+// plan cache first. Compilation failures are client-fault: the returned
+// error matches errors.Is(err, ErrBadStatement).
+func (s *Session) Prepare(src string) (*Prepared, error) {
+	return s.prepared(src)
+}
+
+// prepared is the cache-aware compilation path shared by Exec, Prepare,
+// and stale-plan re-preparation. The catalog version is read before any
+// name resolution so a concurrent DDL can only leave the entry pinned
+// to an older version (and thus invalidated), never validate a plan
+// compiled against a newer catalog than its pin.
+func (s *Session) prepared(src string) (*Prepared, error) {
+	key := planKey(src, s.pushdown)
+	version := s.cat.Version()
+	if p, ok := s.cat.plans.get(key, version); ok {
+		return p, nil
+	}
+	p, err := s.compile(src, key, version)
+	if err != nil {
+		return nil, err
+	}
+	if p.cacheable {
+		s.cat.plans.put(key, p)
+	}
+	return p, nil
+}
+
+// compile parses, binds, and plans one statement. DML and SELECT get
+// full compiled plans (joins and selects with parameters outside
+// WHERE/HAVING fall back to AST substitution into the regular executor,
+// which stays the semantic ground truth); transaction control and DDL
+// execute from the AST and are never cached.
+func (s *Session) compile(src, key string, version uint64) (*Prepared, error) {
+	stmt, nParams, err := parseStmt(src)
+	if err != nil {
+		return nil, badStatement(err)
+	}
+	p := &Prepared{
+		SQL:      src,
+		key:      key,
+		nParams:  nParams,
+		version:  version,
+		pushdown: s.pushdown,
+		stmt:     stmt,
+	}
+	switch st := stmt.(type) {
+	case Insert:
+		pl, err := s.compileInsert(st)
+		if err != nil {
+			return nil, badStatement(err)
+		}
+		p.plan = pl
+		p.cacheable = true
+	case Update:
+		pl, err := s.compileUpdate(st)
+		if err != nil {
+			return nil, badStatement(err)
+		}
+		p.plan = pl
+		p.cacheable = true
+	case Delete:
+		pl, err := s.compileDelete(st)
+		if err != nil {
+			return nil, badStatement(err)
+		}
+		p.plan = pl
+		p.cacheable = true
+	case Select:
+		if len(st.From) == 1 {
+			pl, err := s.compileSelect(st)
+			if err != nil {
+				return nil, badStatement(err)
+			}
+			if pl.paramsBeyondWhere() {
+				p.plan = astPlan{stmt: stmt}
+			} else {
+				p.plan = pl
+			}
+		} else {
+			p.plan = astPlan{stmt: stmt}
+		}
+		p.cacheable = true
+	default:
+		if nParams > 0 {
+			return nil, badStatement(fmt.Errorf("sql: parameter markers are not allowed in %s", stmtName(stmt)))
+		}
+		p.plan = astPlan{stmt: stmt}
+	}
+	return p, nil
+}
+
+// ExecPrepared executes a compiled statement with the given parameter
+// vector. The plan is schema-version checked first: a statement
+// prepared before a DDL (or under a different pushdown setting) is
+// transparently re-prepared through the shared cache, so an EXECUTE
+// never runs a plan compiled against an older catalog version than the
+// one it observes.
+func (s *Session) ExecPrepared(p *Prepared, params ...record.Value) (*Result, error) {
+	return s.runPrepared(p, params, nil)
+}
+
+func (s *Session) runPrepared(p *Prepared, params []record.Value, az *analyzeState) (*Result, error) {
+	if p.version == s.cat.Version() && p.pushdown == s.pushdown {
+		// Plan reuse without a cache lookup — still a plan-cache hit in
+		// the counters' terms (an execution served by a reused
+		// compilation).
+		s.cat.plans.hit(p)
+	} else {
+		np, err := s.prepared(p.SQL)
+		if err != nil {
+			return nil, err
+		}
+		p = np
+	}
+	return s.execCompiled(p, params, az)
+}
+
+// execCompiled runs an already-validated compilation.
+func (s *Session) execCompiled(p *Prepared, params []record.Value, az *analyzeState) (*Result, error) {
+	if len(params) != p.nParams {
+		return nil, badStatement(fmt.Errorf("sql: statement wants %d parameter(s), got %d", p.nParams, len(params)))
+	}
+	return p.plan.run(s, params, az)
+}
+
+// stmtName names a statement kind for messages.
+func stmtName(stmt Statement) string {
+	switch stmt.(type) {
+	case CreateTable:
+		return "CREATE TABLE"
+	case CreateIndex:
+		return "CREATE INDEX"
+	case DropTable:
+		return "DROP TABLE"
+	case Begin:
+		return "BEGIN"
+	case Commit:
+		return "COMMIT"
+	case Rollback:
+		return "ROLLBACK"
+	}
+	return fmt.Sprintf("%T", stmt)
+}
+
+// astPlan is the fallback compilation: substitute parameters into the
+// AST and run the regular executor. Joins, selects with parameters
+// outside WHERE/HAVING, and uncacheable statements take this path; it
+// skips re-parsing but re-binds, and is byte-identical with ad-hoc
+// execution by construction.
+type astPlan struct{ stmt Statement }
+
+func (p astPlan) run(s *Session, params []record.Value, az *analyzeState) (*Result, error) {
+	stmt, err := substStmt(p.stmt, params)
+	if err != nil {
+		return nil, err
+	}
+	return s.execStmtAz(stmt, az)
+}
+
+// substStmt replaces parameter markers in a statement's expressions with
+// constants. Statements without parameters pass through unchanged.
+func substStmt(stmt Statement, params []record.Value) (Statement, error) {
+	if len(params) == 0 {
+		return stmt, nil
+	}
+	switch st := stmt.(type) {
+	case Select:
+		return substSelect(st, params)
+	case Insert:
+		rows := make([][]aExpr, len(st.Rows))
+		for i, row := range st.Rows {
+			out := make([]aExpr, len(row))
+			for j, e := range row {
+				se, err := substAExpr(e, params)
+				if err != nil {
+					return nil, err
+				}
+				out[j] = se
+			}
+			rows[i] = out
+		}
+		st.Rows = rows
+		return st, nil
+	case Update:
+		sets := make([]SetClause, len(st.Sets))
+		for i, set := range st.Sets {
+			se, err := substAExpr(set.E, params)
+			if err != nil {
+				return nil, err
+			}
+			sets[i] = SetClause{Col: set.Col, E: se}
+		}
+		st.Sets = sets
+		where, err := substAExpr(st.Where, params)
+		if err != nil {
+			return nil, err
+		}
+		st.Where = where
+		return st, nil
+	case Delete:
+		where, err := substAExpr(st.Where, params)
+		if err != nil {
+			return nil, err
+		}
+		st.Where = where
+		return st, nil
+	}
+	return stmt, nil
+}
+
+func substSelect(sel Select, params []record.Value) (Statement, error) {
+	items := make([]SelectItem, len(sel.Items))
+	for i, item := range sel.Items {
+		if !item.Star {
+			se, err := substAExpr(item.Expr, params)
+			if err != nil {
+				return nil, err
+			}
+			item.Expr = se
+		}
+		items[i] = item
+	}
+	sel.Items = items
+	where, err := substAExpr(sel.Where, params)
+	if err != nil {
+		return nil, err
+	}
+	sel.Where = where
+	if len(sel.GroupBy) > 0 {
+		gbs := make([]aExpr, len(sel.GroupBy))
+		for i, g := range sel.GroupBy {
+			sg, err := substAExpr(g, params)
+			if err != nil {
+				return nil, err
+			}
+			gbs[i] = sg
+		}
+		sel.GroupBy = gbs
+	}
+	having, err := substAExpr(sel.Having, params)
+	if err != nil {
+		return nil, err
+	}
+	sel.Having = having
+	if len(sel.OrderBy) > 0 {
+		obs := make([]OrderItem, len(sel.OrderBy))
+		for i, o := range sel.OrderBy {
+			se, err := substAExpr(o.Expr, params)
+			if err != nil {
+				return nil, err
+			}
+			obs[i] = OrderItem{Expr: se, Desc: o.Desc}
+		}
+		sel.OrderBy = obs
+	}
+	return sel, nil
+}
+
+func substAExpr(e aExpr, params []record.Value) (aExpr, error) {
+	switch n := e.(type) {
+	case nil:
+		return nil, nil
+	case aParam:
+		if n.Index < 0 || n.Index >= len(params) {
+			return nil, badStatement(fmt.Errorf("sql: parameter ?%d out of range (%d supplied)", n.Index+1, len(params)))
+		}
+		return aConst{V: params[n.Index]}, nil
+	case aBin:
+		l, err := substAExpr(n.L, params)
+		if err != nil {
+			return nil, err
+		}
+		r, err := substAExpr(n.R, params)
+		if err != nil {
+			return nil, err
+		}
+		return aBin{Op: n.Op, L: l, R: r}, nil
+	case aUnary:
+		sub, err := substAExpr(n.E, params)
+		if err != nil {
+			return nil, err
+		}
+		return aUnary{Op: n.Op, E: sub}, nil
+	case aCall:
+		if n.Arg == nil {
+			return e, nil
+		}
+		arg, err := substAExpr(n.Arg, params)
+		if err != nil {
+			return nil, err
+		}
+		n.Arg = arg
+		return n, nil
+	}
+	return e, nil
+}
+
+// execStmtAz is ExecStmt with an EXPLAIN ANALYZE collector threaded
+// through the statement kinds that support one.
+func (s *Session) execStmtAz(stmt Statement, az *analyzeState) (*Result, error) {
+	if az == nil {
+		return s.ExecStmt(stmt)
+	}
+	switch st := stmt.(type) {
+	case Update:
+		return s.autocommit(func(tx *tmf.Tx) (*Result, error) { return s.execUpdate(tx, st, az) })
+	case Delete:
+		return s.autocommit(func(tx *tmf.Tx) (*Result, error) { return s.execDelete(tx, st, az) })
+	case Select:
+		tx := s.tx
+		if st.Browse {
+			tx = nil
+		}
+		if len(st.From) == 1 {
+			return s.singleTableSelect(tx, st, az)
+		}
+		return s.joinSelect(tx, st, az)
+	}
+	return s.ExecStmt(stmt)
+}

@@ -143,7 +143,7 @@ func lex(src string) ([]token, error) {
 				continue
 			}
 			switch c {
-			case '=', '<', '>', '+', '-', '*', '/', '%', '(', ')', ',', '.', ';':
+			case '=', '<', '>', '+', '-', '*', '/', '%', '(', ')', ',', '.', ';', '?':
 				out = append(out, token{kind: tokSymbol, text: string(c), pos: start})
 				i++
 			default:

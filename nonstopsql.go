@@ -40,6 +40,8 @@ type (
 	Session = sql.Session
 	// Result is one statement's outcome.
 	Result = sql.Result
+	// Prepared is a compiled statement (Session.Prepare/ExecPrepared).
+	Prepared = sql.Prepared
 	// Catalog maps table names to file definitions.
 	Catalog = sql.Catalog
 	// FS is the File System client library (record-level access).
@@ -97,6 +99,7 @@ type Database struct {
 
 	servingSQL bool
 	sessPool   chan *Session // "$SQL" endpoint's pooled sessions
+	stmts      *stmtTable    // "$SQL" endpoint's statement handles
 }
 
 // Open builds the network: per node, an audit trail Disk Process plus
@@ -140,6 +143,7 @@ func Open(cfg Config) (*Database, error) {
 		}
 	}
 	db.catalog = sql.NewCatalog(db.volumes)
+	db.stmts = newStmtTable(0)
 	if cfg.Listen != "" {
 		if err := db.ServeSQL(cfg.ServeWorkers); err != nil {
 			c.Close()
@@ -182,6 +186,16 @@ type Stats struct {
 	AuditBytes   uint64 // audit trail bytes appended
 	AuditFlushes uint64 // audit trail bulk writes
 	Commits      uint64
+	PlanCache    PlanCacheStats // shared plan cache counters
+}
+
+// PlanCacheStats is the shared plan cache's counter snapshot.
+type PlanCacheStats = sql.PlanCacheStats
+
+// PlanCacheStats snapshots the shared plan cache's counters: hits,
+// misses, schema-version invalidations, LRU evictions, live entries.
+func (db *Database) PlanCacheStats() PlanCacheStats {
+	return db.catalog.Plans().Stats()
 }
 
 // Stats snapshots the counters.
@@ -202,6 +216,7 @@ func (db *Database) Stats() Stats {
 		s.AuditFlushes += ts.Flushes
 		s.Commits += ts.CommitRecords
 	}
+	s.PlanCache = db.catalog.Plans().Stats()
 	return s
 }
 
@@ -228,6 +243,7 @@ func (db *Database) ResetStats() {
 	for _, n := range db.cluster.Nodes {
 		n.Trail.ResetStats()
 	}
+	db.catalog.Plans().Reset()
 }
 
 // CrashVolume simulates losing the processor that runs the named

@@ -1,0 +1,358 @@
+package nonstopsql_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"nonstopsql"
+	"nonstopsql/internal/nsqlclient"
+	"nonstopsql/internal/nsqlwire"
+	"nonstopsql/internal/record"
+)
+
+func dialServed(t *testing.T) (*nonstopsql.Database, *nsqlclient.Pool) {
+	t.Helper()
+	db, err := nonstopsql.Open(nonstopsql.Config{Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(db.Close)
+	pool, err := nsqlclient.Dial(db.Addr(), nsqlclient.Options{Conns: 2, ReplyTimeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pool.Close() })
+	return db, pool
+}
+
+// TestPreparedOverTCP drives the full remote statement lifecycle:
+// prepare, execute with parameters, byte-identical results against
+// ad-hoc execution, and close.
+func TestPreparedOverTCP(t *testing.T) {
+	db, pool := dialServed(t)
+	if _, err := pool.Exec(`CREATE TABLE emp (empno INTEGER PRIMARY KEY, name VARCHAR(30), dept VARCHAR(10), salary FLOAT)`); err != nil {
+		t.Fatal(err)
+	}
+
+	ins, err := pool.Prepare(`INSERT INTO emp VALUES (?, ?, ?, ?)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins.NumParams() != 4 {
+		t.Fatalf("NumParams = %d, want 4", ins.NumParams())
+	}
+	for i := 1; i <= 30; i++ {
+		_, err := ins.Exec(record.Int(int64(i)), record.String("e"+fmt.Sprint(i)),
+			record.String([]string{"eng", "mfg", "hq"}[i%3]), record.Float(float64(1000*i)))
+		if err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+
+	// Differential: every query answered identically prepared vs ad-hoc.
+	cases := []struct {
+		adhoc string
+		prep  string
+		args  []record.Value
+	}{
+		{`SELECT name, salary FROM emp WHERE empno = 7`,
+			`SELECT name, salary FROM emp WHERE empno = ?`, []record.Value{record.Int(7)}},
+		{`SELECT dept, COUNT(*), SUM(salary) FROM emp GROUP BY dept ORDER BY dept`,
+			`SELECT dept, COUNT(*), SUM(salary) FROM emp GROUP BY dept ORDER BY dept`, nil},
+		{`SELECT empno FROM emp WHERE salary > 20000 AND dept = 'eng' ORDER BY empno`,
+			`SELECT empno FROM emp WHERE salary > ? AND dept = ? ORDER BY empno`,
+			[]record.Value{record.Float(20000), record.String("eng")}},
+		{`SELECT COUNT(*) FROM emp WHERE empno >= 5 AND empno < 25`,
+			`SELECT COUNT(*) FROM emp WHERE empno >= ? AND empno < ?`,
+			[]record.Value{record.Int(5), record.Int(25)}},
+	}
+	for _, c := range cases {
+		adhoc, err := pool.Exec(c.adhoc)
+		if err != nil {
+			t.Fatalf("%q ad-hoc: %v", c.adhoc, err)
+		}
+		st, err := pool.Prepare(c.prep)
+		if err != nil {
+			t.Fatalf("Prepare(%q): %v", c.prep, err)
+		}
+		prep, err := st.Exec(c.args...)
+		if err != nil {
+			t.Fatalf("Exec(%q): %v", c.prep, err)
+		}
+		got, want := nonstopsql.FormatResult(prep), nonstopsql.FormatResult(adhoc)
+		if got != want {
+			t.Errorf("%q diverges over TCP\nprepared:\n%s\nad-hoc:\n%s", c.prep, got, want)
+		}
+	}
+
+	// Preparing the same text again reuses the client-side Stmt (no new
+	// server handle) and the server-side plan.
+	a, _ := pool.Prepare(cases[0].prep)
+	b, _ := pool.Prepare(cases[0].prep)
+	if a != b {
+		t.Error("pool.Prepare of identical text returned distinct Stmts")
+	}
+
+	// Prepared update round-trips.
+	upd, err := pool.Prepare(`UPDATE emp SET salary = salary + ? WHERE empno = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := upd.Exec(record.Float(111), record.Int(3))
+	if err != nil || res.Affected != 1 {
+		t.Fatalf("prepared update: affected=%v err=%v", res, err)
+	}
+
+	// The executes above were served by cached compilations.
+	if st := db.PlanCacheStats(); st.Hits == 0 {
+		t.Errorf("no plan cache hits after prepared traffic: %+v", st)
+	}
+
+	// Close discards the server handle; the next Exec on the same Stmt
+	// transparently re-prepares through the stale-handle retry.
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPreparedDifferentialMatrixTCP replays the PR 6 differential
+// suites over the TCP serving path: each query answered by ad-hoc Exec
+// and by a prepared statement must format byte-identically. (The same
+// matrix runs in-process in internal/sql; this pins the wire transport
+// on top.)
+func TestPreparedDifferentialMatrixTCP(t *testing.T) {
+	_, pool := dialServed(t)
+	mustExec := func(stmt string) {
+		t.Helper()
+		if _, err := pool.Exec(stmt); err != nil {
+			t.Fatalf("%q: %v", stmt, err)
+		}
+	}
+	mustExec(`CREATE TABLE m (
+		id INTEGER PRIMARY KEY,
+		dept VARCHAR(10),
+		grade INTEGER,
+		pay FLOAT,
+		bonus INTEGER) PARTITION ON ("$DATA1", "$DATA2" FROM 100, "$DATA3" FROM 200)`)
+	mustExec(`CREATE TABLE outr (id INTEGER PRIMARY KEY, fk INTEGER, tag VARCHAR(10))`)
+	mustExec(`CREATE TABLE innr (k INTEGER PRIMARY KEY, label VARCHAR(10), wt INTEGER)
+		PARTITION ON ("$DATA1", "$DATA2" FROM 40)`)
+	mustExec(`CREATE INDEX innr_label ON innr (label)`)
+
+	insM, err := pool.Prepare(`INSERT INTO m VALUES (?, ?, ?, ?, ?)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 180; i++ {
+		dept := record.String([]string{"SALES", "ENG", "HR"}[i%4%3])
+		if i%4 == 3 {
+			dept = record.Null
+		}
+		bonus := record.Int(int64(i % 7))
+		if i%5 == 0 {
+			bonus = record.Null
+		}
+		if _, err := insM.Exec(record.Int(int64(i)), dept, record.Int(int64(i%3)),
+			record.Float(float64(i)+0.5), bonus); err != nil {
+			t.Fatalf("insert m %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 80; i++ {
+		mustExec(fmt.Sprintf(`INSERT INTO innr VALUES (%d, 'L%d', %d)`, i, i%10, i))
+	}
+	for i := 0; i < 60; i++ {
+		fk := fmt.Sprint((i * 7) % 80)
+		if i%9 == 0 {
+			fk = "NULL"
+		}
+		mustExec(fmt.Sprintf(`INSERT INTO outr VALUES (%d, %s, 'L%d')`, i, fk, i%10))
+	}
+
+	queries := []string{
+		"SELECT COUNT(*) FROM m",
+		"SELECT COUNT(bonus) FROM m",
+		"SELECT SUM(bonus) FROM m",
+		"SELECT MIN(pay), MAX(pay) FROM m",
+		"SELECT AVG(pay) FROM m",
+		"SELECT dept, COUNT(*) FROM m GROUP BY dept",
+		"SELECT dept, COUNT(bonus), SUM(bonus) FROM m GROUP BY dept",
+		"SELECT dept, MIN(pay), MAX(dept) FROM m GROUP BY dept",
+		"SELECT dept, AVG(pay) FROM m GROUP BY dept",
+		"SELECT dept, grade, COUNT(*), SUM(bonus) FROM m GROUP BY dept, grade",
+		"SELECT dept, COUNT(*) FROM m WHERE pay > 50 GROUP BY dept",
+		"SELECT dept, COUNT(*) FROM m WHERE pay < -1000 GROUP BY dept",
+		"SELECT SUM(bonus), MIN(bonus), MAX(bonus), COUNT(*) FROM m WHERE pay < -1000",
+		"SELECT dept, SUM(pay) FROM m GROUP BY dept HAVING COUNT(*) > 20",
+		"SELECT dept, COUNT(*) FROM m GROUP BY dept ORDER BY dept DESC",
+		"SELECT dept, COUNT(*) FROM m GROUP BY dept ORDER BY COUNT(*) DESC LIMIT 2",
+		"SELECT grade, MAX(pay) FROM m WHERE id >= 150 AND id < 250 GROUP BY grade",
+		"SELECT COUNT(DISTINCT dept) FROM m",
+		"SELECT dept, COUNT(DISTINCT grade) FROM m GROUP BY dept",
+		"SELECT o.id, i.label FROM outr o, innr i WHERE o.fk = i.k ORDER BY o.id",
+		"SELECT COUNT(*) FROM outr o, innr i WHERE o.fk = i.k",
+		"SELECT o.id, i.wt FROM outr o, innr i WHERE o.fk = i.k AND i.wt > 40 ORDER BY o.id",
+		"SELECT o.id, i.k FROM outr o, innr i WHERE o.tag = i.label ORDER BY o.id, i.k",
+		"SELECT COUNT(*) FROM outr o, innr i WHERE o.tag = i.label AND i.wt < 30",
+		"SELECT o.id FROM outr o, innr i WHERE o.fk = i.k AND o.id = i.wt ORDER BY o.id",
+	}
+	for _, q := range queries {
+		adhoc, err := pool.Exec(q)
+		if err != nil {
+			t.Fatalf("%q ad-hoc: %v", q, err)
+		}
+		st, err := pool.Prepare(q)
+		if err != nil {
+			t.Fatalf("Prepare(%q): %v", q, err)
+		}
+		prep, err := st.Exec()
+		if err != nil {
+			t.Fatalf("Exec(%q): %v", q, err)
+		}
+		if got, want := nonstopsql.FormatResult(prep), nonstopsql.FormatResult(adhoc); got != want {
+			t.Errorf("%q diverges over TCP\nprepared:\n%s\nad-hoc:\n%s", q, got, want)
+		}
+	}
+}
+
+// TestWireErrorClasses pins the typed error surface: parse/bind
+// failures match nsqlwire.ErrBadStatement, execution failures do not,
+// and an unknown handle matches nsqlwire.ErrStaleHandle.
+func TestWireErrorClasses(t *testing.T) {
+	_, pool := dialServed(t)
+	if _, err := pool.Exec(`CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)`); err != nil {
+		t.Fatal(err)
+	}
+
+	// Parse failure: client fault.
+	_, err := pool.Exec(`SELEKT * FROM t`)
+	if err == nil || !errors.Is(err, nsqlwire.ErrBadStatement) {
+		t.Fatalf("parse error over the wire: %v (want ErrBadStatement)", err)
+	}
+	// Bind failure (unknown table): client fault, original text intact.
+	_, err = pool.Exec(`SELECT * FROM nothere`)
+	if err == nil || !errors.Is(err, nsqlwire.ErrBadStatement) {
+		t.Fatalf("bind error over the wire: %v (want ErrBadStatement)", err)
+	}
+	if !strings.Contains(err.Error(), "nothere") {
+		t.Errorf("error text rewritten: %q", err)
+	}
+	// Same for Prepare.
+	_, err = pool.Prepare(`SELECT nope FROM t`)
+	if err == nil || !errors.Is(err, nsqlwire.ErrBadStatement) {
+		t.Fatalf("prepare bind error: %v (want ErrBadStatement)", err)
+	}
+	// Wrong arity on execute: client fault.
+	st, err := pool.Prepare(`SELECT v FROM t WHERE id = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = st.Exec()
+	if err == nil || !errors.Is(err, nsqlwire.ErrBadStatement) {
+		t.Fatalf("arity error: %v (want ErrBadStatement)", err)
+	}
+	// Transaction control: refused as a client-fault statement.
+	_, err = pool.Exec(`BEGIN`)
+	if err == nil || !errors.Is(err, nsqlwire.ErrBadStatement) {
+		t.Fatalf("BEGIN refusal: %v (want ErrBadStatement)", err)
+	}
+	// Execution failure (duplicate key): server-side error, NOT a bad
+	// statement.
+	if _, err := pool.Exec(`INSERT INTO t VALUES (1, 1)`); err != nil {
+		t.Fatal(err)
+	}
+	_, err = pool.Exec(`INSERT INTO t VALUES (1, 1)`)
+	if err == nil {
+		t.Fatal("duplicate insert succeeded")
+	}
+	if errors.Is(err, nsqlwire.ErrBadStatement) {
+		t.Fatalf("execution error misclassified as bad statement: %v", err)
+	}
+
+	// Unknown handle: stale, retryable by re-preparing.
+	_, err = nsqlclient.Execute(pool, 999999, record.Int(1))
+	if err == nil || !errors.Is(err, nsqlwire.ErrStaleHandle) {
+		t.Fatalf("unknown handle: %v (want ErrStaleHandle)", err)
+	}
+
+	// The free-function lifecycle: prepare, close, execute → stale.
+	h, n, err := nsqlclient.Prepare(pool, `SELECT v FROM t WHERE id = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("param count = %d, want 1", n)
+	}
+	if _, err := nsqlclient.Execute(pool, h, record.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := nsqlclient.CloseStmt(pool, h); err != nil {
+		t.Fatal(err)
+	}
+	_, err = nsqlclient.Execute(pool, h, record.Int(1))
+	if !errors.Is(err, nsqlwire.ErrStaleHandle) {
+		t.Fatalf("closed handle: %v (want ErrStaleHandle)", err)
+	}
+}
+
+// TestExecuteFrameSmallerThanExec pins the tentpole's wire economics:
+// once prepared, an EXECUTE request frame costs a handle plus encoded
+// parameters — less than re-shipping the statement text every time.
+func TestExecuteFrameSmallerThanExec(t *testing.T) {
+	adhoc := nsqlwire.EncodeRequest(&nsqlwire.Request{
+		Op:  nsqlwire.OpExec,
+		Arg: `UPDATE account SET balance = balance + 42 WHERE account_id = 100077`,
+	})
+	exec := nsqlwire.EncodeRequest(&nsqlwire.Request{
+		Op:     nsqlwire.OpExecute,
+		Handle: 17,
+		Params: record.Row{record.Int(42), record.Int(100077)},
+	})
+	if len(exec) >= len(adhoc) {
+		t.Fatalf("EXECUTE frame %dB is not smaller than EXEC frame %dB", len(exec), len(adhoc))
+	}
+}
+
+// TestRemoteDDLInvalidation checks the cache across the wire: DDL on
+// one connection invalidates the plan the next request would have
+// reused, and a prepared handle still answers correctly after DDL
+// (transparent server-side re-preparation).
+func TestRemoteDDLInvalidation(t *testing.T) {
+	db, pool := dialServed(t)
+	if _, err := pool.Exec(`CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Exec(`INSERT INTO t VALUES (1, 10)`); err != nil {
+		t.Fatal(err)
+	}
+	st, err := pool.Prepare(`SELECT v FROM t WHERE id = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Exec(record.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Exec(`CREATE TABLE other (id INTEGER PRIMARY KEY)`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.Exec(record.Int(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 10 {
+		t.Fatalf("post-DDL prepared execute: %s", nonstopsql.FormatResult(res))
+	}
+	if inv := db.PlanCacheStats().Invalidations; inv == 0 {
+		t.Error("remote DDL caused no plan invalidations")
+	}
+	// \stats over the wire shows the plan cache counters.
+	text, err := nsqlclient.StatsText(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "plan cache:") {
+		t.Errorf("remote stats lack the plan cache line:\n%s", text)
+	}
+}

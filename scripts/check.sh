@@ -33,4 +33,12 @@ QUICK=1 go test -race -count=1 -run TestKillRecovery ./internal/experiments
 # and TCP transports must be byte-identical with identical accounting.
 go test -race -count=1 ./internal/msg/wire ./internal/nsqlclient
 go test -race -count=1 -run 'TestServeSQL|TestDifferentialTransport' .
+# Compiled statements: the shared plan cache takes concurrent get/put
+# from every session while DDL bumps the catalog version, and the
+# server's handle table takes concurrent PREPARE/EXECUTE/eviction —
+# the racy seams of PR 9. Hammer them focused, then the differential
+# matrix: ad-hoc and prepared execution must be byte-identical, in
+# process and over TCP.
+go test -race -count=1 -run 'TestPlanCacheDDLRace|TestPlanCacheCounters|TestPreparedDifferentialMatrix' ./internal/sql
+go test -race -count=1 -run 'TestPreparedOverTCP|TestPreparedDifferentialMatrixTCP|TestStaleHandleReprepare|TestWireErrorClasses' .
 go test -race ./...

@@ -1,6 +1,7 @@
 package nonstopsql
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"nonstopsql/internal/msg"
 	"nonstopsql/internal/nsqlwire"
 	"nonstopsql/internal/obs"
+	"nonstopsql/internal/sql"
 )
 
 // ServeSQL registers the "$SQL" endpoint on the cluster's message
@@ -82,19 +84,52 @@ func (db *Database) serveOp(q *nsqlwire.Request, reply *nsqlwire.Reply) {
 	case nsqlwire.OpPing:
 		// Nothing to do: an empty ok reply is the answer.
 	case nsqlwire.OpExec:
-		switch firstKeyword(q.Arg) {
-		case "BEGIN", "COMMIT", "ROLLBACK":
-			reply.Err = "transaction control is not available over the wire: remote sessions are pooled per request (autocommit)"
+		if refuseTxControl(q.Arg, reply) {
 			return
 		}
 		res, err := db.withSession(func(s *Session) (*Result, error) { return s.Exec(q.Arg) })
 		if err != nil {
-			reply.Err = err.Error()
+			replyErr(reply, err)
 			return
 		}
 		reply.Columns = res.Columns
 		reply.Rows = res.Rows
 		reply.Affected = uint64(res.Affected)
+	case nsqlwire.OpPrepare:
+		if refuseTxControl(q.Arg, reply) {
+			return
+		}
+		var p *sql.Prepared
+		_, err := db.withSession(func(s *Session) (*Result, error) {
+			var err error
+			p, err = s.Prepare(q.Arg)
+			return nil, err
+		})
+		if err != nil {
+			replyErr(reply, err)
+			return
+		}
+		reply.Handle = db.stmts.put(p)
+		reply.Affected = uint64(p.NumParams())
+	case nsqlwire.OpExecute:
+		p, ok := db.stmts.get(q.Handle)
+		if !ok {
+			reply.Err = fmt.Sprintf("prepared statement handle %d is unknown or was evicted", q.Handle)
+			reply.Code = nsqlwire.CodeStaleHandle
+			return
+		}
+		res, err := db.withSession(func(s *Session) (*Result, error) {
+			return s.ExecPrepared(p, q.Params...)
+		})
+		if err != nil {
+			replyErr(reply, err)
+			return
+		}
+		reply.Columns = res.Columns
+		reply.Rows = res.Rows
+		reply.Affected = uint64(res.Affected)
+	case nsqlwire.OpCloseStmt:
+		db.stmts.close(q.Handle)
 	case nsqlwire.OpExplain:
 		db.textOp(reply, func(s *Session) (string, error) { return s.Explain(q.Arg) })
 	case nsqlwire.OpExplainAnalyze:
@@ -148,7 +183,7 @@ func (db *Database) textOp(reply *nsqlwire.Reply, fn func(*Session) (string, err
 		return nil, err
 	})
 	if err != nil {
-		reply.Err = err.Error()
+		replyErr(reply, err)
 		return
 	}
 	reply.Text = text
@@ -163,11 +198,37 @@ func firstKeyword(stmt string) string {
 	return strings.ToUpper(strings.TrimRight(fields[0], ";"))
 }
 
+// refuseTxControl rejects transaction-control statements, which cannot
+// work over pooled per-request sessions. Reports whether it refused.
+func refuseTxControl(stmt string, reply *nsqlwire.Reply) bool {
+	switch firstKeyword(stmt) {
+	case "BEGIN", "COMMIT", "ROLLBACK":
+		reply.Err = "transaction control is not available over the wire: remote sessions are pooled per request (autocommit)"
+		reply.Code = nsqlwire.CodeBadStatement
+		return true
+	}
+	return false
+}
+
+// replyErr fills the reply's error text and class: statement-fault
+// errors (parse, bind, wrong parameter count) are CodeBadStatement so
+// remote callers can errors.Is them; everything else is CodeServer.
+func replyErr(reply *nsqlwire.Reply, err error) {
+	reply.Err = err.Error()
+	if errors.Is(err, sql.ErrBadStatement) {
+		reply.Code = nsqlwire.CodeBadStatement
+	} else {
+		reply.Code = nsqlwire.CodeServer
+	}
+}
+
 // FormatStats renders an aggregate Stats snapshot as the one-line
 // summary nsqlsh prints for \stats.
 func FormatStats(s Stats) string {
-	return fmt.Sprintf("messages=%d (%d KB, %d remote)  disk reads=%d writes=%d blocks=%d  audit=%d KB in %d flushes  commits=%d\n",
+	return fmt.Sprintf("messages=%d (%d KB, %d remote)  disk reads=%d writes=%d blocks=%d  audit=%d KB in %d flushes  commits=%d\nplan cache: hits=%d misses=%d (%.0f%%) invalidations=%d evictions=%d entries=%d\n",
 		s.Messages, s.MessageBytes/1024, s.RemoteMsgs,
 		s.DiskReads, s.DiskWrites, s.BlocksRead,
-		s.AuditBytes/1024, s.AuditFlushes, s.Commits)
+		s.AuditBytes/1024, s.AuditFlushes, s.Commits,
+		s.PlanCache.Hits, s.PlanCache.Misses, 100*s.PlanCache.HitRate(),
+		s.PlanCache.Invalidations, s.PlanCache.Evictions, s.PlanCache.Entries)
 }

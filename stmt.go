@@ -1,0 +1,83 @@
+package nonstopsql
+
+import (
+	"container/list"
+	"sync"
+
+	"nonstopsql/internal/sql"
+)
+
+// stmtTable is the "$SQL" endpoint's handle table: the mapping from the
+// uint64 statement handles that travel on the wire to server-side
+// compilations. Handles are per-database (the endpoint pools sessions,
+// so a handle prepared over one connection is valid on any), bounded by
+// an LRU so an ill-behaved client that prepares forever cannot grow the
+// server without limit. An evicted or unknown handle answers
+// CodeStaleHandle and the client re-prepares — the compilation itself
+// usually survives in the shared plan cache, so re-preparing is a cache
+// hit, not a recompilation.
+type stmtTable struct {
+	mu   sync.Mutex
+	next uint64
+	byID map[uint64]*list.Element
+	lru  *list.List // front = most recently used
+	cap  int
+}
+
+type stmtEntry struct {
+	id uint64
+	p  *sql.Prepared
+}
+
+func newStmtTable(cap int) *stmtTable {
+	if cap <= 0 {
+		cap = 4096
+	}
+	return &stmtTable{byID: make(map[uint64]*list.Element), lru: list.New(), cap: cap}
+}
+
+// put registers a compilation and returns its handle, evicting the
+// least-recently-executed statement when the table is full.
+func (t *stmtTable) put(p *sql.Prepared) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.next++
+	id := t.next
+	t.byID[id] = t.lru.PushFront(&stmtEntry{id: id, p: p})
+	for t.lru.Len() > t.cap {
+		old := t.lru.Back()
+		t.lru.Remove(old)
+		delete(t.byID, old.Value.(*stmtEntry).id)
+	}
+	return id
+}
+
+// get looks a handle up and marks it recently used.
+func (t *stmtTable) get(id uint64) (*sql.Prepared, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	el, ok := t.byID[id]
+	if !ok {
+		return nil, false
+	}
+	t.lru.MoveToFront(el)
+	return el.Value.(*stmtEntry).p, true
+}
+
+// close discards a handle. Closing an unknown handle is a no-op (the
+// server may have evicted it already).
+func (t *stmtTable) close(id uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if el, ok := t.byID[id]; ok {
+		t.lru.Remove(el)
+		delete(t.byID, id)
+	}
+}
+
+// len reports the number of live handles.
+func (t *stmtTable) len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lru.Len()
+}

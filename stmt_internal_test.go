@@ -1,0 +1,94 @@
+package nonstopsql
+
+import (
+	"testing"
+	"time"
+
+	"nonstopsql/internal/nsqlclient"
+	"nonstopsql/internal/record"
+	"nonstopsql/internal/sql"
+)
+
+func TestStmtTableLRU(t *testing.T) {
+	tbl := newStmtTable(3)
+	mk := func() *sql.Prepared { return &sql.Prepared{} }
+	h1 := tbl.put(mk())
+	h2 := tbl.put(mk())
+	h3 := tbl.put(mk())
+	if _, ok := tbl.get(h1); !ok { // touch h1: h2 becomes LRU
+		t.Fatal("h1 missing")
+	}
+	h4 := tbl.put(mk())
+	if _, ok := tbl.get(h2); ok {
+		t.Fatal("h2 survived past capacity (should be LRU victim)")
+	}
+	for _, h := range []uint64{h1, h3, h4} {
+		if _, ok := tbl.get(h); !ok {
+			t.Fatalf("handle %d evicted wrongly", h)
+		}
+	}
+	tbl.close(h3)
+	if _, ok := tbl.get(h3); ok {
+		t.Fatal("closed handle still resolves")
+	}
+	tbl.close(h3) // double close is a no-op
+	if n := tbl.len(); n != 2 {
+		t.Fatalf("table holds %d handles, want 2", n)
+	}
+}
+
+// TestStaleHandleReprepare forces every server-side handle out of the
+// table and checks the client Stmt recovers transparently: the retry
+// re-prepares and the execute succeeds with the right answer.
+func TestStaleHandleReprepare(t *testing.T) {
+	db, err := Open(Config{Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	pool, err := nsqlclient.Dial(db.Addr(), nsqlclient.Options{Conns: 1, ReplyTimeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	if _, err := pool.Exec(`CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Exec(`INSERT INTO t VALUES (1, 99)`); err != nil {
+		t.Fatal(err)
+	}
+	st, err := pool.Prepare(`SELECT v FROM t WHERE id = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Exec(record.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate handle-table pressure: drop every live handle.
+	db.stmts.mu.Lock()
+	ids := make([]uint64, 0, len(db.stmts.byID))
+	for id := range db.stmts.byID {
+		ids = append(ids, id)
+	}
+	db.stmts.mu.Unlock()
+	for _, id := range ids {
+		db.stmts.close(id)
+	}
+	if db.stmts.len() != 0 {
+		t.Fatal("handle table not emptied")
+	}
+
+	// The client's handle is now stale; Exec must recover on its own.
+	res, err := st.Exec(record.Int(1))
+	if err != nil {
+		t.Fatalf("execute after eviction: %v", err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 99 {
+		t.Fatalf("wrong answer after re-prepare: %+v", res.Rows)
+	}
+	if db.stmts.len() != 1 {
+		t.Fatalf("re-prepare left %d handles, want 1", db.stmts.len())
+	}
+}
