@@ -167,6 +167,21 @@ type e20JSON struct {
 	CacheMisses   uint64   `json:"plan_cache_misses"`
 }
 
+type e21JSON struct {
+	Clients        int      `json:"clients"`
+	Committed      int      `json:"committed_txns"`
+	Retries        int      `json:"client_retries"`
+	DetectMs       float64  `json:"detect_ms"`
+	TakeoverUs     float64  `json:"takeover_us"`
+	StallMs        float64  `json:"stall_ms"`
+	FollowerOK     int      `json:"follower_reads_in_window"`
+	FollowerAll    int      `json:"follower_reads_total"`
+	ShippedRecords uint64   `json:"shipped_records"`
+	ShippedBytes   uint64   `json:"shipped_bytes"`
+	ShippedBatches uint64   `json:"shipped_batches"`
+	Latency        histJSON `json:"txn_latency"`
+}
+
 type report struct {
 	Tag   string `json:"tag"`
 	Quick bool   `json:"quick"`
@@ -186,6 +201,7 @@ type report struct {
 	E18      []e18JSON      `json:"e18_file_volumes"`
 	E19      []e19JSON      `json:"e19_wire_serving"`
 	E20      []e20JSON      `json:"e20_prepared_statements"`
+	E21      []e21JSON      `json:"e21_replicated_takeover"`
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
@@ -341,6 +357,20 @@ func main() {
 			CacheMisses:   x.Cache.Misses,
 		})
 	}
+
+	e21, _, err := experiments.E21(sizes.TxnsPerCli)
+	if err != nil {
+		fail("E21", err)
+	}
+	r.E21 = append(r.E21, e21JSON{
+		Clients: e21.Clients, Committed: e21.Committed, Retries: e21.Retries,
+		DetectMs: ms(e21.Detect), TakeoverUs: us(e21.Takeover), StallMs: ms(e21.Stall),
+		FollowerOK: e21.FollowerOK, FollowerAll: e21.FollowerAll,
+		ShippedRecords: e21.Shipped.ShippedRecords,
+		ShippedBytes:   e21.Shipped.ShippedBytes,
+		ShippedBatches: e21.Shipped.ShippedBatches,
+		Latency:        hist(e21.Lat),
+	})
 
 	enc, err := json.MarshalIndent(&r, "", "  ")
 	if err != nil {

@@ -14,6 +14,7 @@ import (
 	"nonstopsql/internal/disk/filevol"
 	"nonstopsql/internal/dp"
 	"nonstopsql/internal/fs"
+	"nonstopsql/internal/fsdp"
 	"nonstopsql/internal/msg"
 	"nonstopsql/internal/msg/wire"
 	"nonstopsql/internal/tmf"
@@ -55,6 +56,23 @@ type Options struct {
 	// promotes it instantly — no log recovery needed, the paper's
 	// availability mechanism [Bartlett].
 	ProcessPairs bool
+
+	// Replication promotes the checkpoint stream to a real replicated
+	// partition group per data volume: a backup DP on another node
+	// (with its own volume and its own node's audit trail) applies
+	// every shipped audit record, commits are acknowledged only after
+	// the backup holds them durably, and TakeoverReplica repoints the
+	// partition at the backup on primary failure. Browse reads can be
+	// absorbed by the backup (fs.SetFollowerReads). Mutually exclusive
+	// with ProcessPairs (which keeps the paper's in-memory pair).
+	Replication bool
+
+	// ReplicaTransport, with Replication, ships checkpoint batches
+	// through this transport — e.g. an nsqlclient.Pool dialed at a
+	// second nsqld that registered the backups with AddReplica —
+	// instead of creating in-process backup DPs. The transport must
+	// reach servers named <volume>+"#B".
+	ReplicaTransport msg.Transport
 
 	// DataDir, when set, backs every volume — audit trails included —
 	// with a real file under this directory (disk/filevol) instead of
@@ -126,6 +144,10 @@ type dpEntry struct {
 	vol       disk.BlockDev
 	backupCPU int    // process pair: where the hot standby runs (-1 = none)
 	backupSrv string // the backup's checkpoint-sink process name
+
+	// Replicated partition group state (Options.Replication).
+	ship     *shipper // primary's checkpoint stream, nil otherwise
+	backupDP *dp.DP   // in-process backup, nil when shipped over a wire
 }
 
 // newVolume creates one volume per the cluster options: simulated by
@@ -151,6 +173,9 @@ func (c *Cluster) newVolume(name string) (disk.BlockDev, error) {
 // write optimization lives in wal.Trail).
 func New(opts Options) (*Cluster, error) {
 	opts.setDefaults()
+	if opts.Replication && opts.ProcessPairs {
+		return nil, fmt.Errorf("cluster: Replication and ProcessPairs are mutually exclusive")
+	}
 	c := &Cluster{Net: msg.NewNetwork(), opts: opts, dps: make(map[string]*dpEntry)}
 	for n := 0; n < opts.Nodes; n++ {
 		auditVol, err := c.newVolume(fmt.Sprintf("$AUDIT%d", n))
@@ -254,6 +279,24 @@ func (c *Cluster) AddVolume(node, cpu int, name string) (*dp.DP, error) {
 			_, _ = ckptClient.Send(backupSrv, make([]byte, bytes))
 		}
 	}
+	if c.opts.Replication {
+		transport := c.opts.ReplicaTransport
+		if transport == nil {
+			// In-process group: the backup DP lives on the next node
+			// (its own volume, its own node's trail), reached through
+			// the simulated interconnect like any other server.
+			backupNode := (node + 1) % len(c.Nodes)
+			bdp, err := c.AddReplica(backupNode, cpu, name)
+			if err != nil {
+				return nil, err
+			}
+			entry.backupDP = bdp
+			transport = c.Net.NewClient(proc)
+		}
+		entry.ship = newShipper(transport, name+fsdp.BackupSuffix)
+		cfg.Ship = entry.ship.ship
+		cfg.ShipFlush = entry.ship.flush
+	}
 	d, err := dp.New(cfg)
 	if err != nil {
 		return nil, err
@@ -312,6 +355,11 @@ func (c *Cluster) NewFS(node, cpu int) *fs.FS {
 	coord := &tmf.Coordinator{Trail: c.Nodes[node].Trail}
 	f := fs.New(client, coord)
 	f.SetScanParallel(c.opts.ScanParallel)
+	if c.opts.Replication {
+		// Rides through a takeover: requests that hit the vanished
+		// server name re-drive until the backup is promoted under it.
+		f.SetRedriveWindow(5 * time.Second)
+	}
 	return f
 }
 

@@ -72,6 +72,17 @@ type Config struct {
 	// charging the checkpointing cost process pairs pay for instant
 	// takeover.
 	Checkpoint func(bytes int)
+
+	// Ship and ShipFlush wire the real replicated-partition checkpoint
+	// stream. Ship is invoked with every audit record after it is
+	// appended to the trail (plus synthesized commit markers and file
+	// create/drop markers that never pass through the trail append);
+	// the cluster's shipper buffers the framed records. ShipFlush sends
+	// the buffer to the backup and waits for it to be applied and
+	// durable there — called before a commit is acknowledged, so every
+	// confirmed transaction is on the backup's own trail.
+	Ship      func(*wal.Record)
+	ShipFlush func()
 }
 
 func (c *Config) setDefaults() {
@@ -241,6 +252,14 @@ type DP struct {
 	scbs    map[uint32]*scb
 	nextSCB uint32
 	txs     map[uint64]*txState
+
+	// rep is the backup-role state: created on the first shipped
+	// checkpoint batch, it tracks in-flight transactions so promotion
+	// can resolve them. nil on a DP that was never shipped to.
+	// fenceActive is set once promotion fences any transaction, so the
+	// per-request fence check costs one atomic load everywhere else.
+	rep         *replicaState
+	fenceActive atomic.Bool
 
 	stats counters
 	meter concMeter
@@ -464,6 +483,12 @@ func (d *DP) serve(req *fsdp.Request) *fsdp.Reply {
 		d.svcLat.RecordNanos(ns)
 	}()
 
+	if req.Tx != 0 && d.fenceActive.Load() && req.Kind != fsdp.KCommit && req.Kind != fsdp.KAbort {
+		if reply := d.replicaFenced(req); reply != nil {
+			return reply
+		}
+	}
+
 	var reply *fsdp.Reply
 	switch req.Kind {
 	case fsdp.KCreateFile:
@@ -506,6 +531,10 @@ func (d *DP) serve(req *fsdp.Request) *fsdp.Reply {
 		reply = d.commit(req)
 	case fsdp.KAbort:
 		reply = d.abort(req)
+	case fsdp.KShipRecords:
+		reply = d.applyShipped(req)
+	case fsdp.KPromote:
+		reply = d.promote(req)
 	default:
 		reply = &fsdp.Reply{Code: fsdp.ErrBadRequest, Err: fmt.Sprintf("dp: unknown request kind %d", req.Kind)}
 	}
@@ -578,6 +607,11 @@ func (d *DP) createFile(req *fsdp.Request) *fsdp.Reply {
 	}
 	d.files[req.File] = &fileState{schema: schema, check: check, tree: tree, fieldAudit: req.Audit}
 	d.filesMu.Unlock()
+	// File metadata never passes through the audit append path, so the
+	// backup learns of the new file from a synthesized marker (see
+	// fileMarker). Synchronous: the next shipped record may be an insert
+	// into this file.
+	d.shipSync(fileMarker(d.cfg.Volume.Name(), req.File, req.Schema, req.Check, req.Audit, false))
 	return &fsdp.Reply{Root: uint32(tree.Root())}
 }
 
@@ -585,11 +619,13 @@ func (d *DP) createFile(req *fsdp.Request) *fsdp.Reply {
 // simulated volumes are plentiful).
 func (d *DP) dropFile(req *fsdp.Request) *fsdp.Reply {
 	d.filesMu.Lock()
-	defer d.filesMu.Unlock()
 	if _, ok := d.files[req.File]; !ok {
+		d.filesMu.Unlock()
 		return &fsdp.Reply{Code: fsdp.ErrNotFound, Err: fmt.Sprintf("dp %s: no file %q", d.cfg.Name, req.File)}
 	}
 	delete(d.files, req.File)
+	d.filesMu.Unlock()
+	d.shipSync(fileMarker(d.cfg.Volume.Name(), req.File, nil, nil, false, true))
 	return &fsdp.Reply{}
 }
 

@@ -56,6 +56,9 @@ func (d *DP) appendAudit(rec *wal.Record) wal.LSN {
 	if d.cfg.Checkpoint != nil {
 		d.cfg.Checkpoint(rec.Size())
 	}
+	if d.cfg.Ship != nil {
+		d.cfg.Ship(rec)
+	}
 	d.mu.Lock()
 	if t, ok := d.txs[rec.TxID]; ok {
 		if lsn > t.lastLSN {
@@ -82,10 +85,29 @@ func (d *DP) prepare(req *fsdp.Request) *fsdp.Reply {
 	lsn := d.appendAudit(&wal.Record{Type: wal.RecPrepare, TxID: req.Tx, Volume: d.cfg.Volume.Name()})
 	d.cfg.Audit.FlushSend()
 	d.cfg.Audit.Trail().FlushTo(lsn)
+	// The yes vote promises this participant can commit even if it dies:
+	// with a replicated backup, that means the backup must hold every
+	// record of the transaction (it keeps the tx in doubt at takeover).
+	d.shipFlush()
 	d.mu.Lock()
 	t.prepared = true
 	d.mu.Unlock()
 	return &fsdp.Reply{}
+}
+
+// shipSync ships one synthesized record (commit marker, file marker)
+// and flushes the checkpoint stream to the backup synchronously.
+func (d *DP) shipSync(rec *wal.Record) {
+	if d.cfg.Ship != nil {
+		d.cfg.Ship(rec)
+	}
+	d.shipFlush()
+}
+
+func (d *DP) shipFlush() {
+	if d.cfg.ShipFlush != nil {
+		d.cfg.ShipFlush()
+	}
 }
 
 // commit serves KCommit. With CommitLSN == 0 this DP is the only
@@ -94,6 +116,11 @@ func (d *DP) prepare(req *fsdp.Request) *fsdp.Reply {
 // the node. With CommitLSN set, the coordinator already forced the
 // commit record; this is 2PC phase 2.
 func (d *DP) commit(req *fsdp.Request) *fsdp.Reply {
+	// A promoted replica resolves transactions it holds in doubt (and
+	// refuses ones it fenced off) before the normal path runs.
+	if reply, handled := d.replicaCommit(req); handled {
+		return reply
+	}
 	d.mu.Lock()
 	_, ok := d.txs[req.Tx]
 	d.mu.Unlock()
@@ -102,6 +129,14 @@ func (d *DP) commit(req *fsdp.Request) *fsdp.Reply {
 		trail := d.cfg.Audit.Trail()
 		lsn := trail.AppendCommit(req.Tx)
 		trail.WaitDurable(lsn)
+	}
+	if ok {
+		// Commit markers never pass through appendAudit (phase 2's lives
+		// on the coordinator's trail), so the backup gets a synthesized
+		// one — shipped and made durable there BEFORE the client is told
+		// the transaction committed, and before locks release so the
+		// stream stays ordered per key.
+		d.shipSync(&wal.Record{Type: wal.RecCommit, TxID: req.Tx, Volume: d.cfg.Volume.Name()})
 	}
 	fault.Inject(fault.DPCommitBeforeFinish)
 	d.finishTx(req.Tx)
@@ -112,6 +147,9 @@ func (d *DP) commit(req *fsdp.Request) *fsdp.Reply {
 // abort serves KAbort: undo in reverse order, write the abort record,
 // release everything.
 func (d *DP) abort(req *fsdp.Request) *fsdp.Reply {
+	if reply, handled := d.replicaAbort(req); handled {
+		return reply
+	}
 	d.mu.Lock()
 	t, ok := d.txs[req.Tx]
 	d.mu.Unlock()
@@ -121,6 +159,9 @@ func (d *DP) abort(req *fsdp.Request) *fsdp.Reply {
 			return errReply(fmt.Errorf("dp %s: undo of tx %d failed: %w", d.cfg.Name, req.Tx, err))
 		}
 		d.appendAudit(&wal.Record{Type: wal.RecAbort, TxID: req.Tx, Volume: d.cfg.Volume.Name()})
+		// The backup must drop the tx's pending records before locks
+		// release here, or a later takeover could undo a successor's work.
+		d.shipFlush()
 	}
 	d.finishTx(req.Tx)
 	return &fsdp.Reply{}

@@ -116,6 +116,10 @@ func All(s Sizes) ([]*Table, error) {
 	if err := add(t20, err); err != nil {
 		return nil, fmt.Errorf("E20: %w", err)
 	}
+	_, t21, err := E21(s.TxnsPerCli)
+	if err := add(t21, err); err != nil {
+		return nil, fmt.Errorf("E21: %w", err)
+	}
 	_, tf1, err := F1()
 	if err := add(tf1, err); err != nil {
 		return nil, fmt.Errorf("F1: %w", err)

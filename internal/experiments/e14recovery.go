@@ -64,7 +64,16 @@ type E14Result struct {
 func E14(txnsPerClient int) ([]E14Result, *Table, error) {
 	var results []E14Result
 	for i, point := range fault.Points() {
-		res, err := e14Iteration(point, int64(7300+i*131), txnsPerClient)
+		var res *E14Result
+		var err error
+		switch point {
+		case fault.CheckpointShip, fault.TakeoverPromote:
+			// The replication points need the replicated topology: the
+			// survivor under test is the partition group's other side.
+			res, err = e14ReplicaIteration(point, int64(7300+i*131), txnsPerClient)
+		default:
+			res, err = e14Iteration(point, int64(7300+i*131), txnsPerClient)
+		}
 		if err != nil {
 			return nil, nil, fmt.Errorf("E14 point %q: %w", point, err)
 		}

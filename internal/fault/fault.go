@@ -75,6 +75,18 @@ const (
 	// TMFCommitDurable fires after the commit record is durable, before
 	// any phase-2 release message is sent.
 	TMFCommitDurable = "tmf/commit/after-durable"
+
+	// CheckpointShip fires in the primary's checkpoint shipper, after a
+	// batch of audit records has been claimed for shipping but before it
+	// is sent to the backup. Crashing here loses the primary with records
+	// the backup never saw — takeover must still preserve every
+	// transaction the primary confirmed.
+	CheckpointShip = "checkpoint-ship"
+	// TakeoverPromote fires inside the backup's promotion: once at the
+	// start and again before each in-flight-transaction undo step.
+	// Crashing mid-promote leaves a half-promoted replica whose own trail
+	// must be sufficient to recover the partition.
+	TakeoverPromote = "takeover-promote"
 )
 
 // Points lists every crash point in sweep order.
@@ -95,6 +107,8 @@ func Points() []string {
 		TMFAfterPrepare,
 		TMFCommitAppended,
 		TMFCommitDurable,
+		CheckpointShip,
+		TakeoverPromote,
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"nonstopsql/internal/expr"
 	"nonstopsql/internal/fsdp"
@@ -126,6 +127,21 @@ type FS struct {
 	// of every set-oriented operation (scans, counts, subset
 	// updates/deletes). Set it before issuing requests.
 	obsRec *obs.Recorder
+
+	// redriveWindow, when positive, re-drives a send that failed with
+	// msg.ErrNoServer for up to this long: during a partition takeover
+	// the server name vanishes until the cluster repoints it at the
+	// promoted backup. ErrNoServer strictly means the request was never
+	// enqueued, so the retry cannot double-apply a write.
+	redriveWindow time.Duration
+
+	// followerReads routes transactionless (browse) point reads to the
+	// partition's backup DP (<server>+"#B"), absorbing read-mostly
+	// traffic without touching the primary. Browse semantics only: the
+	// backup applies records as they ship, so a read may see a
+	// transaction's writes before its commit — exactly the paper's
+	// browse access (no locks, no consistency promise).
+	followerReads bool
 }
 
 // New creates a File System bound to a requester processor and the
@@ -151,6 +167,15 @@ func (f *FS) SetScanParallel(dop int) {
 // ScanParallel returns the default scan degree of parallelism.
 func (f *FS) ScanParallel() int { return f.scanDOP }
 
+// SetRedriveWindow bounds how long sends re-drive against a vanished
+// server name (partition takeover in progress). 0 disables. Not safe
+// to call concurrently with operations in flight.
+func (f *FS) SetRedriveWindow(d time.Duration) { f.redriveWindow = d }
+
+// SetFollowerReads routes browse (nil-tx) point reads to partition
+// backups. Not safe to call concurrently with operations in flight.
+func (f *FS) SetFollowerReads(on bool) { f.followerReads = on }
+
 // SetObserver attaches a trace recorder; nil detaches. Not safe to call
 // concurrently with operations in flight.
 func (f *FS) SetObserver(rec *obs.Recorder) { f.obsRec = rec }
@@ -162,9 +187,28 @@ func (f *FS) Observer() *obs.Recorder { return f.obsRec }
 // traffic-counter reconciliation (EXPLAIN ANALYZE, experiments).
 func (f *FS) Network() *msg.Network { return f.client.Network() }
 
+// sendBytes is the single raw-send chokepoint: one request frame to one
+// named server, with the takeover re-drive loop. Only msg.ErrNoServer
+// is retried — the one transport error that guarantees the request was
+// never enqueued, so a write cannot land twice.
+func (f *FS) sendBytes(server string, raw []byte) ([]byte, error) {
+	out, err := f.client.Send(server, raw)
+	if err == nil || f.redriveWindow <= 0 || !errors.Is(err, msg.ErrNoServer) {
+		return out, err
+	}
+	deadline := time.Now().Add(f.redriveWindow)
+	for {
+		time.Sleep(2 * time.Millisecond)
+		out, err = f.client.Send(server, raw)
+		if err == nil || !errors.Is(err, msg.ErrNoServer) || time.Now().After(deadline) {
+			return out, err
+		}
+	}
+}
+
 // send ships one request to a Disk Process and decodes the reply.
 func (f *FS) send(server string, req *fsdp.Request) (*fsdp.Reply, error) {
-	raw, err := f.client.Send(server, fsdp.EncodeRequest(req))
+	raw, err := f.sendBytes(server, fsdp.EncodeRequest(req))
 	if err != nil {
 		return nil, err
 	}
@@ -177,7 +221,7 @@ func (f *FS) send(server string, req *fsdp.Request) (*fsdp.Reply, error) {
 // global counters (which aggregate every requester).
 func (f *FS) sendMeasured(server string, req *fsdp.Request) (reply *fsdp.Reply, reqBytes, replyBytes int, err error) {
 	raw := fsdp.EncodeRequest(req)
-	replyRaw, err := f.client.Send(server, raw)
+	replyRaw, err := f.sendBytes(server, raw)
 	if err != nil {
 		return nil, 0, 0, err
 	}

@@ -81,14 +81,19 @@ func (f *FS) sendTx(tx *tmf.Tx, server string, req *fsdp.Request) (*fsdp.Reply, 
 // (lock-free) access; forUpdate takes an exclusive record lock.
 func (f *FS) Read(tx *tmf.Tx, def *FileDef, key []byte, forUpdate bool) (record.Row, error) {
 	p := partitionFor(def.Partitions, key)
+	server := p.Server
 	req := &fsdp.Request{Kind: fsdp.KReadRecord, File: def.Name, Key: key}
 	if tx != nil {
 		req.Tx = tx.ID
 		if forUpdate {
 			req.Mode = 2
 		}
+	} else if f.followerReads {
+		// Browse access never locks, so the partition's backup can
+		// serve it — including through a primary takeover.
+		server += fsdp.BackupSuffix
 	}
-	reply, err := f.sendTx(tx, p.Server, req)
+	reply, err := f.sendTx(tx, server, req)
 	if err != nil {
 		return nil, err
 	}

@@ -88,6 +88,14 @@ const (
 	// block. Stateless — a partially-served block is simply re-sent from
 	// the first unserved probe (Reply.Count = probes completed).
 	KProbeBlock
+
+	// Replication (primary → backup DP). KShipRecords carries a batch of
+	// framed wal.Record images in Rows with a monotone batch sequence
+	// number in CommitLSN; the backup applies them to its own volume and
+	// trail. KPromote orders the backup to promote itself: resolve
+	// in-flight transactions and start serving as primary.
+	KShipRecords
+	KPromote
 )
 
 var kindNames = map[Kind]string{
@@ -104,8 +112,14 @@ var kindNames = map[Kind]string{
 	KCloseSubset: "CLOSE^SUBSET",
 	KCountFirst:  "COUNT^FIRST", KCountNext: "COUNT^NEXT",
 	KAggFirst: "AGG^FIRST", KAggNext: "AGG^NEXT",
-	KProbeBlock: "PROBE^BLOCK",
+	KProbeBlock:  "PROBE^BLOCK",
+	KShipRecords: "SHIP^RECORDS", KPromote: "PROMOTE",
 }
+
+// BackupSuffix names a partition's backup Disk Process: the backup for
+// primary server "$DATA1" is served as "$DATA1#B". The FS routes
+// follower browse reads there, and the cluster ships checkpoints there.
+const BackupSuffix = "#B"
 
 // String returns the message type's protocol name.
 func (k Kind) String() string {

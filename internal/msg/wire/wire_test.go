@@ -331,6 +331,87 @@ func TestServerDrain(t *testing.T) {
 	}
 }
 
+// TestServerDrainWindow pins the ordering inside Drain: the refusal
+// flag is set (under the server mutex) before the listener closes, so
+// from the instant a drain is observable from outside — new dials fail
+// — a frame arriving on a connection that is still open is guaranteed a
+// CodeDraining reply. It can never be dispatched into the network, and
+// it can never hang; a frame that landed in a flag-after-close window
+// would do one or the other, and this test converts either into a
+// failure (first-frame assertion, read deadline).
+func TestServerDrainWindow(t *testing.T) {
+	n := msg.NewNetwork()
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	_, err := n.StartServer("gated", msg.ProcessorID{Node: 0, CPU: 0}, 1, func(req []byte) []byte {
+		entered <- struct{}{}
+		<-release
+		return []byte("done")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Listen("127.0.0.1:0", n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nc, br := rawConn(t, s.Addr())
+	if _, err := nc.Write(AppendRequest(nil, 1, "gated", nil)); err != nil {
+		t.Fatal(err)
+	}
+	<-entered // the in-flight request now holds Drain(0) open
+
+	drained := make(chan error, 1)
+	go func() { drained <- s.Drain(0) }()
+
+	// Wait for the drain to become externally observable: the listener
+	// is down. Because the flag precedes the close, refusal is
+	// guaranteed from here on.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		probe, err := net.Dial("tcp", s.Addr())
+		if err != nil {
+			break
+		}
+		probe.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+		_, rerr := probe.Read(make([]byte, 1))
+		probe.Close()
+		if rerr != nil && !rerr.(net.Error).Timeout() {
+			break // accepted then immediately closed: the flag is set
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("drain never closed the listener")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The very next frame on the open connection must be refused — not
+	// dispatched, not left hanging while Drain waits on the in-flight
+	// request.
+	if _, err := nc.Write(AppendRequest(nil, 2, "gated", nil)); err != nil {
+		t.Fatal(err)
+	}
+	nc.SetReadDeadline(time.Now().Add(10 * time.Second))
+	f, _, err := ReadFrame(br, 0)
+	if err != nil {
+		t.Fatalf("frame in the drain window hung or died: %v", err)
+	}
+	if f.Kind != KindReplyErr || f.Code != CodeDraining || f.Corr != 2 {
+		t.Fatalf("frame in the drain window got %+v, want CodeDraining for corr 2", f)
+	}
+
+	// The in-flight request still completes and Drain succeeds.
+	close(release)
+	f, _, err = ReadFrame(br, 0)
+	if err != nil || f.Kind != KindReply || f.Corr != 1 || string(f.Body) != "done" {
+		t.Fatalf("in-flight reply after drain window: %+v, %v", f, err)
+	}
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
 func TestServerCloseStopsServing(t *testing.T) {
 	n := echoNet(t)
 	s, err := Listen("127.0.0.1:0", n, Options{})

@@ -78,6 +78,17 @@ type Record struct {
 // audit-compression claim measures.
 func (r *Record) Size() int { return len(r.encode(nil)) }
 
+// Encode appends the record's framed encoding (length prefix, checksum,
+// body) to b. It is the trail's own frame format, reused verbatim as the
+// checkpoint-shipping wire format so a replica applies exactly the bytes
+// the primary audited.
+func (r *Record) Encode(b []byte) []byte { return r.encode(b) }
+
+// Decode parses one framed record from b, returning the record and the
+// remaining bytes. The checksum is verified, so a torn or corrupted
+// shipped frame is rejected rather than applied.
+func Decode(b []byte) (*Record, []byte, error) { return decodeRecord(b) }
+
 func (r *Record) encode(b []byte) []byte {
 	body := make([]byte, 0, 64+len(r.Key)+len(r.Before)+len(r.After))
 	body = append(body, byte(r.Type))

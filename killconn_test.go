@@ -1,0 +1,161 @@
+package nonstopsql_test
+
+import (
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nonstopsql"
+	"nonstopsql/internal/fault"
+	"nonstopsql/internal/nsqlclient"
+	"nonstopsql/internal/record"
+)
+
+// killProxy is a TCP relay the test can sever mid-request: the client
+// pool dials it, it forwards to the real server, and killConns drops
+// every live socket pair at once — the wire-level equivalent of a
+// network partition while a write is inside the server.
+type killProxy struct {
+	ln    net.Listener
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+func startKillProxy(t *testing.T, target string) *killProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &killProxy{ln: ln}
+	t.Cleanup(func() { ln.Close(); p.killConns() })
+	go func() {
+		for {
+			cl, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			srv, err := net.Dial("tcp", target)
+			if err != nil {
+				cl.Close()
+				continue
+			}
+			p.mu.Lock()
+			p.conns = append(p.conns, cl, srv)
+			p.mu.Unlock()
+			go func() { _, _ = io.Copy(srv, cl); srv.Close() }()
+			go func() { _, _ = io.Copy(cl, srv); cl.Close() }()
+		}
+	}()
+	return p
+}
+
+func (p *killProxy) killConns() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range p.conns {
+		c.Close()
+	}
+	p.conns = nil
+}
+
+// TestKillConnMidWrite breaks the client's connection while an EXECUTE
+// of a write is inside the server — held at the Disk Process's
+// insert-after-audit fault point, so the kill provably lands mid-apply.
+// The contract under test: the in-flight request surfaces a clean
+// "connection lost" error (never a hang, never a fabricated reply), the
+// client does not silently retry a write whose fate it cannot know
+// (Stmt.Exec re-drives only stale-handle replies), and the write is
+// applied exactly once server-side — the DebitCredit double-apply this
+// guards against would show up as two history rows.
+func TestKillConnMidWrite(t *testing.T) {
+	db, err := nonstopsql.Open(nonstopsql.Config{Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(db.Close)
+
+	proxy := startKillProxy(t, db.Addr())
+	pool, err := nsqlclient.Dial(proxy.ln.Addr().String(), nsqlclient.Options{Conns: 1, ReplyTimeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pool.Close() })
+
+	if _, err := pool.Exec(`CREATE TABLE hist (id INTEGER PRIMARY KEY, delta INTEGER)`); err != nil {
+		t.Fatal(err)
+	}
+	ins, err := pool.Prepare(`INSERT INTO hist VALUES (?, ?)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Gate the NEXT insert inside the DP: the fault fn parks the write
+	// after its audit record, signals the test, and waits for the
+	// connection kill before letting the server finish.
+	armed := make(chan struct{})
+	release := make(chan struct{})
+	fault.Reset()
+	t.Cleanup(func() { fault.Reset(); fault.Disable() })
+	fault.Arm(fault.DPInsertAfterAudit, 0, func() {
+		close(armed)
+		<-release
+	})
+	fault.Enable()
+
+	execErr := make(chan error, 1)
+	go func() {
+		_, err := ins.Exec(record.Int(7), record.Int(7))
+		execErr <- err
+	}()
+
+	select {
+	case <-armed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("write never reached the DP fault point")
+	}
+	proxy.killConns()
+	close(release)
+
+	err = <-execErr
+	if err == nil {
+		t.Fatal("EXECUTE across a killed connection reported success")
+	}
+	if !strings.Contains(err.Error(), "connection to") || !strings.Contains(err.Error(), "lost") {
+		t.Fatalf("want a clean connection-lost error, got: %v", err)
+	}
+	fault.Disable()
+
+	// Exactly once: the server finishes the in-flight write on its own
+	// (the requester's death cannot abort an autocommit mid-apply), and
+	// the client must not have re-driven it. Verify over a direct
+	// connection — the proxy is dead.
+	direct, err := nsqlclient.Dial(db.Addr(), nsqlclient.Options{Conns: 1, ReplyTimeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { direct.Close() })
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		res, err := direct.Exec(`SELECT id, delta FROM hist WHERE id = 7`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) == 1 && res.Rows[0][1].I == 7 {
+			break
+		}
+		if len(res.Rows) > 1 {
+			t.Fatalf("write applied %d times: %s", len(res.Rows), nonstopsql.FormatResult(res))
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("in-flight write never completed server-side: %s", nonstopsql.FormatResult(res))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := pool.Stats(); st.Redials != 0 {
+		t.Errorf("pool redialed %d times: a broken write must not be silently re-driven", st.Redials)
+	}
+}

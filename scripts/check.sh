@@ -41,4 +41,13 @@ go test -race -count=1 -run 'TestServeSQL|TestDifferentialTransport' .
 # process and over TCP.
 go test -race -count=1 -run 'TestPlanCacheDDLRace|TestPlanCacheCounters|TestPreparedDifferentialMatrix' ./internal/sql
 go test -race -count=1 -run 'TestPreparedOverTCP|TestPreparedDifferentialMatrixTCP|TestStaleHandleReprepare|TestWireErrorClasses' .
+# Replicated partition groups: the checkpoint stream's shipper/replica
+# pair runs under every commit while takeover repoints names and the
+# fence refuses re-driven work — the racy seams of PR 10. The group
+# tests (catch-up, takeover, the wire-to-wire differential), then the
+# statement-lifecycle regressions: EXECUTE racing DDL, a connection
+# killed mid-write, and a frame landing in the drain window.
+go test -race -count=1 -run 'TestReplica|TestWireReplicationDifferential|TestFollowerBrowseReads' ./internal/cluster
+go test -race -count=1 -run 'TestServerDrain' ./internal/msg/wire
+go test -race -count=1 -run 'TestExecuteDDLRace|TestKillConnMidWrite' .
 go test -race ./...
