@@ -176,6 +176,12 @@ func New(opts Options) (*Cluster, error) {
 	if opts.Replication && opts.ProcessPairs {
 		return nil, fmt.Errorf("cluster: Replication and ProcessPairs are mutually exclusive")
 	}
+	if opts.Replication && opts.ReplicaTransport == nil && opts.Nodes < 2 {
+		// An in-process backup on the primary's own node would share its
+		// audit trail, silently defeating the "survives the loss of
+		// either node's trail" property the group exists for.
+		return nil, fmt.Errorf("cluster: Replication with in-process backups requires Nodes >= 2 (or a ReplicaTransport to host backups in another process)")
+	}
 	c := &Cluster{Net: msg.NewNetwork(), opts: opts, dps: make(map[string]*dpEntry)}
 	for n := 0; n < opts.Nodes; n++ {
 		auditVol, err := c.newVolume(fmt.Sprintf("$AUDIT%d", n))

@@ -62,12 +62,15 @@ func (s *shipper) ship(rec *wal.Record) {
 
 // flush sends the buffered records and waits for the backup to apply
 // them (and make any commit among them durable on its own trail). The
-// mutex is held across the send: batches leave in sequence order.
-func (s *shipper) flush() {
+// mutex is held across the send: batches leave in sequence order. The
+// error is returned so callers about to acknowledge durability can
+// account for the backup NOT having the records — the DP counts the
+// degraded ack, and TakeoverReplica refuses to promote on it.
+func (s *shipper) flush() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(s.buf) == 0 {
-		return
+		return nil
 	}
 	fault.Inject(fault.CheckpointShip)
 	payload := fsdp.EncodeRequest(&fsdp.Request{Kind: fsdp.KShipRecords, Rows: s.buf})
@@ -83,13 +86,14 @@ func (s *shipper) flush() {
 		// primary keeps serving — a dead backup must not take the
 		// partition down with it.
 		s.retries++
-		return
+		return fmt.Errorf("ship %d records to %s: %w", len(s.buf), s.target, err)
 	}
 	s.batches++
 	s.records += uint64(len(s.buf))
 	s.bytes += uint64(s.bufBytes)
 	s.buf = nil
 	s.bufBytes = 0
+	return nil
 }
 
 func (s *shipper) snapshot() (batches, records, bytes, retries uint64, retained int) {
@@ -108,6 +112,11 @@ type ReplicationStats struct {
 	ShipRetries     uint64 // failed flushes (buffer retained for catch-up)
 	RetainedRecords int    // buffered records awaiting the next flush
 
+	// DegradedAcks counts acknowledgements the serving DP returned while
+	// the backup had not applied the stream: for those, "confirmed ⊆
+	// backup-durable" is suspended until the retained buffer catches up.
+	DegradedAcks uint64
+
 	AppliedBatches uint64 // zero when the backup lives in another process
 	AppliedRecords uint64
 	Promoted       bool
@@ -123,6 +132,7 @@ func (c *Cluster) ReplicationStats(name string) (ReplicationStats, error) {
 	}
 	var st ReplicationStats
 	st.ShippedBatches, st.ShippedRecords, st.ShippedBytes, st.ShipRetries, st.RetainedRecords = e.ship.snapshot()
+	st.DegradedAcks = e.dp.ShipDegradedAcks()
 	if e.backupDP != nil {
 		st.AppliedBatches, st.AppliedRecords, st.Promoted, st.InDoubt, st.Fenced = e.backupDP.ReplicaStats()
 	}
@@ -194,8 +204,14 @@ func (c *Cluster) TakeoverReplica(name string) error {
 	}
 	// Catch-up: whatever the shipper still holds (mid-transaction
 	// records, or batches a transient disconnect retained) goes to the
-	// backup before promotion resolves in-flight state.
-	e.ship.flush()
+	// backup before promotion resolves in-flight state. A failed
+	// catch-up refuses the takeover outright: the retained buffer may
+	// hold acknowledged commits, and promoting a backup without them
+	// would silently lose confirmed transactions. The buffer is still
+	// retained — fix the backup (or its transport) and retry.
+	if err := e.ship.flush(); err != nil {
+		return fmt.Errorf("cluster: takeover of %s refused, backup missing shipped records (possibly acknowledged commits): %w", name, err)
+	}
 	c.Net.StopServer(name)
 
 	target := name + fsdp.BackupSuffix

@@ -15,6 +15,12 @@ func TestReplicationOptionsExclusive(t *testing.T) {
 	if _, err := cluster.New(cluster.Options{Replication: true, ProcessPairs: true}); err == nil {
 		t.Error("Replication+ProcessPairs accepted")
 	}
+	// In-process replication on a single node would put the backup on
+	// the primary's own node and audit trail — the group would not
+	// survive the loss of that trail, so it is refused outright.
+	if _, err := cluster.New(cluster.Options{Replication: true}); err == nil {
+		t.Error("single-node in-process Replication accepted")
+	}
 	c, err := cluster.New(cluster.Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -191,6 +197,73 @@ func TestReplicaCatchUpAfterBackupOutage(t *testing.T) {
 	for k := int64(1); k <= 6; k++ {
 		if _, err := f.Read(nil, def, record.Int(k).AppendKey(nil), false); err != nil {
 			t.Fatalf("row %d lost across outage+takeover: %v", k, err)
+		}
+	}
+}
+
+// TestTakeoverRefusedWhenCatchUpFails pins the degraded window: with
+// the backup unreachable the primary keeps acknowledging commits (and
+// counts each degraded ack), but a takeover whose catch-up flush fails
+// must be refused — promoting then would silently drop commits clients
+// were told succeeded. Once the backup returns, the retried takeover
+// delivers the backlog and loses nothing.
+func TestTakeoverRefusedWhenCatchUpFails(t *testing.T) {
+	c, err := cluster.New(cluster.Options{Nodes: 2, Replication: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.AddVolume(0, 1, "$R4"); err != nil {
+		t.Fatal(err)
+	}
+	f := c.NewFS(0, 2)
+	def := kvDef("$R4")
+	if err := f.Create(def); err != nil {
+		t.Fatal(err)
+	}
+	commit := func(k int64, v string) {
+		t.Helper()
+		tx := f.Begin()
+		if err := f.Insert(tx, def, record.Row{record.Int(k), record.String(v)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Commit(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	commit(1, "replicated")
+
+	c.Net.StopServer("$R4#B")
+	commit(2, "degraded") // acknowledged with the backup unreachable
+	st, err := c.ReplicationStats("$R4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DegradedAcks == 0 {
+		t.Fatalf("degraded acknowledgement not counted: %+v", st)
+	}
+	if st.RetainedRecords == 0 {
+		t.Fatalf("outage retained nothing: %+v", st)
+	}
+
+	if err := c.CrashDP("$R4"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.TakeoverReplica("$R4"); err == nil {
+		t.Fatal("takeover promoted a backup missing acknowledged commits")
+	}
+
+	// The backup returns; the retried takeover catches up and promotes.
+	bdp := c.DP("$R4#B")
+	if _, err := c.Net.StartServer("$R4#B", msg.ProcessorID{Node: 1, CPU: 1}, 4, bdp.Handler); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.TakeoverReplica("$R4"); err != nil {
+		t.Fatal(err)
+	}
+	for k := int64(1); k <= 2; k++ {
+		if _, err := f.Read(nil, def, record.Int(k).AppendKey(nil), false); err != nil {
+			t.Fatalf("committed row %d lost across refused-then-retried takeover: %v", k, err)
 		}
 	}
 }

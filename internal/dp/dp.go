@@ -80,9 +80,13 @@ type Config struct {
 	// the cluster's shipper buffers the framed records. ShipFlush sends
 	// the buffer to the backup and waits for it to be applied and
 	// durable there — called before a commit is acknowledged, so every
-	// confirmed transaction is on the backup's own trail.
+	// confirmed transaction is on the backup's own trail. A ShipFlush
+	// error means the backup does not have the buffered records (the
+	// shipper retains them for catch-up); the DP still answers — a dead
+	// backup must not take the partition down — but counts the
+	// degraded acknowledgement (ShipDegradedAcks).
 	Ship      func(*wal.Record)
-	ShipFlush func()
+	ShipFlush func() error
 }
 
 func (c *Config) setDefaults() {
@@ -261,6 +265,14 @@ type DP struct {
 	rep         *replicaState
 	fenceActive atomic.Bool
 
+	// shipDegraded counts acknowledgements (commit, prepare, abort)
+	// returned while the backup had NOT applied the checkpoint stream —
+	// the flush before the ack failed. The durability guarantee
+	// "confirmed ⊆ backup-durable" is suspended for these until the
+	// retained buffer catches up; TakeoverReplica refuses to promote a
+	// backup whose catch-up flush still fails.
+	shipDegraded atomic.Uint64
+
 	stats counters
 	meter concMeter
 
@@ -330,6 +342,11 @@ func (d *DP) ResetVolumeStats() { d.cfg.Volume.ResetStats() }
 
 // Locks exposes the lock manager (stats, tests).
 func (d *DP) Locks() *lock.Manager { return d.locks }
+
+// ShipDegradedAcks reports how many acknowledgements this DP returned
+// while its backup had not applied the checkpoint stream (see
+// Config.ShipFlush).
+func (d *DP) ShipDegradedAcks() uint64 { return d.shipDegraded.Load() }
 
 // OpenSCBs returns the number of live Subset Control Blocks — abandoned
 // conversations that were never retired show up here (leak tests).
@@ -611,7 +628,7 @@ func (d *DP) createFile(req *fsdp.Request) *fsdp.Reply {
 	// backup learns of the new file from a synthesized marker (see
 	// fileMarker). Synchronous: the next shipped record may be an insert
 	// into this file.
-	d.shipSync(fileMarker(d.cfg.Volume.Name(), req.File, req.Schema, req.Check, req.Audit, false))
+	_ = d.shipSync(fileMarker(d.cfg.Volume.Name(), req.File, req.Schema, req.Check, req.Audit, false))
 	return &fsdp.Reply{Root: uint32(tree.Root())}
 }
 
@@ -625,7 +642,7 @@ func (d *DP) dropFile(req *fsdp.Request) *fsdp.Reply {
 	}
 	delete(d.files, req.File)
 	d.filesMu.Unlock()
-	d.shipSync(fileMarker(d.cfg.Volume.Name(), req.File, nil, nil, false, true))
+	_ = d.shipSync(fileMarker(d.cfg.Volume.Name(), req.File, nil, nil, false, true))
 	return &fsdp.Reply{}
 }
 

@@ -48,6 +48,13 @@ type replicaState struct {
 	indoubt map[uint64][]*wal.Record
 	fenced  map[uint64]bool
 
+	// halted is set by the first KPromote attempt and refuses the
+	// checkpoint stream from then on: a failed promotion is retried by
+	// re-running its passes, and records applied in between would be
+	// invisible to the retry. promoted is set only after both passes
+	// succeed — a retried KPromote must re-run a failed promotion, not
+	// report success while transactions remain unresolved.
+	halted   bool
 	promoted bool
 	broken   bool // a shipped batch failed to apply; refuse the stream
 
@@ -101,11 +108,12 @@ func fileMarker(volume, file string, schema, check []byte, fieldAudit, drop bool
 func (d *DP) applyShipped(req *fsdp.Request) *fsdp.Reply {
 	rep := d.replica()
 	rep.mu.Lock()
-	defer rep.mu.Unlock()
-	if rep.promoted {
+	if rep.promoted || rep.halted {
+		rep.mu.Unlock()
 		return &fsdp.Reply{Code: fsdp.ErrGeneral, Err: fmt.Sprintf("dp %s: promoted, checkpoint stream refused", d.cfg.Name)}
 	}
 	if rep.broken {
+		rep.mu.Unlock()
 		return &fsdp.Reply{Code: fsdp.ErrGeneral, Err: fmt.Sprintf("dp %s: replica out of sync", d.cfg.Name)}
 	}
 	trail := d.cfg.Audit.Trail()
@@ -115,6 +123,7 @@ func (d *DP) applyShipped(req *fsdp.Request) *fsdp.Reply {
 		seq, n := binary.Uvarint(frame)
 		if n <= 0 {
 			rep.broken = true
+			rep.mu.Unlock()
 			return errReply(fmt.Errorf("dp %s: shipped frame: bad sequence prefix", d.cfg.Name))
 		}
 		if seq <= rep.lastSeq {
@@ -134,6 +143,7 @@ func (d *DP) applyShipped(req *fsdp.Request) *fsdp.Reply {
 			// Half a batch may be applied; the stream is no longer
 			// trustworthy. Poison the replica rather than diverge.
 			rep.broken = true
+			rep.mu.Unlock()
 			return errReply(fmt.Errorf("dp %s: shipped record: %w", d.cfg.Name, err))
 		}
 		rep.lastSeq = seq
@@ -141,10 +151,13 @@ func (d *DP) applyShipped(req *fsdp.Request) *fsdp.Reply {
 		applied++
 	}
 	rep.batches++
+	rep.mu.Unlock()
 	if lastCommit != 0 {
 		// The primary acknowledges its client only after this reply:
 		// every confirmed transaction is durably committed on the
-		// backup's own trail first.
+		// backup's own trail first. rep.mu is released — the wait is on
+		// the trail alone, so later ship batches and fence checks are not
+		// serialized behind the backup's disk.
 		trail.WaitDurable(lastCommit)
 	}
 	return &fsdp.Reply{Count: uint32(applied)}
@@ -233,6 +246,13 @@ func (d *DP) applyFileMarker(rec *wal.Record) error {
 // coordinator's phase-2 commit or presumed-abort re-drive resolves
 // them), unprepared ones are undone from the shipped before-images and
 // fenced. After promote the DP serves as an ordinary primary.
+//
+// A pass failure leaves promoted unset and returns the error: a retried
+// KPromote re-runs both passes rather than reporting success while
+// transactions remain unresolved. The re-run is idempotent — relocks
+// re-grant to the same transaction, transactions already moved to
+// indoubt stay there, and undoShipped skips every original whose
+// compensation already applied.
 func (d *DP) promote(*fsdp.Request) *fsdp.Reply {
 	rep := d.replica()
 	rep.mu.Lock()
@@ -243,8 +263,8 @@ func (d *DP) promote(*fsdp.Request) *fsdp.Reply {
 	if rep.broken {
 		return &fsdp.Reply{Code: fsdp.ErrGeneral, Err: fmt.Sprintf("dp %s: replica out of sync, refusing promotion", d.cfg.Name)}
 	}
+	rep.halted = true // no more shipped batches, even if a pass below fails
 	fault.Inject(fault.TakeoverPromote)
-	rep.promoted = true
 
 	// In-doubt pass: prepared transactions keep their effects and their
 	// locks. The locks are uncontended (the backup held none), so
@@ -273,7 +293,9 @@ func (d *DP) promote(*fsdp.Request) *fsdp.Reply {
 	// re-driven commit must fail rather than falsely succeed.
 	undone := 0
 	for tx, recs := range rep.pending {
-		if err := d.undoShipped(tx, recs); err != nil {
+		recs, err := d.undoShipped(tx, recs)
+		rep.pending[tx] = recs // keeps the undo's own compensations for a retry
+		if err != nil {
 			return errReply(fmt.Errorf("dp %s: promote undo tx %d: %w", d.cfg.Name, tx, err))
 		}
 		d.cfg.Audit.Append(&wal.Record{Type: wal.RecAbort, TxID: tx, Volume: d.cfg.Volume.Name()})
@@ -285,6 +307,7 @@ func (d *DP) promote(*fsdp.Request) *fsdp.Reply {
 	if len(rep.fenced) > 0 {
 		d.fenceActive.Store(true)
 	}
+	rep.promoted = true
 	return &fsdp.Reply{Count: uint32(undone)}
 }
 
@@ -318,50 +341,64 @@ func (d *DP) replicaFenced(req *fsdp.Request) *fsdp.Reply {
 // undoShipped reverses one transaction's shipped records (promotion and
 // post-promotion abort). Mirrors undoTx, but driven by the shipped
 // record images instead of in-memory undo entries.
-func (d *DP) undoShipped(tx uint64, recs []*wal.Record) error {
+//
+// An original that a compensation record already reversed must not be
+// undone again. Undo is LIFO — the primary's undoTx and this function
+// both walk the originals in reverse — so, walking backwards, each
+// compensation encountered cancels the nearest earlier un-compensated
+// original. That skips both compensations the primary shipped (it died
+// mid-abort) and this function's own from an earlier attempt: every
+// compensation applied here is appended to the returned slice, which
+// the caller stores back, so a retried promotion resumes where the
+// failure left off instead of double-undoing.
+func (d *DP) undoShipped(tx uint64, recs []*wal.Record) ([]*wal.Record, error) {
 	vol := d.cfg.Volume.Name()
+	skip := 0
 	for i := len(recs) - 1; i >= 0; i-- {
-		fault.Inject(fault.TakeoverPromote)
 		r := recs[i]
 		if r.Compensation {
+			skip++
 			continue
 		}
+		if skip > 0 {
+			skip-- // a later compensation already reversed this original
+			continue
+		}
+		fault.Inject(fault.TakeoverPromote)
 		f, err := d.getFile(r.File)
 		if err != nil {
 			continue // file dropped after the record shipped
 		}
+		comp := &wal.Record{TxID: tx, Volume: vol, File: r.File, Key: r.Key, Compensation: true}
 		switch r.Type {
 		case wal.RecInsert:
-			lsn := d.cfg.Audit.Append(&wal.Record{
-				Type: wal.RecDelete, TxID: tx, Volume: vol, File: r.File,
-				Key: r.Key, Compensation: true,
-			})
+			comp.Type = wal.RecDelete
+			lsn := d.cfg.Audit.Append(comp)
 			if err := f.tree.Delete(r.Key, lsn); err != nil {
-				return err
+				return recs, err
 			}
 		case wal.RecUpdate:
-			lsn := d.cfg.Audit.Append(&wal.Record{
-				Type: wal.RecUpdate, TxID: tx, Volume: vol, File: r.File,
-				Key: r.Key, After: r.Before, FieldCompressed: r.FieldCompressed, Compensation: true,
-			})
+			comp.Type, comp.After, comp.FieldCompressed = wal.RecUpdate, r.Before, r.FieldCompressed
+			lsn := d.cfg.Audit.Append(comp)
 			if r.FieldCompressed {
 				if err := d.applyFieldImages(f, r.Key, r.Before, lsn); err != nil {
-					return err
+					return recs, err
 				}
 			} else if err := f.tree.Update(r.Key, r.Before, lsn); err != nil {
-				return err
+				return recs, err
 			}
 		case wal.RecDelete:
-			lsn := d.cfg.Audit.Append(&wal.Record{
-				Type: wal.RecInsert, TxID: tx, Volume: vol, File: r.File,
-				Key: r.Key, After: r.Before, Compensation: true,
-			})
+			comp.Type, comp.After = wal.RecInsert, r.Before
+			lsn := d.cfg.Audit.Append(comp)
 			if err := f.tree.Insert(r.Key, r.Before, lsn); err != nil {
-				return err
+				return recs, err
 			}
+		default:
+			continue
 		}
+		recs = append(recs, comp)
 	}
-	return nil
+	return recs, nil
 }
 
 // replicaCommit intercepts KCommit on a promoted replica. Returns
@@ -416,7 +453,9 @@ func (d *DP) replicaAbort(req *fsdp.Request) (*fsdp.Reply, bool) {
 		return &fsdp.Reply{}, true
 	}
 	if recs, ok := rep.indoubt[req.Tx]; ok {
-		if err := d.undoShipped(req.Tx, recs); err != nil {
+		recs, err := d.undoShipped(req.Tx, recs)
+		rep.indoubt[req.Tx] = recs
+		if err != nil {
 			return errReply(fmt.Errorf("dp %s: abort of in-doubt tx %d: %w", d.cfg.Name, req.Tx, err)), true
 		}
 		d.cfg.Audit.Append(&wal.Record{Type: wal.RecAbort, TxID: req.Tx, Volume: d.cfg.Volume.Name()})

@@ -1,0 +1,191 @@
+package dp
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"nonstopsql/internal/fsdp"
+	"nonstopsql/internal/lock"
+	"nonstopsql/internal/record"
+	"nonstopsql/internal/wal"
+)
+
+// shipFrames sends recs to the backup as one KShipRecords batch, framed
+// with consecutive sequence numbers starting at startSeq — the exact
+// wire shape the cluster's shipper produces.
+func shipFrames(d *DP, startSeq uint64, recs []*wal.Record) *fsdp.Reply {
+	rows := make([][]byte, 0, len(recs))
+	seq := startSeq
+	for _, r := range recs {
+		frame := binary.AppendUvarint(nil, seq)
+		frame = r.Encode(frame)
+		rows = append(rows, frame)
+		seq++
+	}
+	return d.Serve(&fsdp.Request{Kind: fsdp.KShipRecords, Rows: rows})
+}
+
+func readKey(t *testing.T, d *DP, key []byte) (*fsdp.Reply, bool) {
+	t.Helper()
+	reply := d.Serve(&fsdp.Request{Kind: fsdp.KReadRecord, File: "EMP", Key: key})
+	return reply, reply.OK()
+}
+
+// TestPromoteSkipsShippedCompensations pins the mid-abort takeover: the
+// primary died while undoing a transaction, so the stream holds the
+// originals AND compensation records for a suffix of them (LIFO order),
+// but no abort marker. Promotion must undo only the un-compensated
+// prefix — double-undoing a compensated insert deletes a missing key,
+// a compensated delete re-inserts a duplicate.
+func TestPromoteSkipsShippedCompensations(t *testing.T) {
+	d, _, _ := testDP(t, nil)
+	s := createEmp(t, d, nil)
+
+	keep := empRow(1, "keep", 100)
+	base := empRow(5, "base", 500) // committed, then deleted by the loser
+	dead2 := empRow(2, "dead", 0)
+	dead3 := empRow(3, "dead", 0)
+	dead4 := empRow(4, "dead", 0)
+	key := func(r record.Row) []byte { return s.Key(r) }
+	enc := record.Encode
+
+	const committed, loser = 50, 77
+	// Committed baseline: keep and base exist.
+	if reply := shipFrames(d, 1, []*wal.Record{
+		{Type: wal.RecInsert, TxID: committed, File: "EMP", Key: key(keep), After: enc(keep)},
+		{Type: wal.RecInsert, TxID: committed, File: "EMP", Key: key(base), After: enc(base)},
+		{Type: wal.RecCommit, TxID: committed},
+	}); !reply.OK() {
+		t.Fatalf("baseline batch: %s", reply.Err)
+	}
+	// The loser: three inserts and a delete, then the primary's abort got
+	// three compensation steps in (reverse order) before the crash. No
+	// abort marker ever shipped.
+	if reply := shipFrames(d, 4, []*wal.Record{
+		{Type: wal.RecInsert, TxID: loser, File: "EMP", Key: key(dead2), After: enc(dead2)},
+		{Type: wal.RecInsert, TxID: loser, File: "EMP", Key: key(dead3), After: enc(dead3)},
+		{Type: wal.RecInsert, TxID: loser, File: "EMP", Key: key(dead4), After: enc(dead4)},
+		{Type: wal.RecDelete, TxID: loser, File: "EMP", Key: key(base), Before: enc(base)},
+		{Type: wal.RecInsert, TxID: loser, File: "EMP", Key: key(base), After: enc(base), Compensation: true},
+		{Type: wal.RecDelete, TxID: loser, File: "EMP", Key: key(dead4), Compensation: true},
+		{Type: wal.RecDelete, TxID: loser, File: "EMP", Key: key(dead3), Compensation: true},
+	}); !reply.OK() {
+		t.Fatalf("mid-abort batch: %s", reply.Err)
+	}
+
+	if reply := d.Serve(&fsdp.Request{Kind: fsdp.KPromote}); !reply.OK() {
+		t.Fatalf("promote after mid-abort stream: %s", reply.Err)
+	}
+
+	// keep and base survive; every loser row is gone exactly once.
+	if _, ok := readKey(t, d, key(keep)); !ok {
+		t.Error("committed row lost by promotion")
+	}
+	if _, ok := readKey(t, d, key(base)); !ok {
+		t.Error("compensated delete not restored (or double-undone)")
+	}
+	for _, r := range []record.Row{dead2, dead3, dead4} {
+		if _, ok := readKey(t, d, key(r)); ok {
+			t.Errorf("loser row %v survived promotion", r[0].I)
+		}
+	}
+	if _, _, promoted, indoubt, fenced := d.ReplicaStats(); !promoted || indoubt != 0 || fenced != 1 {
+		t.Errorf("replica state after promote: promoted %v, indoubt %d, fenced %d", promoted, indoubt, fenced)
+	}
+	// The fence still guards the undone transaction.
+	if reply := d.Serve(&fsdp.Request{Kind: fsdp.KCommit, Tx: loser}); reply.OK() {
+		t.Error("fenced transaction's commit acknowledged")
+	}
+}
+
+// TestPromoteRetryAfterRelockFailure pins the promotion failure path: a
+// KPromote whose in-doubt relock fails must report the error, and a
+// retried KPromote must re-run the passes — never answer OK while
+// transactions remain unresolved.
+func TestPromoteRetryAfterRelockFailure(t *testing.T) {
+	d, _, _ := testDP(t, func(c *Config) { c.LockTimeout = 50 * time.Millisecond })
+	s := createEmp(t, d, nil)
+
+	row := empRow(9, "indoubt", 900)
+	key := s.Key(row)
+	const tx = 88
+	if reply := shipFrames(d, 1, []*wal.Record{
+		{Type: wal.RecInsert, TxID: tx, File: "EMP", Key: key, After: record.Encode(row)},
+		{Type: wal.RecPrepare, TxID: tx},
+	}); !reply.OK() {
+		t.Fatalf("ship: %s", reply.Err)
+	}
+
+	// A conflicting lock makes the in-doubt relock time out.
+	if err := d.locks.LockRecord(999, "EMP", key, lock.Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if reply := d.Serve(&fsdp.Request{Kind: fsdp.KPromote}); reply.OK() {
+		t.Fatal("promote reported OK with the in-doubt relock failing")
+	}
+	if reply := d.Serve(&fsdp.Request{Kind: fsdp.KPromote}); reply.OK() {
+		t.Fatal("retried promote reported OK while the transaction is still unresolved")
+	}
+	if _, _, promoted, _, _ := d.ReplicaStats(); promoted {
+		t.Fatal("failed promotion marked the replica promoted")
+	}
+	// Once promotion was attempted the stream stays refused, even though
+	// the promotion itself must still be retried.
+	if reply := shipFrames(d, 3, []*wal.Record{
+		{Type: wal.RecInsert, TxID: 99, File: "EMP", Key: s.Key(empRow(10, "x", 0)), After: record.Encode(empRow(10, "x", 0))},
+	}); reply.OK() {
+		t.Fatal("checkpoint stream accepted between promotion attempts")
+	}
+
+	d.locks.ReleaseTx(999)
+	if reply := d.Serve(&fsdp.Request{Kind: fsdp.KPromote}); !reply.OK() {
+		t.Fatalf("promote retry after releasing the conflict: %s", reply.Err)
+	}
+	if _, _, promoted, indoubt, _ := d.ReplicaStats(); !promoted || indoubt != 1 {
+		t.Fatalf("replica state after retry: promoted %v, indoubt %d", promoted, indoubt)
+	}
+	// Phase 2 resolves the in-doubt transaction normally.
+	if reply := d.Serve(&fsdp.Request{Kind: fsdp.KCommit, Tx: tx, CommitLSN: 1}); !reply.OK() {
+		t.Fatalf("phase-2 commit of in-doubt tx: %s", reply.Err)
+	}
+	if _, ok := readKey(t, d, key); !ok {
+		t.Error("in-doubt row lost after phase-2 commit")
+	}
+}
+
+// TestUndoShippedRetryIdempotent pins the undo bookkeeping a promotion
+// retry relies on: undoShipped records its own compensations in the
+// returned slice, so running it again undoes nothing twice.
+func TestUndoShippedRetryIdempotent(t *testing.T) {
+	d, _, _ := testDP(t, nil)
+	s := createEmp(t, d, nil)
+
+	row := empRow(6, "x", 1)
+	key := s.Key(row)
+	const tx = 61
+	if reply := shipFrames(d, 1, []*wal.Record{
+		{Type: wal.RecInsert, TxID: tx, File: "EMP", Key: key, After: record.Encode(row)},
+	}); !reply.OK() {
+		t.Fatalf("ship: %s", reply.Err)
+	}
+	recs := d.replica().pending[tx]
+
+	recs, err := d.undoShipped(tx, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("first undo should append one compensation, got %d records", len(recs))
+	}
+	if _, ok := readKey(t, d, key); ok {
+		t.Fatal("row survived undo")
+	}
+	again, err := d.undoShipped(tx, recs)
+	if err != nil {
+		t.Fatalf("re-run of undoShipped: %v", err)
+	}
+	if len(again) != len(recs) {
+		t.Fatalf("re-run undid again: %d records, want %d", len(again), len(recs))
+	}
+}

@@ -88,7 +88,9 @@ func (d *DP) prepare(req *fsdp.Request) *fsdp.Reply {
 	// The yes vote promises this participant can commit even if it dies:
 	// with a replicated backup, that means the backup must hold every
 	// record of the transaction (it keeps the tx in doubt at takeover).
-	d.shipFlush()
+	// A failed flush degrades the promise (counted; the vote still goes
+	// out — this volume's own trail can honor it).
+	_ = d.shipFlush()
 	d.mu.Lock()
 	t.prepared = true
 	d.mu.Unlock()
@@ -97,17 +99,27 @@ func (d *DP) prepare(req *fsdp.Request) *fsdp.Reply {
 
 // shipSync ships one synthesized record (commit marker, file marker)
 // and flushes the checkpoint stream to the backup synchronously.
-func (d *DP) shipSync(rec *wal.Record) {
+func (d *DP) shipSync(rec *wal.Record) error {
 	if d.cfg.Ship != nil {
 		d.cfg.Ship(rec)
 	}
-	d.shipFlush()
+	return d.shipFlush()
 }
 
-func (d *DP) shipFlush() {
-	if d.cfg.ShipFlush != nil {
-		d.cfg.ShipFlush()
+// shipFlush pushes the checkpoint stream to the backup. On failure the
+// shipper retained the buffer for catch-up, but the acknowledgement the
+// caller is about to return no longer carries the backup-durable
+// guarantee — count it so the degraded window is visible instead of
+// silent.
+func (d *DP) shipFlush() error {
+	if d.cfg.ShipFlush == nil {
+		return nil
 	}
+	if err := d.cfg.ShipFlush(); err != nil {
+		d.shipDegraded.Add(1)
+		return err
+	}
+	return nil
 }
 
 // commit serves KCommit. With CommitLSN == 0 this DP is the only
@@ -135,8 +147,11 @@ func (d *DP) commit(req *fsdp.Request) *fsdp.Reply {
 		// on the coordinator's trail), so the backup gets a synthesized
 		// one — shipped and made durable there BEFORE the client is told
 		// the transaction committed, and before locks release so the
-		// stream stays ordered per key.
-		d.shipSync(&wal.Record{Type: wal.RecCommit, TxID: req.Tx, Volume: d.cfg.Volume.Name()})
+		// stream stays ordered per key. A failed flush is the degraded
+		// mode: the commit is durable on this volume's own trail and is
+		// still acknowledged, but the loss of the backup guarantee is
+		// counted, and takeover refuses to promote until catch-up lands.
+		_ = d.shipSync(&wal.Record{Type: wal.RecCommit, TxID: req.Tx, Volume: d.cfg.Volume.Name()})
 	}
 	fault.Inject(fault.DPCommitBeforeFinish)
 	d.finishTx(req.Tx)
@@ -161,7 +176,9 @@ func (d *DP) abort(req *fsdp.Request) *fsdp.Reply {
 		d.appendAudit(&wal.Record{Type: wal.RecAbort, TxID: req.Tx, Volume: d.cfg.Volume.Name()})
 		// The backup must drop the tx's pending records before locks
 		// release here, or a later takeover could undo a successor's work.
-		d.shipFlush()
+		// (On a failed flush the abort marker rides the retained buffer;
+		// a takeover before it lands refuses catch-up failure outright.)
+		_ = d.shipFlush()
 	}
 	d.finishTx(req.Tx)
 	return &fsdp.Reply{}
